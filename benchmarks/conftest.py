@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md's
+per-experiment index) and asserts the paper's *shape* — who wins, by
+roughly what factor, where the crossovers fall — not absolute numbers.
+Heavy experiments run once per benchmark (pedantic mode) since their
+cost is the measurement itself.
+"""
+
+from __future__ import annotations
+
+import sys
+
+# Boyer's if-trees recurse deeply.
+sys.setrecursionlimit(200_000)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a single execution of an expensive experiment."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

@@ -1,0 +1,20 @@
+"""Benchmark ``equilibrium``: Equation 1 and memorylessness.
+
+Paper values: live storage converges to h/ln2 ≈ 1.4427h; cohort
+survival over one half-life is 1/2 at every age.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.equilibrium import render_equilibrium, run_equilibrium
+
+
+def test_equilibrium(benchmark):
+    result = run_once(benchmark, run_equilibrium)
+    print()
+    print(render_equilibrium(result))
+    assert result.relative_error < 0.05
+    for rate in result.cohort_survival[:4]:
+        assert abs(rate - 0.5) < 0.08, "memorylessness violated"

@@ -1,0 +1,25 @@
+"""Benchmark ``figure1``: regenerate Figure 1's overhead curves.
+
+Paper shape: every curve dips below 1 (the non-predictive collector
+beats non-generational GC even under radioactive decay); the exact
+Theorem 4 region is a prefix in g; the simulation agrees with the
+closed forms.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure1 import render_figure1, run_figure1
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, run_figure1)
+    print()
+    print(render_figure1(result))
+    for load, points in result.curves.items():
+        best = min(point.relative_overhead for point in points)
+        assert best < 1.0, f"curve L={load} never beats non-generational"
+    # The simulation cross-check must agree with the analysis.
+    assert result.simulation, "expected simulation points"
+    assert result.max_simulation_error() < 0.10

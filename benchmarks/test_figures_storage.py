@@ -1,0 +1,74 @@
+"""Benchmarks ``figure2``/``figure3``/``figure4``: storage profiles.
+
+Paper shapes:
+
+* Figure 2 (one dynamic iteration): live storage climbs nearly
+  monotonically — each epoch's survivors stack on the previous ones —
+  and an old band appears once storage crosses the ten-epoch
+  threshold.
+* Figure 3 (nboyer): the same climb, but driven by rewritten subtrees
+  becoming permanent; a substantial old band by the end.
+* Figure 4 (sboyer): the same shape at a fraction of nboyer's
+  allocation.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.storage_profiles import (
+    render_profile,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+)
+
+
+def _assert_climbing(profile, *, tolerance: float) -> None:
+    """Totals rise (within tolerance) until the run's final sample."""
+    totals = profile.totals()
+    peak = max(totals)
+    drops = sum(
+        1
+        for a, b in zip(totals, totals[1:])
+        if b < a - tolerance * peak
+    )
+    assert drops <= 1, f"live storage should climb; saw {drops} big drops"
+
+
+def test_figure2(benchmark):
+    result = run_once(benchmark, run_figure2)
+    print()
+    print(render_profile(result))
+    profile = result.profile
+    _assert_climbing(profile, tolerance=0.05)
+    # Nearly everything survives to the end of the iteration.
+    assert profile.peak_live_words > 0.6 * result.words_allocated
+    # The old band is populated once storage outlives ten epochs.
+    assert max(profile.old_band) > 0
+
+
+def test_figure3(benchmark):
+    result = run_once(benchmark, run_figure3)
+    print()
+    print(render_profile(result))
+    profile = result.profile
+    totals = profile.totals()
+    # Storage accumulates: the second half of the run holds much more
+    # live storage than the first quarter's end.
+    assert totals[-1] > 2 * totals[len(totals) // 4]
+    assert max(profile.old_band) > 0
+
+
+def test_figure4(benchmark):
+    fig4 = run_once(benchmark, run_figure4)
+    fig3 = run_figure3()
+    print()
+    print(render_profile(fig4))
+    # sboyer's allocation collapses relative to nboyer's while its
+    # long-lived storage remains comparable in shape.
+    assert fig4.words_allocated < fig3.words_allocated / 5
+    assert max(fig4.profile.old_band) > 0
+    # Most of sboyer's storage is long-lived (the paper's point that
+    # tuned programs are dominated by long-lived objects).
+    assert fig4.profile.peak_live_words > 0.4 * fig4.words_allocated

@@ -1,0 +1,18 @@
+"""Benchmark ``hazard``: §9's survival-rate-regime sweep."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.hazard import render_hazard, run_hazard
+
+
+def test_hazard(benchmark):
+    result = run_once(benchmark, run_hazard)
+    print()
+    print(render_hazard(result))
+    advantages = [point.nonpredictive_advantage for point in result.points]
+    # Monotone in the hazard shape, spanning a wide range.
+    assert advantages == sorted(advantages)
+    assert advantages[0] > 1.0
+    assert advantages[-1] > 5.0

@@ -1,0 +1,19 @@
+"""Benchmark ``remset``: §8.3's remembered-set growth and valve."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.remset_growth import (
+    render_remset_growth,
+    run_remset_growth,
+)
+
+
+def test_remset_growth(benchmark):
+    result = run_once(benchmark, run_remset_growth)
+    print()
+    print(render_remset_growth(result))
+    assert result.conventional_peak < 10
+    assert result.hybrid_unconstrained_peak > 300
+    assert result.hybrid_capped_peak <= result.cap

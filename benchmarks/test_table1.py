@@ -1,0 +1,21 @@
+"""Benchmark ``table1``: regenerate the paper's Table 1.
+
+Paper values: the step table of Section 4's worked example, steady
+mark/cons 0.2 versus 0.4 non-generational.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    print()
+    print(render_table1(result))
+    # Exact reproduction modulo the triggering allocation's jitter.
+    assert result.max_deviation() <= 2
+    assert abs(result.mark_cons - 0.2) < 0.01
+    assert abs(result.nongenerational_mark_cons - 0.4) < 0.02

@@ -1,0 +1,18 @@
+"""Benchmark ``table2``: the benchmark inventory."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(render_table2(result))
+    names = [row.name for row in result.rows]
+    assert names == [
+        "nbody", "nucleic2", "lattice", "10dynamic", "nboyer", "sboyer",
+    ]
+    assert all(row.lines_of_code > 50 for row in result.rows)

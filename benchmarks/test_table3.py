@@ -1,0 +1,56 @@
+"""Benchmark ``table3``: GC overheads across the six benchmarks.
+
+Paper shape (Table 3's gc/mutator columns):
+
+* the generational collector beats stop-and-copy on nbody, nucleic2,
+  lattice, and sboyer;
+* on 10dynamic the generational collector does WORSE — the paper's
+  central empirical anomaly (13% vs 28%);
+* nboyer improves only modestly (52% vs 44%).
+
+Absolute percentages are testbed artifacts; the orderings are not.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, run_table3, scale=1)
+    print()
+    print(render_table3(result))
+
+    for name in ("nbody", "nucleic2", "sboyer"):
+        row = result.row(name)
+        assert row.generational_wins, (
+            f"{name}: generational should win "
+            f"({row.generational_ratio:.2f} vs {row.stop_and_copy_ratio:.2f})"
+        )
+
+    # lattice's overheads are negligible under both collectors (the
+    # paper's 5% vs 2%, the suite's cheapest row); at simulator scale
+    # the two are within noise of each other and of zero.
+    lattice = result.row("lattice")
+    assert lattice.generational_ratio < 0.05
+    assert lattice.stop_and_copy_ratio < 0.05
+
+    anomaly = result.row("10dynamic")
+    assert not anomaly.generational_wins, (
+        "10dynamic must run WORSE under the generational collector "
+        f"({anomaly.generational_ratio:.2f} vs "
+        f"{anomaly.stop_and_copy_ratio:.2f})"
+    )
+
+    nboyer = result.row("nboyer")
+    sboyer = result.row("sboyer")
+    # sboyer allocates far less than nboyer (Baker's tweak).
+    assert sboyer.words_allocated < nboyer.words_allocated / 4
+    # And its gc burden is much lighter, as in the paper (10% vs 52%).
+    assert sboyer.stop_and_copy_ratio < nboyer.stop_and_copy_ratio
+
+    # lattice's peak live storage is a small fraction of allocation
+    # ("allocates almost no long-lived storage").
+    assert lattice.peak_live_words < lattice.words_allocated / 10

@@ -1,0 +1,47 @@
+"""Benchmark ``tuning``: the §8.1 j-selection ablation.
+
+Paper shape: j = 0 degenerates to the non-generational ratio 1/(L-1);
+fixed fractions track Theorem 4; the half-empty rule lands between the
+good fixed fractions without knowing the analysis; scanning the
+protected steps instead of keeping a remembered set multiplies the
+root-tracing work (§8.6).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import analysis
+from repro.experiments.tuning import render_tuning, run_tuning
+
+
+def test_tuning(benchmark):
+    result = run_once(benchmark, run_tuning)
+    print()
+    print(render_tuning(result))
+
+    baseline = result.row("j=0 (non-generational)")
+    assert (
+        abs(
+            baseline.mark_cons
+            - analysis.nongenerational_mark_cons(result.load_factor)
+        )
+        < 0.05
+    )
+
+    for g, name in [
+        (0.125, "fixed g=1/8"),
+        (0.25, "fixed g=1/4"),
+        (0.375, "fixed g=3/8"),
+    ]:
+        row = result.row(name)
+        theory = analysis.mark_cons_ratio(g, result.load_factor).value
+        assert abs(row.mark_cons - theory) / theory < 0.10, (
+            f"{name}: measured {row.mark_cons:.4f} vs theory {theory:.4f}"
+        )
+
+    paper_rule = result.row("half-empty (paper §8.1)")
+    assert paper_rule.mark_cons < 0.6 * baseline.mark_cons
+
+    scan = result.row("half-empty, scan-protected (§8.6 alternative)")
+    assert scan.roots_traced > 1.5 * paper_rule.roots_traced

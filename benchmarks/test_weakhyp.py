@@ -1,0 +1,18 @@
+"""Benchmark ``weakhyp``: the §7 weak-hypothesis crossover."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.weak_hypothesis import (
+    render_weak_hypothesis,
+    run_weak_hypothesis,
+)
+
+
+def test_weak_hypothesis(benchmark):
+    result = run_once(benchmark, run_weak_hypothesis)
+    print()
+    print(render_weak_hypothesis(result))
+    assert result.heaviest.winner() == "generational"
+    assert result.lightest.winner() == "non-predictive"

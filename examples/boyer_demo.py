@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Run the Boyer theorem-prover benchmark under a real collector.
+
+This example exercises the full runtime stack: Scheme-ish cons cells in
+a simulated heap, a write barrier, a generational collector — and the
+classic Boyer benchmark on top, in both its nboyer and sboyer (shared
+consing) forms.  It prints the GC statistics side by side, reproducing
+the paper's observation that Baker's one-line tweak "greatly decreases
+garbage collection time" by collapsing allocation.
+
+Run:  python examples/boyer_demo.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GenerationalCollector, Machine
+from repro.programs.boyer import run_nboyer, run_sboyer
+
+sys.setrecursionlimit(200_000)
+
+NURSERY_WORDS = 8_192
+DYNAMIC_WORDS = 32_768
+
+
+def run(name: str, runner) -> None:
+    machine = Machine(
+        lambda heap, roots: GenerationalCollector(
+            heap, roots, [NURSERY_WORDS, DYNAMIC_WORDS]
+        )
+    )
+    result = runner(machine, 0)
+    stats = machine.stats
+    print(f"-- {name} --")
+    print(f"theorem proved      : {result.proved}")
+    print(f"rewrite applications: {result.rewrites:,}")
+    print(f"words allocated     : {stats.words_allocated:,}")
+    print(f"collections         : {stats.collections} "
+          f"({stats.minor_collections} minor)")
+    print(f"words copied by gc  : {stats.words_copied:,}")
+    print(f"mark/cons ratio     : {stats.mark_cons:.3f}")
+    print()
+
+
+def main() -> None:
+    print("The Boyer benchmark: term rewriting + tautology checking")
+    print("(the paper's Table 2/3 'nboyer' and 'sboyer' entries)")
+    print()
+    run("nboyer (original consing)", run_nboyer)
+    run("sboyer (Baker's shared consing)", run_sboyer)
+    print(
+        "Same theorem, same rewrites — but shared consing reuses\n"
+        "unchanged subterms, so allocation (and with it GC work)\n"
+        "collapses.  'The garbage collection overhead of production\n"
+        "code may have more to do with the overhead of long-lived\n"
+        "objects than with the short-lived objects...' (Section 7.2)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Quickstart: the radioactive decay model meets four collectors.
+
+This example walks the paper's core story end to end:
+
+1. build a radioactive-decay workload (half-life h) — a lifetime model
+   under which NO heuristic can predict which objects die next;
+2. compute the paper's closed-form predictions (Equation 1,
+   Theorem 4, Corollary 5);
+3. run the actual collectors on the actual workload and watch the
+   predictions come true: the conventional generational collector does
+   WORSE than a plain mark/sweep collector, and the non-predictive
+   collector does better.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GenerationalCollector,
+    MarkSweepCollector,
+    NonPredictiveCollector,
+    RadioactiveDecayModel,
+    SimulatedHeap,
+    RootSet,
+    mark_cons_ratio,
+    nongenerational_mark_cons,
+    optimal_generation_fraction,
+)
+from repro.mutator import LifetimeDrivenMutator, DecaySchedule
+
+HALF_LIFE = 2_000.0
+LOAD_FACTOR = 3.5  # heap is 3.5x the live storage
+
+
+def main() -> None:
+    model = RadioactiveDecayModel(HALF_LIFE)
+    live = model.equilibrium_live_storage()
+    heap_words = int(live * LOAD_FACTOR)
+
+    print("== The model (paper Section 2) ==")
+    print(f"half-life h                 = {HALF_LIFE:,.0f} words")
+    print(f"equilibrium live storage n  = {live:,.0f} words (Equation 1)")
+    print(f"heap size N = n*L           = {heap_words:,} words")
+    print(f"P(survive one half-life)    = {model.survival_probability(HALF_LIFE):.3f}")
+    print(
+        "P(survive h | already 5h old)= "
+        f"{model.conditional_survival(5 * HALF_LIFE, HALF_LIFE):.3f}"
+        "   <- age tells the collector nothing"
+    )
+    print()
+
+    print("== The analysis (paper Section 5) ==")
+    baseline = nongenerational_mark_cons(LOAD_FACTOR)
+    print(f"mark/cons, non-generational = 1/(L-1) = {baseline:.3f}")
+    best = optimal_generation_fraction(LOAD_FACTOR)
+    print(
+        f"best young-generation share g = {best.g:.3f} -> predicted "
+        f"mark/cons {mark_cons_ratio(best.g, LOAD_FACTOR).value:.3f} "
+        f"({best.relative_overhead:.2f}x the baseline)"
+    )
+    print()
+
+    print("== The collectors, for real ==")
+    configs = {
+        "mark-sweep (baseline)": lambda heap, roots: MarkSweepCollector(
+            heap, roots, heap_words, auto_expand=False
+        ),
+        "conventional generational": lambda heap, roots: GenerationalCollector(
+            heap,
+            roots,
+            [heap_words // 4, heap_words - heap_words // 4],
+            auto_expand_oldest=False,
+        ),
+        "non-predictive (the paper's)": (
+            lambda heap, roots: NonPredictiveCollector(
+                heap, roots, 16, heap_words // 16
+            )
+        ),
+    }
+    for name, factory in configs.items():
+        heap = SimulatedHeap()
+        roots = RootSet()
+        collector = factory(heap, roots)
+        mutator = LifetimeDrivenMutator(
+            collector, roots, DecaySchedule(HALF_LIFE, seed=7)
+        )
+        mutator.run(20 * heap_words)
+        pauses = collector.stats.pauses
+        half = len(pauses) // 2
+        work = sum(p.work for p in pauses[half:])
+        allocated = pauses[-1].clock - pauses[half - 1].clock
+        print(f"{name:<30} mark/cons = {work / allocated:.3f}")
+    print()
+    print(
+        "The generational collector that bets on young death loses; the\n"
+        "one that merely organizes WHERE free space sits wins — with no\n"
+        "lifetime prediction at all.  (Paper Sections 3-5.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Run your own Scheme workload against any collector.
+
+The paper's benchmarks were Scheme programs; the library ships a small
+Scheme interpreter whose environments, closures, and data live in the
+simulated heap.  This example runs the classic `tak` function and a
+list-churning loop under two collectors and prints their GC accounting
+— the template for measuring your own workload.
+
+Run:  python examples/scheme_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import GenerationalCollector, HybridCollector, Machine
+from repro.runtime.interop import to_python
+from repro.runtime.interp import Interpreter
+
+PROGRAM = """
+; Takeuchi's function: call-heavy, environment-frame-heavy.
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+
+; A list-churning loop: allocate, sum, discard, repeat.
+(define (iota n) (if (= n 0) '() (cons n (iota (- n 1)))))
+(define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+(define (churn rounds size)
+  (let loop ((i 0) (acc 0))
+    (if (= i rounds) acc (loop (+ i 1) (+ acc (sum (iota size)))))))
+
+(list (tak 12 8 4) (churn 60 40))
+"""
+
+COLLECTORS = {
+    "generational": lambda heap, roots: GenerationalCollector(
+        heap, roots, [2_048, 8_192]
+    ),
+    "hybrid (non-predictive old)": lambda heap, roots: HybridCollector(
+        heap, roots, 2_048, 8, 1_024
+    ),
+}
+
+
+def main() -> None:
+    for name, factory in COLLECTORS.items():
+        machine = Machine(factory)
+        interp = Interpreter(machine)
+        result = interp.run(PROGRAM)
+        stats = machine.stats
+        print(f"-- {name} --")
+        print(f"result              : {to_python(machine, result)}")
+        print(f"expressions evaluated: {interp.steps:,}")
+        print(f"words allocated     : {stats.words_allocated:,}")
+        print(f"collections         : {stats.collections} "
+              f"({stats.minor_collections} minor)")
+        print(f"mark/cons           : {stats.mark_cons:.3f}")
+        print()
+    print(
+        "Interpreter state (environment frames, closures, argument\n"
+        "lists) is heap data, so the interpreter itself is a storage\n"
+        "workload — exactly how the paper's Scheme benchmarks loaded\n"
+        "Larceny's collectors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy-installer shim.
+
+``pip install -e .`` uses pyproject.toml (PEP 660) when the ``wheel``
+package is available; this shim keeps editable installs working on
+minimal/offline environments where only setuptools is present
+(``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

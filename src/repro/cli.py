@@ -1,0 +1,307 @@
+"""Command-line interface: ``repro-gc`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``list`` — show the available experiments and benchmarks;
+* ``experiment NAME`` — regenerate one paper artifact (table1,
+  figure1, table3, ...) and print it;
+* ``all`` — regenerate every artifact in order;
+* ``bench NAME --collector KIND`` — run one of the six benchmarks
+  under a chosen collector and print its GC statistics;
+* ``analyze`` — print Section 5 quantities for a given (g, L);
+* ``trace record|survival|profile`` — record a benchmark's lifetime
+  trace to a file and re-analyze it offline;
+* ``validate`` — run the reproduction self-check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import analysis
+from repro.experiments.export import to_jsonable
+from repro.experiments.harness import run_benchmark_under
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.validate import run_validation
+from repro.programs.registry import (
+    BENCHMARKS,
+    EXTRA_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+
+__all__ = ["main"]
+
+_COLLECTORS = (
+    "mark-sweep",
+    "stop-and-copy",
+    "generational",
+    "non-predictive",
+    "hybrid",
+)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("experiments:")
+    for experiment in EXPERIMENTS:
+        print(f"  {experiment.name:<14} {experiment.paper_artifact}")
+    print()
+    print("benchmarks (the paper's Table 2):")
+    for benchmark in BENCHMARKS:
+        print(f"  {benchmark.name:<14} {benchmark.description}")
+    print()
+    print("extra workloads:")
+    for benchmark in EXTRA_BENCHMARKS:
+        print(f"  {benchmark.name:<14} {benchmark.description}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result, text = run_experiment(args.name)
+    if args.json:
+        print(json.dumps(to_jsonable(result), indent=2))
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    selected = EXPERIMENTS
+    if args.only:
+        wanted = {name.strip() for name in args.only.split(",")}
+        unknown = wanted - {experiment.name for experiment in EXPERIMENTS}
+        if unknown:
+            raise SystemExit(f"unknown experiments: {sorted(unknown)}")
+        selected = tuple(
+            experiment
+            for experiment in EXPERIMENTS
+            if experiment.name in wanted
+        )
+    output = Path(args.output) if args.output else None
+    if output is not None:
+        output.mkdir(parents=True, exist_ok=True)
+    for experiment in selected:
+        print(f"=== {experiment.name}: {experiment.paper_artifact} ===")
+        result, text = run_experiment(experiment.name)
+        print(text)
+        print()
+        if output is not None:
+            (output / f"{experiment.name}.txt").write_text(
+                text + "\n", encoding="utf-8"
+            )
+            (output / f"{experiment.name}.json").write_text(
+                json.dumps(to_jsonable(result), indent=2) + "\n",
+                encoding="utf-8",
+            )
+    if output is not None:
+        print(f"artifacts written to {output}/")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.name)
+    outcome = run_benchmark_under(
+        benchmark, args.collector, scale=args.scale
+    )
+    print(f"benchmark  : {outcome.benchmark}")
+    print(f"collector  : {outcome.collector}")
+    print(f"allocated  : {outcome.words_allocated:,} words")
+    print(f"peak live  : {outcome.peak_live_words:,} words")
+    print(f"gc work    : {outcome.gc_work:,} words")
+    print(f"mark/cons  : {outcome.mark_cons:.4f}")
+    print(f"gc/mutator : {100 * outcome.gc_mutator_ratio:.1f}%")
+    print(
+        f"collections: {outcome.collections} "
+        f"({outcome.minor_collections} minor)"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runtime.machine import Machine
+    from repro.trace.collector import TracingCollector
+    from repro.trace.io import load_trace, save_trace
+    from repro.trace.profile import storage_profile
+    from repro.trace.recorder import LifetimeRecorder
+    from repro.trace.survival import survival_table
+
+    if args.trace_command == "record":
+        benchmark = get_benchmark(args.benchmark)
+        # A dry run sizes the sampling epoch from the total allocation.
+        dry = Machine(TracingCollector)
+        benchmark.run(dry, args.scale)
+        epoch = max(1, dry.stats.words_allocated // args.epochs)
+        machine = Machine(TracingCollector)
+        recorder = LifetimeRecorder(machine, epoch)
+        benchmark.run(machine, args.scale)
+        trace = recorder.finish()
+        save_trace(trace, args.output)
+        print(
+            f"recorded {trace.object_count:,} objects "
+            f"({trace.words_allocated:,} words, epoch {epoch:,}) "
+            f"to {args.output}"
+        )
+        return 0
+    trace = load_trace(args.file)
+    span = max(1, trace.end_clock - trace.start_clock)
+    if args.trace_command == "survival":
+        age_step = args.age_step or max(1, span // 12)
+        print(
+            survival_table(
+                trace, age_step, bracket_count=args.brackets
+            ).to_text()
+        )
+        return 0
+    epoch = args.epoch or max(1, span // 20)
+    print(storage_profile(trace, epoch).to_text())
+    return 0
+
+
+def _cmd_validate(_: argparse.Namespace) -> int:
+    results = run_validation()
+    failures = 0
+    for result in results:
+        mark = "PASS" if result.passed else "FAIL"
+        print(f"[{mark}] {result.name}")
+        print(f"       {result.detail}")
+        if not result.passed:
+            failures += 1
+    print()
+    print(
+        f"{len(results) - failures}/{len(results)} paper claims verified"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    g, load = args.g, args.load
+    estimate = analysis.mark_cons_ratio(g, load)
+    relative = analysis.relative_overhead(g, load)
+    best = analysis.optimal_generation_fraction(load)
+    print(f"g = {g}, L = {load}")
+    print(f"l(g,g)                    = {analysis.live_fraction(g, g, load):.4f}")
+    print(
+        f"stable equilibrium holds  = "
+        f"{analysis.stable_equilibrium_holds(g, load)}"
+    )
+    print(
+        f"mark/cons (non-predictive) = {estimate.value:.4f}"
+        f" ({'exact' if estimate.exact else 'lower bound'})"
+    )
+    print(
+        f"mark/cons (mark/sweep)     = "
+        f"{analysis.nongenerational_mark_cons(load):.4f}"
+    )
+    print(f"relative overhead          = {relative.value:.4f}")
+    print(
+        f"optimal g for this L       = {best.g:.4f} "
+        f"(overhead {best.relative_overhead:.4f})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gc",
+        description=(
+            "Reproduction of 'Generational Garbage Collection and the "
+            "Radioactive Decay Model' (Clinger & Hansen, PLDI 1997)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("list", help="list experiments and benchmarks")
+    sub.set_defaults(func=_cmd_list)
+
+    sub = subparsers.add_parser(
+        "experiment", help="regenerate one paper artifact"
+    )
+    sub.add_argument(
+        "name", choices=[experiment.name for experiment in EXPERIMENTS]
+    )
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as JSON instead of rendered text",
+    )
+    sub.set_defaults(func=_cmd_experiment)
+
+    sub = subparsers.add_parser("all", help="regenerate every artifact")
+    sub.add_argument(
+        "--output",
+        default=None,
+        help="also write each artifact's text and JSON into this directory",
+    )
+    sub.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment names to regenerate",
+    )
+    sub.set_defaults(func=_cmd_all)
+
+    sub = subparsers.add_parser(
+        "bench", help="run a benchmark under a collector"
+    )
+    sub.add_argument("name", choices=benchmark_names())
+    sub.add_argument(
+        "--collector", choices=_COLLECTORS, default="stop-and-copy"
+    )
+    sub.add_argument("--scale", type=int, default=1, choices=(0, 1, 2))
+    sub.set_defaults(func=_cmd_bench)
+
+    sub = subparsers.add_parser(
+        "trace", help="record and analyze lifetime traces"
+    )
+    trace_sub = sub.add_subparsers(dest="trace_command", required=True)
+    rec = trace_sub.add_parser("record", help="record a benchmark's trace")
+    rec.add_argument("benchmark", choices=benchmark_names())
+    rec.add_argument("-o", "--output", required=True)
+    rec.add_argument("--scale", type=int, default=0, choices=(0, 1, 2))
+    rec.add_argument(
+        "--epochs",
+        type=int,
+        default=50,
+        help="death-time resolution: samples per run",
+    )
+    rec.set_defaults(func=_cmd_trace)
+    srv = trace_sub.add_parser(
+        "survival", help="survival-by-age table from a saved trace"
+    )
+    srv.add_argument("file")
+    srv.add_argument("--age-step", type=int, default=None)
+    srv.add_argument("--brackets", type=int, default=9)
+    srv.set_defaults(func=_cmd_trace)
+    prof = trace_sub.add_parser(
+        "profile", help="live-storage profile from a saved trace"
+    )
+    prof.add_argument("file")
+    prof.add_argument("--epoch", type=int, default=None)
+    prof.set_defaults(func=_cmd_trace)
+
+    sub = subparsers.add_parser(
+        "validate",
+        help="quick self-check: verify the paper's claims end to end",
+    )
+    sub.set_defaults(func=_cmd_validate)
+
+    sub = subparsers.add_parser(
+        "analyze", help="print Section 5 quantities for (g, L)"
+    )
+    sub.add_argument("--g", type=float, default=0.25)
+    sub.add_argument("--load", type=float, default=3.5)
+    sub.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

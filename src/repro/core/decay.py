@@ -1,0 +1,196 @@
+"""The radioactive decay model of object lifetimes (Section 2 of the paper).
+
+In the radioactive decay model a single exponential distribution
+describes the life expectancy of every object.  The model has one
+parameter, the half-life ``h``: for every object live at time ``t0``,
+the probability that the object is still alive at time ``t0 + t`` is
+``2**(-t/h)``, independent of the object's age.  Time is measured in
+allocation units (one unit per object allocated, or per word allocated,
+depending on the caller's convention).
+
+The model is *memoryless*: the age of a live object gives no
+information about its remaining lifetime.  This defeats every heuristic
+that tries to predict which objects will live longer than others, which
+is exactly why the paper uses it as a stress test for generational
+garbage collection.
+
+Key quantities (paper Section 2):
+
+* survival probability     ``S(t) = 2**(-t/h) = r**t`` with
+  ``r = 2**(-1/h)``
+* probability density      ``P_h(t) = (ln 2 / h) * 2**(-t/h)``
+* equilibrium live storage ``n = 1/(1-r) ≈ h / ln 2``  (Equation 1)
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "LN2",
+    "RadioactiveDecayModel",
+    "equilibrium_live_storage",
+    "half_life_for_live_storage",
+]
+
+#: Natural log of 2, written once so formulas read like the paper's.
+LN2 = math.log(2.0)
+
+
+def equilibrium_live_storage(half_life: float, *, exact: bool = False) -> float:
+    """Expected number of live objects at equilibrium (Equation 1).
+
+    At equilibrium one object dies per allocation, so the expected
+    number ``n`` of live objects satisfies ``1 = n * (1 - 2**(-1/h))``.
+    For large ``h`` this is approximately ``h / ln 2 ≈ 1.4427 h``.
+
+    Args:
+        half_life: the model's half-life ``h`` in allocation units.
+        exact: if true, return the exact ``1/(1 - 2**(-1/h))`` instead
+            of the paper's large-``h`` approximation.
+
+    Raises:
+        ValueError: if ``half_life`` is not positive.
+    """
+    if half_life <= 0:
+        raise ValueError(f"half-life must be positive, got {half_life!r}")
+    if exact:
+        return 1.0 / (1.0 - 2.0 ** (-1.0 / half_life))
+    return half_life / LN2
+
+
+def half_life_for_live_storage(live_storage: float) -> float:
+    """Inverse of Equation 1: the half-life that sustains ``n`` live objects."""
+    if live_storage <= 0:
+        raise ValueError(f"live storage must be positive, got {live_storage!r}")
+    return live_storage * LN2
+
+
+@dataclass(frozen=True)
+class RadioactiveDecayModel:
+    """The exponential ("radioactive decay") object-lifetime model.
+
+    Attributes:
+        half_life: the half-life ``h`` in allocation units.  After ``h``
+            units of allocation, half of any cohort of live objects is
+            expected to have died.
+    """
+
+    half_life: float
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0:
+            raise ValueError(
+                f"half-life must be positive, got {self.half_life!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Distribution functions
+    # ------------------------------------------------------------------
+
+    @property
+    def survival_ratio(self) -> float:
+        """Per-unit-time survival probability ``r = 2**(-1/h)``.
+
+        Each live object independently survives one unit of allocation
+        time with probability ``r``; the paper approximates
+        ``r ≈ 1 - ln2/h`` for large ``h``.
+        """
+        return 2.0 ** (-1.0 / self.half_life)
+
+    @property
+    def decay_rate(self) -> float:
+        """Instantaneous decay rate ``λ = ln 2 / h``."""
+        return LN2 / self.half_life
+
+    def survival_probability(self, t: float) -> float:
+        """``S(t) = 2**(-t/h)``: probability of surviving ``t`` more units.
+
+        Defined for any ``t >= 0`` and — this is the point of the
+        model — independent of how old the object already is.
+        """
+        if t < 0:
+            raise ValueError(f"time must be non-negative, got {t!r}")
+        return 2.0 ** (-t / self.half_life)
+
+    def death_probability(self, t: float) -> float:
+        """Probability of being dead within the next ``t`` units."""
+        return 1.0 - self.survival_probability(t)
+
+    def pdf(self, t: float) -> float:
+        """The probability density function ``P_h(t) = (ln2/h) 2**(-t/h)``."""
+        if t < 0:
+            return 0.0
+        return self.decay_rate * self.survival_probability(t)
+
+    def expected_lifetime(self) -> float:
+        """Mean lifetime ``h / ln 2`` (also the equilibrium live storage)."""
+        return self.half_life / LN2
+
+    def median_lifetime(self) -> float:
+        """Median lifetime — the half-life itself, by definition."""
+        return self.half_life
+
+    def conditional_survival(self, age: float, t: float) -> float:
+        """P(alive at ``age + t`` | alive at ``age``).
+
+        Memorylessness makes this equal to ``survival_probability(t)``
+        for every ``age``; the method exists so tests can state the
+        property explicitly.
+        """
+        if age < 0:
+            raise ValueError(f"age must be non-negative, got {age!r}")
+        # S(age + t) / S(age) == S(t) for the exponential distribution.
+        return self.survival_probability(age + t) / self.survival_probability(age)
+
+    # ------------------------------------------------------------------
+    # Equilibrium
+    # ------------------------------------------------------------------
+
+    def equilibrium_live_storage(self, *, exact: bool = False) -> float:
+        """Expected live storage at equilibrium (Equation 1)."""
+        return equilibrium_live_storage(self.half_life, exact=exact)
+
+    def expected_live_after(self, cohort: float, t: float) -> float:
+        """Expected survivors from a cohort of ``cohort`` objects after ``t``."""
+        if cohort < 0:
+            raise ValueError(f"cohort must be non-negative, got {cohort!r}")
+        return cohort * self.survival_probability(t)
+
+    def time_to_decay_to(self, fraction: float) -> float:
+        """Time for a cohort to decay to the given surviving fraction."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {fraction!r}"
+            )
+        return -self.half_life * math.log2(fraction)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_lifetime(self, rng: random.Random) -> float:
+        """Draw a continuous lifetime from ``P_h``.
+
+        Uses inverse-transform sampling: with ``u`` uniform on (0, 1],
+        ``t = -h * log2(u)`` is exponentially distributed with the
+        model's half-life.
+        """
+        u = rng.random()
+        # random() is in [0, 1); flip to (0, 1] to avoid log(0).
+        return -self.half_life * math.log2(1.0 - u)
+
+    def sample_discrete_lifetime(self, rng: random.Random) -> int:
+        """Draw an integer lifetime (in whole allocation units), >= 1.
+
+        This is the geometric distribution with success probability
+        ``1 - r``: the object dies during allocation unit ``t`` with
+        probability ``r**(t-1) * (1-r)``.
+        """
+        u = rng.random()
+        r = self.survival_ratio
+        # Geometric inverse transform; ceil of the continuous sample.
+        lifetime = int(math.ceil(math.log(1.0 - u) / math.log(r)))
+        return max(1, lifetime)

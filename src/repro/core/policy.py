@@ -1,0 +1,169 @@
+"""Tuning policies for the non-predictive collector (Section 8.1).
+
+The non-predictive collector has one dynamic tuning parameter, ``j``:
+the number of youngest steps protected from the next collection.  The
+paper recommends choosing ``j`` immediately after every collection so
+that steps 1..j are empty and ``j <= k/2``; given the greatest ``l``
+such that steps 1..l are empty, ``j = floor(l / 2)`` "seems like a
+reasonable choice".  ``j`` may also be *decreased* at any time, which
+Section 8.3 uses to cap remembered-set growth before a promotion.
+
+Policies receive a :class:`StepSnapshot` describing the step array and
+return the new ``j``.  They are deliberately decoupled from the
+collector so experiments can swap them (see the ``tuning`` ablation in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+__all__ = [
+    "AdaptiveRemsetPolicy",
+    "FixedFractionPolicy",
+    "FixedJPolicy",
+    "HalfEmptyPolicy",
+    "StepSnapshot",
+    "TuningPolicy",
+    "leading_empty_steps",
+]
+
+
+@dataclass(frozen=True)
+class StepSnapshot:
+    """What a tuning policy may observe after a collection.
+
+    Attributes:
+        step_used: words used in each step, ordered youngest (step 1)
+            first.  Index 0 is step 1.
+        step_capacity: capacity of each step in words.
+        remset_size: current number of remembered-set entries that
+            record pointers from the protected steps into the
+            collectable steps.
+        projected_remset_growth: the ephemeral collector's estimate of
+            how many entries the next promotion would add (Section 8.3
+            describes counting outbound pointers during ephemeral
+            collections to obtain this).
+    """
+
+    step_used: Sequence[int]
+    step_capacity: Sequence[int]
+    remset_size: int = 0
+    projected_remset_growth: int = 0
+
+    @property
+    def step_count(self) -> int:
+        return len(self.step_used)
+
+
+def leading_empty_steps(snapshot: StepSnapshot) -> int:
+    """The greatest ``l`` such that steps 1..l are empty."""
+    count = 0
+    for used in snapshot.step_used:
+        if used != 0:
+            break
+        count += 1
+    return count
+
+
+class TuningPolicy(Protocol):
+    """Strategy for choosing the tuning parameter ``j`` after a collection."""
+
+    def choose_j(self, snapshot: StepSnapshot) -> int:
+        """Return the new ``j`` given the post-collection step state."""
+        ...
+
+
+def _clamp_j(j: int, snapshot: StepSnapshot) -> int:
+    """Apply the paper's hard constraints: steps 1..j empty, j <= k/2."""
+    empty = leading_empty_steps(snapshot)
+    return max(0, min(j, empty, snapshot.step_count // 2))
+
+
+@dataclass(frozen=True)
+class FixedJPolicy:
+    """Always request the same ``j`` (clamped to the paper's constraints).
+
+    Table 1's worked example uses a fixed ``j = 1``.
+    """
+
+    j: int
+
+    def __post_init__(self) -> None:
+        if self.j < 0:
+            raise ValueError(f"j must be non-negative, got {self.j!r}")
+
+    def choose_j(self, snapshot: StepSnapshot) -> int:
+        return _clamp_j(self.j, snapshot)
+
+
+@dataclass(frozen=True)
+class FixedFractionPolicy:
+    """Request ``j ≈ g * k`` for a target generation fraction ``g``.
+
+    This is the policy the Section 5 analysis models: a constant
+    fraction ``g = j/k`` of the heap devoted to the protected
+    generation.
+    """
+
+    g: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.g <= 0.5:
+            raise ValueError(f"g must be in [0, 1/2], got {self.g!r}")
+
+    def choose_j(self, snapshot: StepSnapshot) -> int:
+        return _clamp_j(round(self.g * snapshot.step_count), snapshot)
+
+
+class HalfEmptyPolicy:
+    """The paper's Section 8.1 recommendation: ``j = floor(l / 2)``.
+
+    ``l`` is the greatest integer such that steps 1..l are empty after
+    the collection and renumbering.  Protecting only half of the empty
+    prefix leaves headroom so that the *next* collection is also likely
+    to leave steps 1..j empty, sustaining the stable equilibrium of
+    Theorem 4.
+    """
+
+    def choose_j(self, snapshot: StepSnapshot) -> int:
+        return _clamp_j(leading_empty_steps(snapshot) // 2, snapshot)
+
+
+@dataclass(frozen=True)
+class AdaptiveRemsetPolicy:
+    """HalfEmptyPolicy with the Section 8.3 remembered-set safety valve.
+
+    The base policy picks ``j``; if the current remembered set plus the
+    projected growth from the next promotion exceeds ``max_remset``,
+    ``j`` is reduced (possibly to zero, which empties the protected
+    generation and hence the steps-1..j remembered set entirely).
+
+    The reduction is proportional: each step of reduction is assumed to
+    shed an equal share of the projected pressure, which matches the
+    uniform-step geometry of the collector.
+    """
+
+    max_remset: int
+    base: TuningPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_remset < 0:
+            raise ValueError(
+                f"max_remset must be non-negative, got {self.max_remset!r}"
+            )
+
+    def choose_j(self, snapshot: StepSnapshot) -> int:
+        base = self.base if self.base is not None else HalfEmptyPolicy()
+        j = base.choose_j(snapshot)
+        if j == 0:
+            return 0
+        pressure = snapshot.remset_size + snapshot.projected_remset_growth
+        if pressure <= self.max_remset:
+            return j
+        if self.max_remset == 0:
+            return 0
+        # Shrink the protected region in proportion to the overshoot.
+        scale = self.max_remset / pressure
+        return _clamp_j(int(j * scale), snapshot)

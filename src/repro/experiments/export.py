@@ -1,0 +1,46 @@
+"""Serialization of experiment results to plain JSON-able data.
+
+Every experiment driver returns a (frozen) dataclass; downstream users
+— plotting scripts, regression dashboards, the EXPERIMENTS.md
+refresher — want plain data.  :func:`to_jsonable` converts any
+experiment result recursively: dataclasses become dicts (with an
+``_type`` tag), tuples become lists, dict keys become strings, and the
+handful of non-JSON scalars (infinities, NaN) are stringified.
+
+``python -m repro experiment NAME --json`` emits this form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+__all__ = ["to_jsonable"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert an experiment result into JSON-serializable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        data: dict[str, Any] = {"_type": type(value).__name__}
+        for field in dataclasses.fields(value):
+            data[field.name] = to_jsonable(getattr(value, field.name))
+        return data
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        converted = [to_jsonable(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            converted.sort(key=repr)
+        return converted
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    # Anything else (heap objects, machines) has no business in a
+    # result; represent it readably rather than failing the export.
+    return repr(value)

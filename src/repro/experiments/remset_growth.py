@@ -1,0 +1,161 @@
+"""Experiment ``remset``: Section 8.3's remembered-set growth.
+
+The paper warns that non-predictive collection inverts the usual
+remembered-set economics: "strict functional programs create
+structures whose pointers almost always point from younger to older
+objects.  For a conventional generational collector, this implies
+that the remembered set is nearly empty.  For a non-predictive
+collector, this implies that the remembered set may become very large
+unless the garbage collector acts first" — and §8.3 proposes acting
+first by reducing ``j`` before promotions that would blow the set up.
+
+This experiment builds exactly such a structure — a long list whose
+pairs each point at an older pair — through the hybrid collector, and
+measures the steps remembered set:
+
+* under a conventional generational collector (old-to-young entries
+  only): essentially empty;
+* under the hybrid with an unconstrained ``j``: entries accumulate
+  with every promotion into the protected steps;
+* under the hybrid with the §8.3 ``max_remset`` valve: growth capped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gc.generational import GenerationalCollector
+from repro.gc.hybrid import HybridCollector
+from repro.runtime.machine import Machine
+from repro.runtime.values import Fixnum
+from repro.trace.render import TextTable
+
+__all__ = ["RemsetGrowthResult", "render_remset_growth", "run_remset_growth"]
+
+
+@dataclass(frozen=True)
+class RemsetGrowthResult:
+    """Peak remembered-set sizes for the list-building workload."""
+
+    total_pairs: int
+    conventional_peak: int
+    hybrid_unconstrained_peak: int
+    hybrid_capped_peak: int
+    cap: int
+
+
+def _build_indexed_data(
+    machine: Machine, leaves: int, index_pairs: int
+) -> tuple[object, object]:
+    """Build old data, then a young index over it.
+
+    Phase 1 allocates ``leaves`` pairs of base data (they age into the
+    old steps); phase 2 builds an index list whose every pair's car
+    points at one of the old leaves — the younger-to-older pointer
+    pattern of strict functional programs.  Each index pair promoted
+    into a protected step therefore carries a pointer into the
+    collectable steps (situation 5).
+    """
+    data = None
+    leaf_handles = []
+    for index in range(leaves):
+        data = machine.cons(Fixnum(index), data)
+        leaf_handles.append(data)
+    index_head = None
+    for index in range(index_pairs):
+        target = leaf_handles[index % len(leaf_handles)]
+        index_head = machine.cons(target, index_head)
+    return data, index_head
+
+
+def run_remset_growth(
+    *,
+    leaves: int = 2_200,
+    index_pairs: int = 1_200,
+    nursery_words: int = 512,
+    step_count: int = 8,
+    step_words: int = 1_024,
+    initial_j: int = 3,
+    cap: int = 64,
+) -> RemsetGrowthResult:
+    """Measure remset growth for a younger-to-older pointer workload.
+
+    The geometry is sized so the base data fills the collectable
+    steps; the index pairs then promote into the protected steps, each
+    carrying a pointer into an older step (situation 5), growing the
+    steps remembered set with the index.
+    """
+    # Conventional generational collector: the same structure needs
+    # almost no remembered-set entries (all pointers young-to-old).
+    conventional = Machine(
+        lambda heap, roots: GenerationalCollector(
+            heap, roots, [nursery_words, step_count * step_words]
+        )
+    )
+    kept = _build_indexed_data(conventional, leaves, index_pairs)
+    conventional_peak = max(
+        remset.peak_size for remset in conventional.collector.remsets
+    )
+    del kept
+
+    # Hybrid, unconstrained: promotions into the protected steps carry
+    # pointers into the collectable steps (situation 5), and the
+    # steps remembered set grows with the structure.
+    unconstrained = Machine(
+        lambda heap, roots: HybridCollector(
+            heap,
+            roots,
+            nursery_words,
+            step_count,
+            step_words,
+            initial_j=initial_j,
+        )
+    )
+    kept = _build_indexed_data(unconstrained, leaves, index_pairs)
+    unconstrained_peak = unconstrained.collector.remset_steps.peak_size
+    del kept
+
+    # Hybrid with the §8.3 valve: j is reduced before promotions that
+    # would push the set past the cap.
+    capped = Machine(
+        lambda heap, roots: HybridCollector(
+            heap,
+            roots,
+            nursery_words,
+            step_count,
+            step_words,
+            initial_j=initial_j,
+            max_remset=cap,
+        )
+    )
+    kept = _build_indexed_data(capped, leaves, index_pairs)
+    capped_peak = capped.collector.remset_steps.peak_size
+    del kept
+
+    return RemsetGrowthResult(
+        total_pairs=leaves + index_pairs,
+        conventional_peak=conventional_peak,
+        hybrid_unconstrained_peak=unconstrained_peak,
+        hybrid_capped_peak=capped_peak,
+        cap=cap,
+    )
+
+
+def render_remset_growth(result: RemsetGrowthResult) -> str:
+    table = TextTable(["configuration", "peak remset entries"])
+    table.add_row("conventional generational", result.conventional_peak)
+    table.add_row(
+        "hybrid non-predictive (unconstrained j)",
+        result.hybrid_unconstrained_peak,
+    )
+    table.add_row(
+        f"hybrid + §8.3 valve (cap {result.cap})", result.hybrid_capped_peak
+    )
+    return "\n".join(
+        [
+            "Remembered-set growth for a strict-functional structure",
+            f"(young index over old data, {result.total_pairs:,} pairs; "
+            "§8.3's worst case)",
+            table.to_text(),
+        ]
+    )

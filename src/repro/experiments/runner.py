@@ -1,0 +1,182 @@
+"""The experiment registry: every paper artifact, one name each.
+
+``run_experiment(name)`` executes one artifact's driver with default
+parameters and returns ``(result, rendered_text)``.  The CLI and the
+benchmark harness both go through this registry, so DESIGN.md's
+per-experiment index maps one-to-one onto runnable names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.antiprediction import (
+    render_antiprediction,
+    run_antiprediction,
+)
+from repro.experiments.equilibrium import render_equilibrium, run_equilibrium
+from repro.experiments.figure1 import render_figure1, run_figure1
+from repro.experiments.hazard import render_hazard, run_hazard
+from repro.experiments.promotion import render_promotion, run_promotion
+from repro.experiments.remset_growth import (
+    render_remset_growth,
+    run_remset_growth,
+)
+from repro.experiments.storage_profiles import (
+    render_profile,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+)
+from repro.experiments.survival_tables import (
+    render_survival,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.tuning import render_tuning, run_tuning
+from repro.experiments.weak_hypothesis import (
+    render_weak_hypothesis,
+    run_weak_hypothesis,
+)
+
+__all__ = ["EXPERIMENTS", "Experiment", "experiment_names", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable paper artifact."""
+
+    name: str
+    paper_artifact: str
+    run: Callable[[], object]
+    render: Callable[[object], str]
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment(
+        "table1",
+        "Table 1: live storage in a non-predictive collector",
+        run_table1,
+        render_table1,
+    ),
+    Experiment(
+        "figure1",
+        "Figure 1: relative mark/cons overhead curves",
+        run_figure1,
+        render_figure1,
+    ),
+    Experiment(
+        "table2", "Table 2: the six benchmarks", run_table2, render_table2
+    ),
+    Experiment(
+        "table3",
+        "Table 3: allocation and gc overheads",
+        run_table3,
+        render_table3,
+    ),
+    Experiment(
+        "figure2",
+        "Figure 2: live storage, one dynamic iteration",
+        run_figure2,
+        render_profile,
+    ),
+    Experiment(
+        "table4",
+        "Table 4: survival by age, one dynamic iteration",
+        run_table4,
+        render_survival,
+    ),
+    Experiment(
+        "table5",
+        "Table 5: survival by age, full 10dynamic",
+        run_table5,
+        render_survival,
+    ),
+    Experiment(
+        "figure3",
+        "Figure 3: live storage, nboyer",
+        run_figure3,
+        render_profile,
+    ),
+    Experiment(
+        "table6",
+        "Table 6: survival by age, nboyer",
+        run_table6,
+        render_survival,
+    ),
+    Experiment(
+        "figure4",
+        "Figure 4: live storage, sboyer",
+        run_figure4,
+        render_profile,
+    ),
+    Experiment(
+        "table7",
+        "Table 7: survival by age, sboyer",
+        run_table7,
+        render_survival,
+    ),
+    Experiment(
+        "equilibrium",
+        "Equation 1: decay-model equilibrium",
+        run_equilibrium,
+        render_equilibrium,
+    ),
+    Experiment(
+        "antiprediction",
+        "Section 3: conventional generational loses, non-predictive wins",
+        run_antiprediction,
+        render_antiprediction,
+    ),
+    Experiment(
+        "tuning",
+        "Section 8.1: tuning-parameter ablation",
+        run_tuning,
+        render_tuning,
+    ),
+    Experiment(
+        "remset",
+        "Section 8.3: remembered-set growth and the j valve",
+        run_remset_growth,
+        render_remset_growth,
+    ),
+    Experiment(
+        "hazard",
+        "Section 9: survival-rate regimes vs. collector choice",
+        run_hazard,
+        render_hazard,
+    ),
+    Experiment(
+        "promotion",
+        "Section 9: promotion-policy ablation (tenuring vs. promote-all)",
+        run_promotion,
+        render_promotion,
+    ),
+    Experiment(
+        "weakhyp",
+        "Section 7: the weak-hypothesis regime, where conventional wins",
+        run_weak_hypothesis,
+        render_weak_hypothesis,
+    ),
+)
+
+
+def experiment_names() -> list[str]:
+    return [experiment.name for experiment in EXPERIMENTS]
+
+
+def run_experiment(name: str) -> tuple[object, str]:
+    """Run one experiment by name; returns (result, rendered text)."""
+    for experiment in EXPERIMENTS:
+        if experiment.name == name:
+            result = experiment.run()
+            return result, experiment.render(result)
+    raise KeyError(
+        f"unknown experiment {name!r}; available: {experiment_names()}"
+    )

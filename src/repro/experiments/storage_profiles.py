@@ -1,0 +1,148 @@
+"""Experiments ``figure2``/``figure3``/``figure4``: live-storage profiles.
+
+The paper's Figures 2-4 plot live storage against allocation time for
+one iteration of dynamic (100,000-byte epochs), nboyer (500,000-byte
+epochs), and sboyer, with storage older than ten epochs shown as the
+"old" (white) band.
+
+The simulator regenerates the same pictures as numeric profiles (and
+ASCII renderings).  Epoch sizes are scaled with the run: the paper's
+epoch-to-run-length ratios are preserved (one dynamic iteration spans
+~18 epochs; the boyer runs span ~20), so the bands carry the same
+information at the smaller scale.  Expected shapes:
+
+* figure2 — a climbing ramp: nearly every epoch's storage survives,
+  band on band, until the iteration's mass extinction;
+* figure3 — nboyer: a growing staircase of canonicalized subtrees
+  turning into old storage;
+* figure4 — sboyer: like nboyer but far smaller, dominated by
+  long-lived storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.programs.boyer import run_nboyer, run_sboyer
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+from repro.trace.profile import StorageProfile, storage_profile
+from repro.trace.recorder import LifetimeRecorder
+
+__all__ = [
+    "ProfileResult",
+    "render_profile",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "traced_profile",
+]
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """A regenerated storage figure."""
+
+    name: str
+    profile: StorageProfile
+    words_allocated: int
+    epoch_words: int
+
+
+def traced_profile(
+    name: str,
+    program: Callable[[Machine], object],
+    *,
+    epochs_per_run: int,
+) -> ProfileResult:
+    """Run a program twice: once to size the epochs, once to record.
+
+    The recorder needs the epoch size before the run starts; a dry run
+    measures the total allocation (the programs are deterministic), and
+    the traced run then uses ``total / epochs_per_run``.
+    """
+    if epochs_per_run < 2:
+        raise ValueError(
+            f"need at least 2 epochs per run, got {epochs_per_run!r}"
+        )
+    dry = Machine(TracingCollector)
+    program(dry)
+    total = dry.stats.words_allocated
+    if total < epochs_per_run:
+        raise RuntimeError(
+            f"{name}: program allocated only {total} words; cannot form "
+            f"{epochs_per_run} epochs"
+        )
+    epoch = max(1, total // epochs_per_run)
+
+    machine = Machine(TracingCollector)
+    recorder = LifetimeRecorder(machine, epoch)
+    program(machine)
+    trace = recorder.finish()
+    return ProfileResult(
+        name=name,
+        profile=storage_profile(trace, epoch),
+        words_allocated=trace.words_allocated,
+        epoch_words=epoch,
+    )
+
+
+def run_figure2(*, definitions: int = 60, depth: int = 6) -> ProfileResult:
+    """Figure 2: live storage for ONE iteration of dynamic.
+
+    The corpus is generated before the recorder attaches, as the paper
+    reads the source "only once, before the measured portion".
+    """
+    from repro.programs.dynamic import generate_corpus, infer_program
+
+    # Dry run to size the epochs from the measured (post-corpus) words.
+    dry = Machine(TracingCollector)
+    corpus = generate_corpus(dry, definitions=definitions, depth=depth)
+    before = dry.stats.words_allocated
+    infer_program(dry, corpus)
+    measured = dry.stats.words_allocated - before
+    epoch = max(1, measured // 18)
+
+    machine = Machine(TracingCollector)
+    corpus = generate_corpus(machine, definitions=definitions, depth=depth)
+    recorder = LifetimeRecorder(machine, epoch)
+    infer_program(machine, corpus)
+    trace = recorder.finish()
+    return ProfileResult(
+        name="figure2 (dynamic, one iteration)",
+        profile=storage_profile(trace, epoch),
+        words_allocated=trace.words_allocated,
+        epoch_words=epoch,
+    )
+
+
+def run_figure3(*, n: int = 0) -> ProfileResult:
+    """Figure 3: live storage for the nboyer benchmark."""
+    return traced_profile(
+        f"figure3 (nboyer, n={n})",
+        lambda machine: run_nboyer(machine, n),
+        epochs_per_run=20,
+    )
+
+
+def run_figure4(*, n: int = 0) -> ProfileResult:
+    """Figure 4: live storage for the sboyer benchmark."""
+    return traced_profile(
+        f"figure4 (sboyer, n={n})",
+        lambda machine: run_sboyer(machine, n),
+        epochs_per_run=20,
+    )
+
+
+def render_profile(result: ProfileResult) -> str:
+    profile = result.profile
+    return "\n".join(
+        [
+            f"{result.name}: live storage versus allocation time",
+            f"({result.words_allocated:,} words allocated; epoch = "
+            f"{result.epoch_words:,} words; peak live = "
+            f"{profile.peak_live_words:,} words)",
+            profile.to_text(),
+        ]
+    )

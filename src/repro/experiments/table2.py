@@ -1,0 +1,76 @@
+"""Experiment ``table2``: the benchmark inventory (Table 2).
+
+The paper's Table 2 lists the six allocation-intensive benchmarks with
+their sizes and one-line descriptions.  The reproduction's analogue
+lists our ports with the line counts of the implementing modules —
+an inventory, not a performance artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.programs.registry import BENCHMARKS
+from repro.trace.render import TextTable
+
+__all__ = ["Table2Result", "render_table2", "run_table2"]
+
+#: Files implementing each benchmark, relative to the package root.
+_SOURCES: dict[str, tuple[str, ...]] = {
+    "nbody": ("programs/nbody.py",),
+    "nucleic2": ("programs/nucleic.py",),
+    "lattice": ("programs/lattice.py",),
+    "10dynamic": ("programs/dynamic.py",),
+    "nboyer": (
+        "programs/boyer/__init__.py",
+        "programs/boyer/terms.py",
+        "programs/boyer/rules.py",
+        "programs/boyer/rewriter.py",
+    ),
+    "sboyer": ("programs/boyer/rewriter.py",),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    name: str
+    lines_of_code: int
+    description: str
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: tuple[Table2Row, ...]
+
+
+def _count_lines(relative: str) -> int:
+    path = Path(__file__).resolve().parent.parent / relative
+    with open(path, encoding="utf-8") as handle:
+        return sum(1 for _ in handle)
+
+
+def run_table2() -> Table2Result:
+    rows = []
+    for benchmark in BENCHMARKS:
+        total = sum(
+            _count_lines(source) for source in _SOURCES[benchmark.name]
+        )
+        rows.append(
+            Table2Row(
+                name=benchmark.name,
+                lines_of_code=total,
+                description=benchmark.description,
+            )
+        )
+    return Table2Result(rows=tuple(rows))
+
+
+def render_table2(result: Table2Result) -> str:
+    table = TextTable(["name", "lines of code", "brief description"])
+    for row in result.rows:
+        table.add_row(row.name, row.lines_of_code, row.description)
+    return (
+        "Table 2: six allocation-intensive benchmarks (Python ports)\n"
+        + table.to_text()
+    )

@@ -1,0 +1,117 @@
+"""Experiment ``table3``: GC overheads across the benchmark suite (Table 3).
+
+Table 3 reports, per benchmark: storage allocated, estimated peak
+storage, the semiheap size chosen by the stop-and-copy collector, the
+mutator time, and (gc time)/(mutator time) under the non-generational
+stop-and-copy collector and the conventional generational collector.
+
+The simulator has no wall clock; its stand-ins (DESIGN.md §2):
+
+* storage allocated   -> words allocated,
+* peak storage        -> the largest live count any collection saw,
+* semiheap size       -> the semispace high-water mark the auto-sizing
+                         stop-and-copy collector chose,
+* mutator time        -> words allocated (the paper's benchmarks are
+                         allocation-bound by selection),
+* gc/mutator          -> collector work words / allocated words.
+
+The absolute percentages cannot match a 1997 SPARC; what must
+reproduce is the *shape*: the generational collector wins on
+everything except 10dynamic, where it does WORSE than stop-and-copy
+(the paper's central empirical anomaly), and wins only modestly on
+nboyer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import GcGeometry, RunOutcome, run_benchmark_under
+from repro.programs.registry import BENCHMARKS, Benchmark
+from repro.trace.render import TextTable
+
+__all__ = ["Table3Result", "Table3Row", "render_table3", "run_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One benchmark's measurements under both collectors."""
+
+    name: str
+    words_allocated: int
+    peak_live_words: int
+    semispace_words: int
+    stop_and_copy_ratio: float
+    generational_ratio: float
+
+    @property
+    def generational_wins(self) -> bool:
+        return self.generational_ratio < self.stop_and_copy_ratio
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    rows: tuple[Table3Row, ...]
+
+    def row(self, name: str) -> Table3Row:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(f"no Table 3 row named {name!r}")
+
+
+def _measure(benchmark: Benchmark, scale: int, geometry: GcGeometry) -> Table3Row:
+    stop_copy: RunOutcome = run_benchmark_under(
+        benchmark, "stop-and-copy", scale=scale, geometry=geometry
+    )
+    generational: RunOutcome = run_benchmark_under(
+        benchmark, "generational", scale=scale, geometry=geometry
+    )
+    return Table3Row(
+        name=benchmark.name,
+        words_allocated=stop_copy.words_allocated,
+        peak_live_words=stop_copy.peak_live_words,
+        semispace_words=stop_copy.semispace_words or 0,
+        stop_and_copy_ratio=stop_copy.gc_mutator_ratio,
+        generational_ratio=generational.gc_mutator_ratio,
+    )
+
+
+def run_table3(
+    *, scale: int = 1, geometry: GcGeometry | None = None
+) -> Table3Result:
+    """Run all six benchmarks under both Table 3 collectors."""
+    geometry = geometry if geometry is not None else GcGeometry()
+    rows = tuple(
+        _measure(benchmark, scale, geometry) for benchmark in BENCHMARKS
+    )
+    return Table3Result(rows=rows)
+
+
+def render_table3(result: Table3Result) -> str:
+    table = TextTable(
+        [
+            "name",
+            "words allocated",
+            "peak live",
+            "semispace",
+            "gc/mutator (s&c)",
+            "gc/mutator (gen)",
+            "winner",
+        ]
+    )
+    for row in result.rows:
+        table.add_row(
+            row.name,
+            row.words_allocated,
+            row.peak_live_words,
+            row.semispace_words,
+            f"{100 * row.stop_and_copy_ratio:.1f}%",
+            f"{100 * row.generational_ratio:.1f}%",
+            "generational" if row.generational_wins else "stop-and-copy",
+        )
+    return (
+        "Table 3: storage allocation and garbage collection overheads\n"
+        "(work-unit analogues; see EXPERIMENTS.md for the mapping)\n"
+        + table.to_text()
+    )

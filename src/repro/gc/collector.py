@@ -1,0 +1,154 @@
+"""The collector interface all garbage collectors implement.
+
+A collector owns part of the simulated heap's geometry (its spaces),
+provides allocation, decides when to collect, and implements the write
+barrier's remember-store hook.  The mutator-facing surface is
+deliberately small:
+
+* :meth:`Collector.allocate` — allocate, collecting first if needed;
+* :meth:`Collector.collect` — an explicit full collection;
+* :meth:`Collector.remember_store` — called by the write barrier on
+  every pointer store.
+
+Collectors never inspect object contents beyond reference slots, and
+never inspect object ages — the non-predictive collector's defining
+property (Section 4: "Neither does it keep track of the ages of
+objects") is enforced structurally by this interface: ``birth`` is used
+only by the measurement layer in :mod:`repro.trace`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.gc.stats import GcStats
+from repro.heap.heap import SimulatedHeap
+from repro.heap.object_model import HeapObject
+from repro.heap.roots import RootSet
+from repro.heap.space import Space
+
+__all__ = ["Collector", "HeapExhausted"]
+
+
+class HeapExhausted(Exception):
+    """Collection freed too little memory to satisfy an allocation."""
+
+    def __init__(self, collector: "Collector", requested: int) -> None:
+        super().__init__(
+            f"{collector.name} cannot satisfy an allocation of "
+            f"{requested} words even after collecting"
+        )
+        self.collector = collector
+        self.requested = requested
+
+
+class Collector(abc.ABC):
+    """Base class for all collectors.
+
+    Subclasses create their spaces in ``__init__`` and implement
+    allocation and collection.  ``stats`` accumulates work accounting
+    for the collector's whole lifetime.
+    """
+
+    #: Short machine-readable name ("mark-sweep", "non-predictive", ...).
+    name: str = "abstract"
+
+    def __init__(self, heap: SimulatedHeap, roots: RootSet) -> None:
+        self.heap = heap
+        self.roots = roots
+        self.stats = GcStats()
+
+    # ------------------------------------------------------------------
+    # Mutator interface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate(
+        self, size: int, field_count: int = 0, kind: str = "data"
+    ) -> HeapObject:
+        """Allocate an object, collecting first if necessary.
+
+        Raises:
+            HeapExhausted: if no collection can free enough space.
+        """
+
+    @abc.abstractmethod
+    def collect(self) -> None:
+        """Perform a full collection of everything this collector manages."""
+
+    def remember_store(
+        self, obj: HeapObject, slot: int, target: HeapObject
+    ) -> None:
+        """Write-barrier hook; default is to remember nothing.
+
+        Non-generational collectors need no remembered sets, so the
+        default is a no-op.  Generational collectors override this.
+        """
+
+    def on_static_promotion(self) -> None:
+        """Reset collector state after a full static promotion (§8.4).
+
+        "A full collection empties the remembered set and promotes
+        all live storage to the static area."  The machine moves the
+        objects; collectors with remembered sets or step state
+        override this to empty them.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _record_allocation(self, obj: HeapObject) -> None:
+        self.stats.words_allocated += obj.size
+        self.stats.objects_allocated += 1
+
+    def _trace_region(
+        self,
+        region: set[Space],
+        seed_ids: Iterable[int],
+        *,
+        count_work: bool = True,
+    ) -> set[int]:
+        """Mark the objects of ``region`` reachable from ``seed_ids``.
+
+        Objects outside the region terminate the trace: they are
+        treated as boundary roots and their fields are *not* scanned
+        (any interesting pointers they hold must have been provided via
+        ``seed_ids``, e.g. from a remembered set).  This is exactly the
+        partial-collection tracing discipline of Section 8.
+
+        Returns the ids of marked region objects.  When ``count_work``
+        is true, each marked object's size is added to
+        ``stats.words_marked``.
+        """
+        heap = self.heap
+        marked: set[int] = set()
+        stack: list[int] = []
+        for obj_id in seed_ids:
+            obj = heap.get(obj_id)
+            if obj.space in region and obj_id not in marked:
+                marked.add(obj_id)
+                stack.append(obj_id)
+        while stack:
+            obj = heap.get(stack.pop())
+            if count_work:
+                self.stats.words_marked += obj.size
+            for ref in obj.fields:
+                if type(ref) is not int or ref in marked:
+                    continue
+                target = heap.get(ref)
+                if target.space in region:
+                    marked.add(ref)
+                    stack.append(ref)
+        return marked
+
+    def _root_ids(self) -> list[int]:
+        """Snapshot the machine root ids, accounting the tracing cost."""
+        ids = list(self.roots.ids())
+        self.stats.roots_traced += len(ids)
+        return ids
+
+    def describe(self) -> str:
+        """One-line human-readable description for logs and the CLI."""
+        return f"{self.name} collector"

@@ -1,0 +1,413 @@
+"""A conventional generational collector (Section 3, Section 7.1).
+
+This is the reproduction of Larceny's "conventional multi-generation
+collector that uses the stop-and-copy code for its basic algorithm":
+
+* generation 0 is the nursery (the *ephemeral area*); all allocation
+  happens there;
+* a collection of generations 0..i promotes every survivor into
+  generation i+1 (Larceny's promoting collections promote *all* live
+  objects, which is why §8.4's situations 1 and 2 never arise);
+* the oldest generation is collected in place, stop-and-copy style,
+  and may grow to maintain a target inverse load factor (this is the
+  "dynamic area" whose size Table 3's experiment adjusted);
+* each generation keeps a remembered set of slots in that generation
+  that may point into younger generations, fed by the write barrier;
+  a collection of generations 0..i seeds its trace with the entries of
+  the remembered sets of generations i+1.. whose slots still point
+  into the condemned region, pruning the stale ones (§8.4).
+
+The collector embodies the conventional heuristic the paper critiques:
+it always condemns the *youngest* generations, betting that they hold
+the most garbage.  Under the radioactive decay model that bet is
+systematically wrong, which the ``antiprediction`` experiment
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gc.collector import Collector, HeapExhausted
+from repro.heap.heap import SimulatedHeap
+from repro.heap.object_model import HeapObject
+from repro.heap.remset import RememberedSet
+from repro.heap.roots import RootSet
+from repro.heap.space import Space
+
+__all__ = ["GenerationalCollector"]
+
+
+class GenerationalCollector(Collector):
+    """A conventional N-generation stop-and-copy collector.
+
+    Args:
+        heap: the simulated heap.
+        roots: the machine root set.
+        generation_words: capacity of each generation, youngest first.
+            At least two generations are required.
+        auto_expand_oldest: allow the oldest generation (the dynamic
+            area) to grow so that it is at least ``oldest_load_factor``
+            times its live storage after a full collection.
+        oldest_load_factor: target inverse load factor for the oldest
+            generation.
+        promotion_threshold: collections an object must survive in its
+            generation before being promoted.  1 (the default) is
+            Larceny's promote-all policy; higher values give the
+            tenuring policies of Ungar-style scavengers (the paper's
+            §9 cites the promotion-policy literature) at the cost of
+            re-copying under-age survivors within their generation.
+        tenuring_overflow_fraction: if under-age survivors would
+            occupy more than this fraction of their generation, they
+            are promoted anyway (Ungar & Jackson's tenuring overflow),
+            so tenuring cannot wedge the nursery.
+    """
+
+    name = "generational"
+
+    def __init__(
+        self,
+        heap: SimulatedHeap,
+        roots: RootSet,
+        generation_words: Sequence[int],
+        *,
+        auto_expand_oldest: bool = True,
+        oldest_load_factor: float = 2.0,
+        promotion_threshold: int = 1,
+        tenuring_overflow_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(heap, roots)
+        if promotion_threshold < 1:
+            raise ValueError(
+                f"promotion threshold must be at least 1, got "
+                f"{promotion_threshold!r}"
+            )
+        if not 0.0 < tenuring_overflow_fraction <= 1.0:
+            raise ValueError(
+                f"tenuring overflow fraction must be in (0, 1], got "
+                f"{tenuring_overflow_fraction!r}"
+            )
+        if len(generation_words) < 2:
+            raise ValueError(
+                f"need at least 2 generations, got {len(generation_words)}"
+            )
+        if any(words <= 0 for words in generation_words):
+            raise ValueError(
+                f"generation sizes must be positive, got {generation_words!r}"
+            )
+        if oldest_load_factor <= 1.0:
+            raise ValueError(
+                f"load factor must exceed 1, got {oldest_load_factor!r}"
+            )
+        self.spaces: list[Space] = [
+            heap.add_space(f"gen-{index}", words)
+            for index, words in enumerate(generation_words)
+        ]
+        self.remsets: list[RememberedSet] = [
+            RememberedSet(f"remset-gen-{index}")
+            for index in range(len(generation_words))
+        ]
+        self._generation_of: dict[str, int] = {
+            space.name: index for index, space in enumerate(self.spaces)
+        }
+        self.auto_expand_oldest = auto_expand_oldest
+        self.oldest_load_factor = oldest_load_factor
+        self.promotion_threshold = promotion_threshold
+        self.tenuring_overflow_fraction = tenuring_overflow_fraction
+        #: Collections survived in the current generation, per object.
+        #: Only consulted when promotion_threshold > 1.
+        self._survival_counts: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def generation_count(self) -> int:
+        return len(self.spaces)
+
+    @property
+    def nursery(self) -> Space:
+        return self.spaces[0]
+
+    @property
+    def oldest(self) -> Space:
+        return self.spaces[-1]
+
+    def generation_index(self, obj: HeapObject) -> int | None:
+        """The generation an object resides in, or None if unmanaged."""
+        if obj.space is None:
+            return None
+        return self._generation_of.get(obj.space.name)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self, size: int, field_count: int = 0, kind: str = "data"
+    ) -> HeapObject:
+        if not self.nursery.fits(size):
+            self._collect_for(size)
+            if not self.nursery.fits(size):
+                raise HeapExhausted(self, size)
+        obj = self.heap.allocate(size, field_count, self.nursery, kind)
+        self._record_allocation(obj)
+        return obj
+
+    def _collect_for(self, pending: int) -> None:
+        """Collect enough generations that the nursery can satisfy a
+        ``pending``-word allocation.
+
+        The condemned prefix 0..i is the smallest for which generation
+        i+1 is guaranteed to have room for every possible survivor
+        (conservatively, everything currently resident in 0..i); if no
+        prefix qualifies, a full collection runs.
+        """
+        last = self.generation_count - 1
+        for i in range(last):
+            worst_case = sum(space.used for space in self.spaces[: i + 1])
+            if self.spaces[i + 1].free >= worst_case:
+                self.collect_generations(i)
+                return
+        self.collect_generations(last)
+
+    # ------------------------------------------------------------------
+    # Write barrier
+    # ------------------------------------------------------------------
+
+    def remember_store(
+        self, obj: HeapObject, slot: int, target: HeapObject
+    ) -> None:
+        """Remember old-to-young pointer stores (situation 3 of §8.4)."""
+        src_gen = self.generation_index(obj)
+        dst_gen = self.generation_index(target)
+        if src_gen is None or dst_gen is None:
+            return
+        if src_gen > dst_gen:
+            self.remsets[src_gen].record_barrier(obj.obj_id, slot)
+            self.stats.remset_entries_created += 1
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def collect(self) -> None:
+        """A full collection of every generation."""
+        self.collect_generations(self.generation_count - 1)
+
+    def collect_generations(self, upto: int) -> None:
+        """Collect generations 0..upto, promoting survivors to upto+1.
+
+        The oldest generation, when included, is collected in place.
+        """
+        if not 0 <= upto < self.generation_count:
+            raise ValueError(
+                f"generation index out of range: {upto} of "
+                f"{self.generation_count}"
+            )
+        heap = self.heap
+        region = {self.spaces[i] for i in range(upto + 1)}
+        used_before = sum(space.used for space in region)
+
+        seeds = self._root_ids()
+        seeds.extend(self._remset_seeds(upto, region))
+
+        # Trace without charging mark work: this collector's work is the
+        # copying below, and the paper's single "marked (or copied, or
+        # whatever)" measure must not double-count.
+        marked = self._trace_region(region, seeds, count_work=False)
+
+        # Free the dead first so a full collection makes room in the
+        # oldest generation before younger survivors move into it.
+        survivors: list[HeapObject] = []
+        reclaimed = 0
+        for space in region:
+            for obj in list(space.objects()):
+                if obj.obj_id in marked:
+                    survivors.append(obj)
+                else:
+                    reclaimed += obj.size
+                    self._survival_counts.pop(obj.obj_id, None)
+                    heap.free(obj)
+
+        # Survivors are promoted (copied) to generation upto+1; the
+        # oldest generation's survivors are "copied" in place.  Either
+        # way the copy cost is the survivor's size, as in Larceny's
+        # uniform stop-and-copy implementation.  With a promotion
+        # threshold above 1, under-age survivors stay in (are
+        # re-copied within) their generation, subject to tenuring
+        # overflow.
+        full = upto == self.generation_count - 1
+        target = self.oldest if full else self.spaces[upto + 1]
+        movers, stayers = self._partition_survivors(survivors, target, full)
+        incoming = sum(obj.size for obj in movers)
+        if incoming > target.free:
+            if full and self.auto_expand_oldest:
+                target.capacity = (target.capacity or 0) + (
+                    incoming - target.free
+                )
+            else:
+                raise HeapExhausted(self, incoming)
+        live = 0
+        for obj in survivors:
+            live += obj.size
+            self.stats.words_copied += obj.size
+        for obj in movers:
+            heap.move(obj, target)
+            self._survival_counts.pop(obj.obj_id, None)
+            self.stats.words_promoted += obj.size
+
+        if full:
+            # §8.4: a full collection empties the remembered set; every
+            # survivor is now in the oldest generation, ages moot.
+            for remset in self.remsets:
+                remset.clear()
+            self._survival_counts.clear()
+        else:
+            self._maintain_remsets_after_minor(upto, movers, bool(stayers))
+
+        self.stats.words_reclaimed += reclaimed
+        self.stats.collections += 1
+        if full:
+            self.stats.major_collections += 1
+        else:
+            self.stats.minor_collections += 1
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="full" if full else f"minor-0..{upto}",
+            work=live,
+            reclaimed=reclaimed,
+            live=live,
+        )
+        if full and self.auto_expand_oldest:
+            minimum = int(live * self.oldest_load_factor)
+            if (self.oldest.capacity or 0) < minimum:
+                self.oldest.capacity = minimum
+
+    def on_static_promotion(self) -> None:
+        for remset in self.remsets:
+            remset.clear()
+        self._survival_counts.clear()
+
+    def _partition_survivors(
+        self, survivors: list[HeapObject], target: Space, full: bool
+    ) -> tuple[list[HeapObject], list[HeapObject]]:
+        """Split survivors into movers (promote) and stayers (keep).
+
+        With the default promote-all threshold everything moves (the
+        Larceny policy).  Otherwise an object moves once it has
+        survived ``promotion_threshold`` collections of its
+        generation, or when its cohort of under-age survivors would
+        occupy too much of the generation (tenuring overflow).
+        """
+        already_there = [obj for obj in survivors if obj.space is target]
+        candidates = [obj for obj in survivors if obj.space is not target]
+        if full or self.promotion_threshold == 1:
+            return candidates, already_there
+
+        movers: list[HeapObject] = []
+        stayers: list[HeapObject] = already_there[:]
+        stayer_words: dict[str, int] = {}
+        undecided: list[HeapObject] = []
+        for obj in candidates:
+            count = self._survival_counts.get(obj.obj_id, 0) + 1
+            if count >= self.promotion_threshold:
+                movers.append(obj)
+            else:
+                self._survival_counts[obj.obj_id] = count
+                undecided.append(obj)
+                assert obj.space is not None
+                stayer_words[obj.space.name] = (
+                    stayer_words.get(obj.space.name, 0) + obj.size
+                )
+        # Tenuring overflow, per source generation.
+        overflowing = {
+            name
+            for name, words in stayer_words.items()
+            if words
+            > self.tenuring_overflow_fraction
+            * (self.heap.space(name).capacity or words)
+        }
+        for obj in undecided:
+            assert obj.space is not None
+            if obj.space.name in overflowing:
+                movers.append(obj)
+            else:
+                stayers.append(obj)
+        return movers, stayers
+
+    def _maintain_remsets_after_minor(
+        self, upto: int, movers: list[HeapObject], has_stayers: bool
+    ) -> None:
+        """Restore remembered-set completeness after a minor collection.
+
+        With promote-all, generations 0..upto are empty afterwards and
+        their remembered sets can simply be cleared.  With tenuring,
+        stayers keep their generation populated: their existing
+        entries are pruned (not dropped), and each *promoted* object is
+        scanned for pointers into still-younger generations — the
+        situation-2 analogue that promote-all never needs.
+        """
+        if not has_stayers:
+            for index in range(upto + 1):
+                self.remsets[index].clear()
+            return
+        for index in range(upto + 1):
+
+            def source_still_here(entry: tuple[int, int]) -> bool:
+                obj_id, _ = entry
+                if not self.heap.contains_id(obj_id):
+                    return False
+                obj = self.heap.get(obj_id)
+                return self.generation_index(obj) == index
+
+            pruned = self.remsets[index].prune(source_still_here)
+            self.stats.remset_entries_pruned += pruned
+        for obj in movers:
+            gen = self.generation_index(obj)
+            assert gen is not None
+            for slot, ref in enumerate(obj.fields):
+                if type(ref) is not int or not self.heap.contains_id(ref):
+                    continue
+                target_gen = self.generation_index(self.heap.get(ref))
+                if target_gen is not None and target_gen < gen:
+                    self.remsets[gen].record_promotion(obj.obj_id, slot)
+                    self.stats.remset_entries_created += 1
+
+    def _remset_seeds(self, upto: int, region: set[Space]) -> list[int]:
+        """Seed ids from older generations' remembered sets.
+
+        Each entry is re-examined (§8.4): if the slot still points into
+        the condemned region the target is a seed; otherwise the entry
+        is pruned.
+        """
+        seeds: list[int] = []
+        for index in range(upto + 1, self.generation_count):
+            remset = self.remsets[index]
+
+            def slot_target_in_region(entry: tuple[int, int]) -> bool:
+                obj_id, slot = entry
+                if not self.heap.contains_id(obj_id):
+                    return False
+                obj = self.heap.get(obj_id)
+                if slot >= len(obj.fields):
+                    return False
+                ref = obj.fields[slot]
+                if type(ref) is not int or not self.heap.contains_id(ref):
+                    return False
+                return self.heap.get(ref).space in region
+
+            for obj_id, slot in list(remset.entries()):
+                self.stats.roots_traced += 1
+                if slot_target_in_region((obj_id, slot)):
+                    ref = self.heap.get(obj_id).fields[slot]
+                    assert ref is not None
+                    seeds.append(ref)
+            pruned = remset.prune(slot_target_in_region)
+            self.stats.remset_entries_pruned += pruned
+        return seeds
+
+    def describe(self) -> str:
+        sizes = ", ".join(str(space.capacity) for space in self.spaces)
+        return f"generational ({self.generation_count} gens: {sizes} words)"

@@ -1,0 +1,495 @@
+"""Larceny's hybrid design (Section 8): ephemeral area + non-predictive heap.
+
+The hybrid collector reproduces the prototype the paper describes for
+Larceny: a conventional stop-and-copy *ephemeral area* (the nursery)
+in which all allocation occurs, feeding a *non-predictive* step-
+structured dynamic area that manages the long-lived objects.
+
+Collections come in two flavors:
+
+* **promoting (ephemeral) collection** — when the nursery fills, its
+  live objects are traced (rooted in the machine roots plus the
+  remembered set of dynamic-area slots that point into the nursery)
+  and *all* of them are promoted into the non-predictive heap.
+  Because everything live leaves the ephemeral area, §8.4's situations
+  1 and 2 never arise.  Larceny decides *before* the collection
+  whether the promotion targets steps j+1..k (the normal case) or
+  steps 1..j; it never splits a promotion across the boundary.  When a
+  promotion into j+1..k spills below the boundary, ``j`` is decreased
+  afterwards — the "flexibility to decrease j" the paper relies on.
+  A promotion into steps 1..j scans each promoted object for pointers
+  into steps j+1..k and records them (situation 5).
+* **non-predictive collection** — when the dynamic area cannot accept
+  a promotion, steps j+1..k are collected together with the ephemeral
+  area (a non-predictive collection "always promotes all live objects
+  out of the ephemeral area into the non-predictive heap"), the steps
+  are renumbered exactly as in
+  :class:`~repro.gc.nonpredictive.NonPredictiveCollector`, and a new
+  ``j`` is chosen by the tuning policy.
+
+Section 8.3's remembered-set pressure valve is implemented: the
+ephemeral collection counts pointers from surviving nursery objects
+into the non-predictive heap (the paper notes the ephemeral collector
+"must recognize those pointers anyway") and, if promoting under the
+current ``j`` would push the steps remembered set past ``max_remset``,
+``j`` is reduced before the objects are promoted.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import HalfEmptyPolicy, StepSnapshot, TuningPolicy
+from repro.gc.collector import Collector, HeapExhausted
+from repro.heap.heap import SimulatedHeap
+from repro.heap.object_model import HeapObject
+from repro.heap.remset import RememberedSet
+from repro.heap.roots import RootSet
+from repro.heap.space import Space
+
+__all__ = ["HybridCollector"]
+
+
+class HybridCollector(Collector):
+    """Ephemeral stop-and-copy nursery over a non-predictive old area.
+
+    Args:
+        heap: the simulated heap.
+        roots: the machine root set.
+        nursery_words: capacity of the ephemeral area.
+        step_count: ``k``, number of steps in the non-predictive area.
+        step_words: capacity of each step.
+        policy: tuning policy choosing ``j`` after each non-predictive
+            collection (defaults to the paper's §8.1 rule).
+        initial_j: ``j`` before the first non-predictive collection.
+        max_remset: §8.3 pressure valve — reduce ``j`` before a
+            promotion that would grow the steps remembered set past
+            this size (``None`` disables the valve).
+        allow_promotion_into_protected: permit promotions that target
+            steps 1..j when steps j+1..k lack room (exercises §8.4's
+            situation 5).  When false the collector prefers a
+            non-predictive collection instead.
+    """
+
+    name = "hybrid-non-predictive"
+
+    def __init__(
+        self,
+        heap: SimulatedHeap,
+        roots: RootSet,
+        nursery_words: int,
+        step_count: int,
+        step_words: int,
+        *,
+        policy: TuningPolicy | None = None,
+        initial_j: int = 0,
+        max_remset: int | None = None,
+        allow_promotion_into_protected: bool = True,
+    ) -> None:
+        super().__init__(heap, roots)
+        if nursery_words <= 0:
+            raise ValueError(
+                f"nursery size must be positive, got {nursery_words!r}"
+            )
+        if step_count < 2:
+            raise ValueError(f"need at least 2 steps, got {step_count!r}")
+        if step_words <= 0:
+            raise ValueError(f"step size must be positive, got {step_words!r}")
+        if not 0 <= initial_j <= step_count // 2:
+            raise ValueError(
+                f"initial j must be in [0, {step_count // 2}], got {initial_j!r}"
+            )
+        self.nursery = heap.add_space("hybrid-nursery", nursery_words)
+        self.steps: list[Space] = [
+            heap.add_space(f"hybrid-step-{index}", step_words)
+            for index in range(step_count)
+        ]
+        self.step_words = step_words
+        self.policy = policy if policy is not None else HalfEmptyPolicy()
+        self.j = initial_j
+        self.max_remset = max_remset
+        self.allow_promotion_into_protected = allow_promotion_into_protected
+        #: Dynamic-area slots that may point into the nursery (§8.4
+        #: situation 3; conventional old-to-young remembering).
+        self.remset_young = RememberedSet("hybrid-young")
+        #: Protected-step slots that may point into collectable steps
+        #: (§8.4 situations 5 and 6).
+        self.remset_steps = RememberedSet("hybrid-steps")
+        self._step_index_of: dict[str, int] = {
+            space.name: index for index, space in enumerate(self.steps)
+        }
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def step_count(self) -> int:
+        return len(self.steps)
+
+    def step_number(self, obj: HeapObject) -> int | None:
+        if obj.space is None:
+            return None
+        index = self._step_index_of.get(obj.space.name)
+        return None if index is None else index + 1
+
+    def in_nursery(self, obj: HeapObject) -> bool:
+        return obj.space is self.nursery
+
+    def step_used(self) -> list[int]:
+        return [space.used for space in self.steps]
+
+    def _dynamic_free(self) -> int:
+        return sum(space.free for space in self.steps)
+
+    def _protected_free(self) -> int:
+        return sum(space.free for space in self.steps[: self.j])
+
+    def _collectable_free(self) -> int:
+        return sum(space.free for space in self.steps[self.j :])
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self, size: int, field_count: int = 0, kind: str = "data"
+    ) -> HeapObject:
+        if size > (self.nursery.capacity or 0):
+            raise ValueError(
+                f"object of {size} words exceeds the nursery size "
+                f"{self.nursery.capacity}"
+            )
+        if not self.nursery.fits(size):
+            self.collect_nursery()
+            if not self.nursery.fits(size):
+                raise HeapExhausted(self, size)
+        obj = self.heap.allocate(size, field_count, self.nursery, kind)
+        self._record_allocation(obj)
+        return obj
+
+    # ------------------------------------------------------------------
+    # Write barrier
+    # ------------------------------------------------------------------
+
+    def remember_store(
+        self, obj: HeapObject, slot: int, target: HeapObject
+    ) -> None:
+        src_step = self.step_number(obj)
+        if src_step is None:
+            return  # nursery (or unmanaged) sources are always traced
+        if self.in_nursery(target):
+            # Situation 3: dynamic-area object now points at the nursery.
+            self.remset_young.record_barrier(obj.obj_id, slot)
+            self.stats.remset_entries_created += 1
+            return
+        dst_step = self.step_number(target)
+        if dst_step is not None and src_step <= self.j < dst_step:
+            # Situation 6: protected step points into a collectable step.
+            self.remset_steps.record_barrier(obj.obj_id, slot)
+            self.stats.remset_entries_created += 1
+
+    # ------------------------------------------------------------------
+    # Tuning
+    # ------------------------------------------------------------------
+
+    def reduce_j(self, new_j: int) -> None:
+        """Decrease ``j`` mid-cycle, rescanning for newly exposed pointers.
+
+        See :meth:`repro.gc.nonpredictive.NonPredictiveCollector.reduce_j`
+        for why the rescan is required.
+        """
+        if new_j > self.j:
+            raise ValueError(
+                f"j can only be decreased between collections "
+                f"(current {self.j}, requested {new_j})"
+            )
+        if new_j < 0:
+            raise ValueError(f"j must be non-negative, got {new_j!r}")
+        if new_j < self.j:
+            for space in self.steps[:new_j]:
+                for obj in space.objects():
+                    for slot, ref in enumerate(obj.fields):
+                        if type(ref) is not int:
+                            continue
+                        dst = self.step_number(self.heap.get(ref))
+                        if dst is not None and dst > new_j:
+                            self.remset_steps.record_barrier(obj.obj_id, slot)
+                            self.stats.remset_entries_created += 1
+        self.j = new_j
+
+    def _snapshot(self, projected_growth: int = 0) -> StepSnapshot:
+        return StepSnapshot(
+            step_used=self.step_used(),
+            step_capacity=[self.step_words] * self.step_count,
+            remset_size=len(self.remset_steps),
+            projected_remset_growth=projected_growth,
+        )
+
+    # ------------------------------------------------------------------
+    # Ephemeral (promoting) collection
+    # ------------------------------------------------------------------
+
+    def collect_nursery(self) -> None:
+        """Trace the nursery and promote every live object out of it.
+
+        Runs a full non-predictive collection instead when the dynamic
+        area cannot be guaranteed to absorb the promotion.
+        """
+        if self._dynamic_free() < self.nursery.used:
+            # Not enough headroom for the worst case; collect the old
+            # area (which also empties the nursery) instead.
+            self.collect()
+            return
+
+        heap = self.heap
+        region = {self.nursery}
+        used_before = self.nursery.used
+
+        seeds = self._root_ids()
+        seeds.extend(self._young_remset_seeds())
+        marked = self._trace_region(region, seeds, count_work=False)
+
+        survivors: list[HeapObject] = []
+        outbound_pointers = 0
+        reclaimed = 0
+        for obj in list(self.nursery.objects()):
+            if obj.obj_id in marked:
+                survivors.append(obj)
+                # §8.3: count pointers leaving the ephemeral area; the
+                # collector must recognize them anyway, and the count
+                # estimates the remembered-set growth of the promotion.
+                for ref in obj.references():
+                    if self.step_number(heap.get(ref)) is not None:
+                        outbound_pointers += 1
+            else:
+                reclaimed += obj.size
+                heap.free(obj)
+
+        survivor_words = sum(obj.size for obj in survivors)
+
+        # §8.3 pressure valve: shrink j before promoting if the
+        # remembered set would grow unacceptably.
+        if self.max_remset is not None and self.j > 0:
+            projected = len(self.remset_steps) + outbound_pointers
+            if projected > self.max_remset:
+                scale = self.max_remset / projected
+                self.reduce_j(int(self.j * scale))
+
+        # Decide the promotion target region before moving anything;
+        # a promotion never straddles the j boundary by *decision*,
+        # only by spill (which then lowers j).
+        into_protected = False
+        if survivor_words > self._collectable_free():
+            if (
+                self.allow_promotion_into_protected
+                and survivor_words <= self._protected_free()
+            ):
+                into_protected = True
+            elif survivor_words > self._dynamic_free():
+                raise HeapExhausted(self, survivor_words)
+
+        if into_protected:
+            self._promote_into_protected(survivors)
+        else:
+            self._promote_into_collectable(survivors)
+
+        for obj in survivors:
+            self.stats.words_copied += obj.size
+            self.stats.words_promoted += obj.size
+
+        # The nursery is empty, so no dynamic-to-nursery pointers exist.
+        self.remset_young.clear()
+
+        self.stats.words_reclaimed += reclaimed
+        self.stats.collections += 1
+        self.stats.minor_collections += 1
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="promote",
+            work=survivor_words,
+            reclaimed=reclaimed,
+            live=survivor_words,
+        )
+
+    def _promote_into_collectable(self, survivors: list[HeapObject]) -> None:
+        """Pack survivors into the highest-numbered free steps.
+
+        If packing spills below the j boundary, ``j`` is decreased so
+        the spilled steps become collectable (the promoted objects are
+        then *not* in the protected generation, and no situation-5
+        entries are needed for them).
+        """
+        heap = self.heap
+        cursor = self.step_count - 1
+        lowest = self.step_count
+        for obj in survivors:
+            index = self._place(obj, cursor)
+            cursor = index
+            if index < lowest:
+                lowest = index
+        if survivors and lowest < self.j:
+            # Spill below the boundary: decrease j. reduce_j rescans
+            # steps 1..new_j, conservatively restoring the remset
+            # invariant for pointers into the newly collectable steps.
+            self.reduce_j(lowest)
+
+    def _promote_into_protected(self, survivors: list[HeapObject]) -> None:
+        """Pack survivors into steps 1..j, recording situation-5 entries."""
+        cursor = self.j - 1
+        for obj in survivors:
+            cursor = self._place(obj, cursor)
+        # Scan the promoted objects for pointers into steps j+1..k
+        # (§8.4: detected "when the object is traced, after it has been
+        # copied into the non-predictive heap").
+        for obj in survivors:
+            for slot, ref in enumerate(obj.fields):
+                if type(ref) is not int:
+                    continue
+                dst = self.step_number(self.heap.get(ref))
+                if dst is not None and dst > self.j:
+                    self.remset_steps.record_promotion(obj.obj_id, slot)
+                    self.stats.remset_entries_created += 1
+
+    def _place(self, obj: HeapObject, cursor: int) -> int:
+        """Move one object into the highest free step at or below cursor."""
+        index = cursor
+        while index >= 0 and not self.steps[index].fits(obj.size):
+            index -= 1
+        if index < 0:
+            # Sliver fragmentation; fall back to first fit anywhere.
+            for alt in range(self.step_count - 1, -1, -1):
+                if self.steps[alt].fits(obj.size):
+                    index = alt
+                    break
+            else:
+                raise HeapExhausted(self, obj.size)
+        self.heap.move(obj, self.steps[index])
+        return index
+
+    def _young_remset_seeds(self) -> list[int]:
+        """Seeds from dynamic-area slots that still point into the nursery."""
+        seeds: list[int] = []
+        for obj_id, slot in list(self.remset_young.entries()):
+            self.stats.roots_traced += 1
+            if not self.heap.contains_id(obj_id):
+                continue
+            obj = self.heap.get(obj_id)
+            if slot >= len(obj.fields):
+                continue
+            ref = obj.fields[slot]
+            if type(ref) is not int or not self.heap.contains_id(ref):
+                continue
+            if self.in_nursery(self.heap.get(ref)):
+                seeds.append(ref)
+        return seeds
+
+    # ------------------------------------------------------------------
+    # Non-predictive collection
+    # ------------------------------------------------------------------
+
+    def collect(self) -> None:
+        """Collect steps j+1..k together with the ephemeral area."""
+        heap = self.heap
+        j = self.j
+        k = self.step_count
+        protected = self.steps[:j]
+        collectable = self.steps[j:]
+        region = set(collectable)
+        region.add(self.nursery)
+
+        seeds = self._root_ids()
+        seeds.extend(self._steps_remset_seeds(region))
+        marked = self._trace_region(region, seeds, count_work=False)
+
+        survivors: list[HeapObject] = []
+        reclaimed = 0
+        for space in [self.nursery, *collectable]:
+            for obj in list(space.objects()):
+                if obj.obj_id in marked:
+                    space.remove(obj)
+                    survivors.append(obj)
+                else:
+                    reclaimed += obj.size
+                    heap.free(obj)
+
+        survivor_words = sum(obj.size for obj in survivors)
+        free_after = sum(space.free for space in self.steps)
+        if survivor_words > free_after:
+            raise HeapExhausted(self, survivor_words)
+
+        # Renumber: old j+1..k become 1..k-j, old 1..j become k-j+1..k.
+        self.steps = collectable + protected
+        self._step_index_of = {
+            space.name: index for index, space in enumerate(self.steps)
+        }
+
+        # Survivors go "to the highest-numbered step that contains free
+        # space" — which after renumbering may be an old protected step
+        # with room left (the nursery's survivors can exceed the
+        # collectable capacity they came from).
+        cursor = k - 1
+        live = 0
+        for obj in survivors:
+            index = cursor
+            while index >= 0 and not self.steps[index].fits(obj.size):
+                index -= 1
+            if index < 0:
+                raise HeapExhausted(self, obj.size)
+            self.steps[index].add(obj)
+            cursor = index
+            live += obj.size
+            self.stats.words_copied += obj.size
+
+        # Protected steps are empty after renumbering + policy choice,
+        # the nursery is empty, so both remembered sets start afresh.
+        self.remset_steps.clear()
+        self.remset_young.clear()
+
+        self.stats.words_reclaimed += reclaimed
+        self.stats.collections += 1
+        self.stats.major_collections += 1
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="non-predictive",
+            work=live,
+            reclaimed=reclaimed,
+            live=live,
+        )
+        self.j = self.policy.choose_j(self._snapshot())
+
+    def on_static_promotion(self) -> None:
+        self.remset_steps.clear()
+        self.remset_young.clear()
+        self.j = self.policy.choose_j(self._snapshot())
+
+    def _steps_remset_seeds(self, region: set[Space]) -> list[int]:
+        """Seeds from protected-step slots pointing into the region.
+
+        Both remembered sets can contribute: ``remset_steps`` holds
+        protected-to-collectable pointers, and ``remset_young`` may
+        hold protected-step slots pointing into the nursery (which is
+        part of the region for a non-predictive collection).
+        """
+        seeds: list[int] = []
+        protected = set(self.steps[: self.j])
+        for remset in (self.remset_steps, self.remset_young):
+            for obj_id, slot in list(remset.entries()):
+                self.stats.roots_traced += 1
+                if not self.heap.contains_id(obj_id):
+                    continue
+                obj = self.heap.get(obj_id)
+                if obj.space not in protected:
+                    continue
+                if slot >= len(obj.fields):
+                    continue
+                ref = obj.fields[slot]
+                if type(ref) is not int or not self.heap.contains_id(ref):
+                    continue
+                if self.heap.get(ref).space in region:
+                    seeds.append(ref)
+        return seeds
+
+    def describe(self) -> str:
+        return (
+            f"hybrid (nursery {self.nursery.capacity} words + "
+            f"{self.step_count} steps x {self.step_words} words, j={self.j})"
+        )

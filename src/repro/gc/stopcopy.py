@@ -1,0 +1,186 @@
+"""Non-generational semispace stop-and-copy collection (Cheney scan).
+
+This is Larceny's baseline collector in Table 3: the heap is two
+semispaces; allocation fills the active one; when it is full, every
+object reachable from the roots is copied to the other semispace in
+breadth-first (Cheney) order and the roles flip.  Collection work is
+proportional to *live* storage only — dead objects are abandoned, never
+touched — which is the property that makes stop-and-copy attractive for
+young generations (Section 7).
+
+The simulator "copies" by moving objects between spaces; object ids
+are stable, so there are no forwarding pointers to chase, but the scan
+order and the work accounting (one copy per live object, one scan per
+copied word) follow Cheney's algorithm exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.gc.collector import Collector, HeapExhausted
+from repro.heap.heap import SimulatedHeap
+from repro.heap.object_model import HeapObject
+from repro.heap.roots import RootSet
+from repro.heap.space import Space
+
+__all__ = ["StopAndCopyCollector"]
+
+
+class StopAndCopyCollector(Collector):
+    """A classic two-semispace stop-and-copy collector.
+
+    Args:
+        heap: the simulated heap (the collector registers two spaces).
+        roots: the machine root set.
+        semispace_words: capacity of each semispace in words.  The
+            paper's "semiheap size" column of Table 3 is this quantity.
+        auto_expand: grow both semispaces when, after a collection,
+            live storage exceeds ``semispace capacity / load_factor``.
+        load_factor: target ratio of semispace size to live storage
+            when auto-expanding.  Larceny's stop-and-copy collector
+            sized its semiheaps this way for Table 3.
+    """
+
+    name = "stop-and-copy"
+
+    def __init__(
+        self,
+        heap: SimulatedHeap,
+        roots: RootSet,
+        semispace_words: int,
+        *,
+        auto_expand: bool = True,
+        load_factor: float = 2.0,
+    ) -> None:
+        super().__init__(heap, roots)
+        if semispace_words <= 0:
+            raise ValueError(
+                f"semispace size must be positive, got {semispace_words!r}"
+            )
+        if load_factor <= 1.0:
+            raise ValueError(f"load factor must exceed 1, got {load_factor!r}")
+        self._semispaces = (
+            heap.add_space("sc-semispace-A", semispace_words),
+            heap.add_space("sc-semispace-B", semispace_words),
+        )
+        self._active = 0
+        self.auto_expand = auto_expand
+        self.load_factor = load_factor
+        #: Semispace size high-water mark, for Table 3's semiheap column.
+        self.peak_semispace_words = semispace_words
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def tospace(self) -> Space:
+        """The active semispace (where allocation happens)."""
+        return self._semispaces[self._active]
+
+    @property
+    def fromspace(self) -> Space:
+        """The idle semispace (empty between collections)."""
+        return self._semispaces[1 - self._active]
+
+    @property
+    def semispace_words(self) -> int:
+        return self.tospace.capacity or 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self, size: int, field_count: int = 0, kind: str = "data"
+    ) -> HeapObject:
+        if not self.tospace.fits(size):
+            self.collect()
+            if not self.tospace.fits(size):
+                if self.auto_expand:
+                    self._expand(size)
+                else:
+                    raise HeapExhausted(self, size)
+        obj = self.heap.allocate(size, field_count, self.tospace, kind)
+        self._record_allocation(obj)
+        return obj
+
+    def _expand(self, pending: int) -> None:
+        needed = self.tospace.used + pending
+        target = max(
+            int(needed * self.load_factor), self.tospace.capacity or 0
+        )
+        self._set_semispace_capacity(target)
+
+    def _set_semispace_capacity(self, words: int) -> None:
+        for space in self._semispaces:
+            space.capacity = words
+        if words > self.peak_semispace_words:
+            self.peak_semispace_words = words
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def collect(self) -> None:
+        """Flip semispaces, Cheney-copying the live objects."""
+        heap = self.heap
+        old_from, old_to = self.fromspace, self.tospace
+        used_before = old_to.used
+
+        # Cheney scan: copy roots, then scan copied objects in FIFO
+        # order, copying anything they reference that is still in
+        # fromspace.  "Copying" is a move between spaces; ids persist.
+        copied: set[int] = set()
+        scan_queue: deque[int] = deque()
+        work = 0
+
+        def evacuate(obj_id: int) -> None:
+            nonlocal work
+            if obj_id in copied:
+                return
+            obj = heap.get(obj_id)
+            if obj.space is not old_to:
+                return  # already outside the condemned region
+            heap.move(obj, old_from)
+            copied.add(obj_id)
+            scan_queue.append(obj_id)
+            work += obj.size
+
+        for obj_id in self._root_ids():
+            evacuate(obj_id)
+        while scan_queue:
+            obj = heap.get(scan_queue.popleft())
+            for ref in obj.references():
+                evacuate(ref)
+
+        self.stats.words_copied += work
+
+        # Everything left in the old tospace is unreachable: abandon it.
+        reclaimed = 0
+        for obj in list(old_to.objects()):
+            reclaimed += obj.size
+            heap.free(obj)
+
+        self._active = 1 - self._active
+        live = used_before - reclaimed
+        self.stats.words_reclaimed += reclaimed
+        self.stats.collections += 1
+        self.stats.major_collections += 1
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="full",
+            work=work,
+            reclaimed=reclaimed,
+            live=live,
+        )
+        if self.auto_expand:
+            minimum = int(live * self.load_factor)
+            if (self.tospace.capacity or 0) < minimum:
+                self._set_semispace_capacity(minimum)
+
+    def describe(self) -> str:
+        return (
+            f"stop-and-copy, semispaces of {self.semispace_words} words"
+        )

@@ -1,0 +1,22 @@
+"""The simulated memory system: objects, spaces, roots, remembered sets."""
+
+from repro.heap.barrier import WriteBarrier
+from repro.heap.heap import HeapError, SimulatedHeap
+from repro.heap.object_model import NULL_REF, HeapObject
+from repro.heap.remset import RememberedSet, SlotRef
+from repro.heap.roots import Frame, RootSet
+from repro.heap.space import Space, SpaceFull
+
+__all__ = [
+    "NULL_REF",
+    "Frame",
+    "HeapError",
+    "HeapObject",
+    "RememberedSet",
+    "RootSet",
+    "SimulatedHeap",
+    "SlotRef",
+    "Space",
+    "SpaceFull",
+    "WriteBarrier",
+]

@@ -1,0 +1,58 @@
+"""The write barrier (Section 8.5).
+
+Every mutator store of a reference goes through a
+:class:`WriteBarrier`.  The barrier itself is policy-free: it counts
+stores (the paper's §6 caveat that the analysis omits barrier cost is
+addressed by reporting this count) and forwards each pointer store to
+the active collector's ``remember_store`` hook, which decides whether
+the store creates a remembered-set entry.
+
+The barrier does not distinguish *why* a store is interesting — the
+paper notes that situations 3 and 6 of §8.4 are "detected by the write
+barrier, which does not distinguish between them" — so the hook
+receives only (source object, slot, target object).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.heap.object_model import HeapObject
+
+__all__ = ["WriteBarrier"]
+
+#: Signature of the collector hook invoked on every pointer store.
+RememberStoreHook = Callable[[HeapObject, int, HeapObject], None]
+
+
+class WriteBarrier:
+    """Counts mutator stores and dispatches them to the collector.
+
+    Attributes:
+        stores: total stores seen (including stores of None).
+        pointer_stores: stores where the new value is a reference.
+    """
+
+    def __init__(self, hook: RememberStoreHook | None = None) -> None:
+        self._hook = hook
+        self.stores = 0
+        self.pointer_stores = 0
+
+    def set_hook(self, hook: RememberStoreHook | None) -> None:
+        """Install the active collector's remember-store hook."""
+        self._hook = hook
+
+    def on_store(
+        self, obj: HeapObject, slot: int, target: HeapObject | None
+    ) -> None:
+        """Record one mutator store; called before the heap write."""
+        self.stores += 1
+        if target is None:
+            return
+        self.pointer_stores += 1
+        if self._hook is not None:
+            self._hook(obj, slot, target)
+
+    def reset_counters(self) -> None:
+        self.stores = 0
+        self.pointer_stores = 0

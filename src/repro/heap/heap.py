@@ -1,0 +1,283 @@
+"""The simulated heap: object table, allocation clock, and space registry.
+
+:class:`SimulatedHeap` owns every object and every space.  It provides
+word-accurate allocation (advancing an allocation clock that the whole
+reproduction uses as its notion of time, exactly as the paper measures
+time "by the number of objects that have been allocated" — here
+generalized to words), object movement between spaces, field reads and
+writes, and reachability tracing.
+
+The heap knows nothing about collection policy; collectors are built on
+top of it in :mod:`repro.gc`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.heap.object_model import HeapObject
+from repro.heap.space import Space, SpaceFull
+
+__all__ = ["HeapError", "SimulatedHeap"]
+
+
+class HeapError(Exception):
+    """Structural misuse of the simulated heap (dangling ids, bad slots)."""
+
+
+class SimulatedHeap:
+    """A word-accurate simulated heap.
+
+    Attributes:
+        clock: total words allocated so far — the reproduction's time
+            axis.  Never decreases.
+        objects_allocated: count of allocation events.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[int, HeapObject] = {}
+        self._spaces: dict[str, Space] = {}
+        self._next_id = 0
+        self.clock = 0
+        self.objects_allocated = 0
+
+    # ------------------------------------------------------------------
+    # Spaces
+    # ------------------------------------------------------------------
+
+    def add_space(self, name: str, capacity: int | None) -> Space:
+        """Create and register a new space."""
+        if name in self._spaces:
+            raise ValueError(f"space {name!r} already exists")
+        space = Space(name, capacity)
+        self._spaces[name] = space
+        return space
+
+    def remove_space(self, space: Space) -> None:
+        """Unregister an empty space."""
+        if not space.is_empty():
+            raise HeapError(f"cannot remove non-empty space {space.name!r}")
+        if self._spaces.get(space.name) is not space:
+            raise KeyError(f"space {space.name!r} is not registered")
+        del self._spaces[space.name]
+
+    def space(self, name: str) -> Space:
+        try:
+            return self._spaces[name]
+        except KeyError:
+            raise KeyError(f"no space named {name!r}") from None
+
+    def spaces(self) -> Iterator[Space]:
+        return iter(self._spaces.values())
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def live_words(self) -> int:
+        """Total words occupied by resident objects across all spaces.
+
+        "Live" here means *resident*: garbage not yet collected still
+        counts, exactly as it occupies memory in a real heap.
+        """
+        return sum(space.used for space in self._spaces.values())
+
+    def allocate(
+        self,
+        size: int,
+        field_count: int,
+        space: Space,
+        kind: str = "data",
+        *,
+        advance_clock: bool = True,
+    ) -> HeapObject:
+        """Allocate a new object in ``space`` and advance the clock.
+
+        Static-area allocation (interned symbols, constants) passes
+        ``advance_clock=False`` so that the time axis counts dynamic
+        allocation only, as the paper's measurements do.
+
+        Raises:
+            SpaceFull: if the space lacks room; the clock is *not*
+                advanced in that case, so a collector may retry after
+                collecting.
+        """
+        if not space.fits(size):
+            raise SpaceFull(space, size)
+        obj = HeapObject(self._next_id, size, field_count, self.clock, kind)
+        self._next_id += 1
+        self._objects[obj.obj_id] = obj
+        space.add(obj)
+        if advance_clock:
+            self.clock += size
+            self.objects_allocated += 1
+        return obj
+
+    def free(self, obj: HeapObject) -> None:
+        """Remove a dead object from the heap entirely."""
+        if self._objects.pop(obj.obj_id, None) is None:
+            raise HeapError(f"object {obj.obj_id} is not in the heap")
+        if obj.space is not None:
+            obj.space.remove(obj)
+
+    def move(self, obj: HeapObject, to_space: Space) -> None:
+        """Move an object between spaces (the simulator's "copy")."""
+        if obj.obj_id not in self._objects:
+            raise HeapError(f"object {obj.obj_id} is not in the heap")
+        if obj.space is to_space:
+            return
+        if not to_space.fits(obj.size):
+            raise SpaceFull(to_space, obj.size)
+        if obj.space is not None:
+            obj.space.remove(obj)
+        to_space.add(obj)
+
+    def get(self, obj_id: int) -> HeapObject:
+        """Resolve an object id; dangling ids are a structural error."""
+        try:
+            return self._objects[obj_id]
+        except KeyError:
+            raise HeapError(f"dangling object id {obj_id}") from None
+
+    def contains_id(self, obj_id: int) -> bool:
+        return obj_id in self._objects
+
+    def all_objects(self) -> Iterator[HeapObject]:
+        return iter(self._objects.values())
+
+    # ------------------------------------------------------------------
+    # Fields
+    # ------------------------------------------------------------------
+
+    def read_field(self, obj: HeapObject, slot: int) -> HeapObject | None:
+        """Read a reference slot, resolving it to an object (or None).
+
+        Raises on a slot holding an immediate; use :meth:`read_slot`
+        for untyped access.
+        """
+        ref = self.read_slot(obj, slot)
+        if ref is None:
+            return None
+        if type(ref) is not int:
+            raise HeapError(
+                f"slot {slot} of object {obj.obj_id} holds an immediate, "
+                f"not a reference"
+            )
+        return self.get(ref)
+
+    def read_slot(self, obj: HeapObject, slot: int) -> object:
+        """Read a slot's raw value: an id, None, or an immediate."""
+        try:
+            return obj.fields[slot]
+        except IndexError:
+            raise HeapError(
+                f"object {obj.obj_id} has no slot {slot} "
+                f"(it has {len(obj.fields)})"
+            ) from None
+
+    def write_field(
+        self, obj: HeapObject, slot: int, target: HeapObject | None
+    ) -> None:
+        """Write a reference slot (raw — no write barrier).
+
+        Collector-aware code goes through
+        :meth:`repro.runtime.machine.Machine.write_field`, which applies
+        the write barrier before delegating here.
+        """
+        self.write_slot(obj, slot, None if target is None else target.obj_id)
+
+    def write_slot(self, obj: HeapObject, slot: int, value: object) -> None:
+        """Write a slot's raw value: an id, None, or an immediate."""
+        if slot < 0 or slot >= len(obj.fields):
+            raise HeapError(
+                f"object {obj.obj_id} has no slot {slot} "
+                f"(it has {len(obj.fields)})"
+            )
+        if type(value) is int and value not in self._objects:
+            raise HeapError(f"cannot store dangling object id {value}")
+        obj.fields[slot] = value
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def reachable_from(
+        self,
+        root_ids: Iterable[int],
+        *,
+        visit: Callable[[HeapObject], None] | None = None,
+    ) -> set[int]:
+        """Transitive closure of the reference graph from the given roots.
+
+        Args:
+            root_ids: seed object ids (dangling ids are an error — a
+                root must never point at a freed object).
+            visit: optional callback invoked once per reached object,
+                in discovery order; used by collectors to account for
+                marking work.
+
+        Returns:
+            The set of reached object ids.
+        """
+        reached: set[int] = set()
+        stack: list[int] = []
+        for obj_id in root_ids:
+            if obj_id not in reached:
+                reached.add(obj_id)
+                stack.append(obj_id)
+        while stack:
+            obj = self.get(stack.pop())
+            if visit is not None:
+                visit(obj)
+            for ref in obj.fields:
+                if type(ref) is int and ref not in reached:
+                    reached.add(ref)
+                    stack.append(ref)
+        return reached
+
+    def check_integrity(self) -> None:
+        """Validate structural invariants; raises HeapError on violation.
+
+        Checks that every object belongs to exactly the space that
+        claims it, that space occupancy matches resident object sizes,
+        and that no reference slot dangles.  Intended for tests and
+        debugging; O(heap size).
+        """
+        seen: set[int] = set()
+        for space in self._spaces.values():
+            used = 0
+            for obj in space.objects():
+                if obj.obj_id in seen:
+                    raise HeapError(
+                        f"object {obj.obj_id} resides in two spaces"
+                    )
+                seen.add(obj.obj_id)
+                if obj.space is not space:
+                    raise HeapError(
+                        f"object {obj.obj_id} back-pointer disagrees with "
+                        f"space {space.name!r}"
+                    )
+                if obj.obj_id not in self._objects:
+                    raise HeapError(
+                        f"space {space.name!r} holds freed object "
+                        f"{obj.obj_id}"
+                    )
+                used += obj.size
+            if used != space.used:
+                raise HeapError(
+                    f"space {space.name!r} accounting off: tracked "
+                    f"{space.used}, actual {used}"
+                )
+        for obj in self._objects.values():
+            if obj.obj_id not in seen:
+                raise HeapError(f"object {obj.obj_id} is in no space")
+            for ref in obj.references():
+                if ref not in self._objects:
+                    raise HeapError(
+                        f"object {obj.obj_id} points at freed object {ref}"
+                    )

@@ -1,0 +1,111 @@
+"""Heap objects for the simulated memory system.
+
+A :class:`HeapObject` models one allocated object: an integer identity,
+a size in words, an ordered list of reference slots, and bookkeeping
+(birth time in allocation-clock words, the space it currently resides
+in, and a small kind tag used by the Scheme-ish runtime layer).
+
+References between objects are stored as integer object ids rather than
+Python references.  This keeps the simulated object graph explicit and
+fully owned by the :class:`~repro.heap.heap.SimulatedHeap`: reachability
+is whatever the simulated graph says, never what CPython's own GC
+happens to keep alive.
+
+A slot may also hold an *immediate*: any value that is not an ``int``
+and not ``None`` (the Scheme-ish runtime stores booleans, characters,
+and wrapped fixnums this way, mirroring tagged immediates in a real
+implementation).  Immediates are opaque to the garbage collector;
+:func:`is_ref` is the single tagging predicate every tracing loop uses.
+Note that ``bool`` is excluded deliberately (``type(v) is int`` is
+false for ``True``), so booleans can be stored raw.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.heap.space import Space
+
+__all__ = ["HeapObject", "NULL_REF", "SlotValue", "is_ref"]
+
+#: The null reference: a slot holding this points at nothing.
+NULL_REF: int | None = None
+
+#: What a slot may hold: a reference (int id), null, or an immediate.
+SlotValue = object
+
+
+def is_ref(value: SlotValue) -> bool:
+    """Whether a slot value is an object reference (an id, not a bool)."""
+    return type(value) is int
+
+
+class HeapObject:
+    """One object in the simulated heap.
+
+    Attributes:
+        obj_id: unique non-negative identity, assigned by the heap and
+            never reused.
+        size: size in words; at least 1 (every object has a header).
+        fields: mutable list of reference slots, each an object id or
+            ``None``.  Non-reference payload (e.g. the bits of a
+            flonum) is represented only by ``size``.
+        birth: value of the heap's allocation clock when this object
+            was allocated.
+        space: the space the object currently resides in (maintained by
+            the heap; ``None`` only transiently during moves).
+        kind: small tag used by the runtime layer ("pair", "vector",
+            "flonum", ...); plain "data" for anonymous objects.
+    """
+
+    __slots__ = ("obj_id", "size", "fields", "birth", "space", "kind", "payload")
+
+    def __init__(
+        self,
+        obj_id: int,
+        size: int,
+        field_count: int,
+        birth: int,
+        kind: str = "data",
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"object size must be at least 1 word, got {size!r}")
+        if field_count < 0:
+            raise ValueError(
+                f"field count must be non-negative, got {field_count!r}"
+            )
+        if field_count > size:
+            raise ValueError(
+                f"object of {size} words cannot hold {field_count} reference "
+                f"slots"
+            )
+        self.obj_id = obj_id
+        self.size = size
+        self.fields: list[SlotValue] = [NULL_REF] * field_count
+        self.birth = birth
+        self.space: "Space | None" = None
+        self.kind = kind
+        #: Non-reference payload (the bits of a flonum, the characters
+        #: of a string); opaque to the collector, accounted via size.
+        self.payload: object = None
+
+    def references(self) -> Iterator[int]:
+        """Iterate over the object ids this object points at."""
+        for ref in self.fields:
+            if type(ref) is int:
+                yield ref
+
+    def points_to(self, obj_id: int) -> bool:
+        """Whether any slot holds a reference to ``obj_id``."""
+        return any(
+            ref == obj_id for ref in self.fields if type(ref) is int
+        )
+
+    def __repr__(self) -> str:
+        space = self.space.name if self.space is not None else "<detached>"
+        return (
+            f"HeapObject(id={self.obj_id}, kind={self.kind!r}, "
+            f"size={self.size}, fields={len(self.fields)}, "
+            f"birth={self.birth}, space={space})"
+        )

@@ -1,0 +1,124 @@
+"""Spaces: bounded regions of the simulated heap.
+
+A :class:`Space` is a named region with a capacity in words and a set
+of resident objects.  Collectors build their heap geometry out of
+spaces: a mark/sweep collector uses one space, a stop-and-copy
+collector uses two semispaces, a generational collector uses one or
+more spaces per generation, and the non-predictive collector uses ``k``
+equally sized *steps* (a step is just a space with a logical number
+that changes at renumbering time).
+
+Occupancy accounting is word-accurate: ``used`` is the sum of resident
+object sizes, and ``free`` is ``capacity - used``.  Spaces never accept
+an object that would overflow them; collectors rely on the resulting
+:class:`SpaceFull` to trigger collection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.heap.object_model import HeapObject
+
+__all__ = ["Space", "SpaceFull"]
+
+
+class SpaceFull(Exception):
+    """Raised when an allocation or move would overflow a space."""
+
+    def __init__(self, space: "Space", requested: int) -> None:
+        super().__init__(
+            f"space {space.name!r} cannot fit {requested} words "
+            f"({space.free} of {space.capacity} free)"
+        )
+        self.space = space
+        self.requested = requested
+
+
+class Space:
+    """A bounded region of the heap holding a set of objects.
+
+    Attributes:
+        name: human-readable identifier ("semispace-A", "step-3", ...).
+        capacity: capacity in words, or ``None`` for an unbounded space
+            (used by trace-collection harnesses that never trigger GC).
+    """
+
+    __slots__ = ("name", "capacity", "used", "_objects")
+
+    def __init__(self, name: str, capacity: int | None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity!r}")
+        self.name = name
+        self.capacity = capacity
+        self.used = 0
+        self._objects: dict[int, HeapObject] = {}
+
+    # ------------------------------------------------------------------
+    # Occupancy
+    # ------------------------------------------------------------------
+
+    @property
+    def free(self) -> int:
+        """Free words; unbounded spaces report a very large number."""
+        if self.capacity is None:
+            return 2**62
+        return self.capacity - self.used
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    def is_empty(self) -> bool:
+        return not self._objects
+
+    def fits(self, words: int) -> bool:
+        """Whether an object of the given size would fit."""
+        return self.capacity is None or self.used + words <= self.capacity
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add(self, obj: HeapObject) -> None:
+        """Place an object in this space, updating occupancy.
+
+        The caller (always the heap) is responsible for having removed
+        the object from its previous space first.
+        """
+        if obj.obj_id in self._objects:
+            raise ValueError(f"{obj!r} is already in space {self.name!r}")
+        if not self.fits(obj.size):
+            raise SpaceFull(self, obj.size)
+        self._objects[obj.obj_id] = obj
+        self.used += obj.size
+        obj.space = self
+
+    def remove(self, obj: HeapObject) -> None:
+        """Remove a resident object, updating occupancy."""
+        if self._objects.pop(obj.obj_id, None) is None:
+            raise KeyError(f"{obj!r} is not in space {self.name!r}")
+        self.used -= obj.size
+        obj.space = None
+
+    def contains(self, obj: HeapObject) -> bool:
+        return obj.obj_id in self._objects
+
+    def objects(self) -> Iterator[HeapObject]:
+        """Iterate over resident objects (insertion order).
+
+        The iterator must not be used across mutations of the space;
+        collectors snapshot with ``list(space.objects())`` when they
+        intend to move objects while scanning.
+        """
+        return iter(self._objects.values())
+
+    def object_ids(self) -> Iterator[int]:
+        return iter(self._objects.keys())
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.capacity is None else str(self.capacity)
+        return (
+            f"Space(name={self.name!r}, used={self.used}/{cap}, "
+            f"objects={len(self._objects)})"
+        )

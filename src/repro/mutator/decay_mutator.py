@@ -1,0 +1,84 @@
+"""The radioactive-decay workload (Section 2's model, executable).
+
+:class:`DecaySchedule` draws each object's lifetime independently from
+the exponential distribution with half-life ``h``; driving a collector
+with it realizes the radioactive decay model exactly (memoryless,
+no distinguishing characteristics).  :class:`HalvingSchedule` is the
+deterministic idealization used by Table 1: within each cohort of
+``cohort_words`` allocation, exactly half the storage survives each
+subsequent cohort boundary — the "nicer numbers" the paper uses for
+its worked example.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.decay import RadioactiveDecayModel
+from repro.gc.collector import Collector
+from repro.heap.roots import RootSet
+from repro.mutator.base import LifetimeDrivenMutator
+
+__all__ = ["DecaySchedule", "HalvingSchedule", "decay_mutator"]
+
+
+class DecaySchedule:
+    """I.i.d. exponential lifetimes with the given half-life."""
+
+    def __init__(self, half_life: float, *, seed: int = 0) -> None:
+        self.model = RadioactiveDecayModel(half_life)
+        self._rng = random.Random(seed)
+
+    def lifetime_for(self, clock: int, index: int) -> int:
+        return self.model.sample_discrete_lifetime(self._rng)
+
+
+class HalvingSchedule:
+    """Deterministic cohort-halving lifetimes (Table 1's idealization).
+
+    Objects are grouped into cohorts of ``cohort_words`` consecutive
+    words of allocation.  Every object's death is aligned to a cohort
+    boundary *after its cohort completes*: within each cohort, exactly
+    half the objects survive one boundary, a quarter survive two, and
+    so on.  Any mix of survivors therefore continues to halve at every
+    boundary — the memorylessness of the decay model, made exact.
+
+    The assignment uses the trailing-zeros trick: the ``i``-th object
+    of a cohort survives ``trailing_zeros(i + 1) + 1`` boundaries,
+    which makes the per-cohort counts exactly 1/2, 1/4, ... of the
+    cohort.  (It assumes unit-size objects, so index-within-cohort and
+    word-within-cohort coincide.)
+    """
+
+    def __init__(self, cohort_words: int) -> None:
+        if cohort_words < 2:
+            raise ValueError(
+                f"cohort must be at least 2 words, got {cohort_words!r}"
+            )
+        self.cohort_words = cohort_words
+
+    def lifetime_for(self, clock: int, index: int) -> int:
+        cohort = self.cohort_words
+        position = clock % cohort
+        survives = ((position + 1) & -(position + 1)).bit_length()  # ntz + 1
+        # Death at the boundary `survives` cohorts after this cohort
+        # completes; the lifetime is measured from the allocation clock.
+        completion = cohort - position
+        return completion + survives * cohort - 1
+
+
+def decay_mutator(
+    collector: Collector,
+    roots: RootSet,
+    half_life: float,
+    *,
+    seed: int = 0,
+    object_words: int = 1,
+) -> LifetimeDrivenMutator:
+    """Convenience constructor for a radioactive-decay mutator."""
+    return LifetimeDrivenMutator(
+        collector,
+        roots,
+        DecaySchedule(half_life, seed=seed),
+        object_words=object_words,
+    )

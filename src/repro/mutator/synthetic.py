@@ -1,0 +1,120 @@
+"""Other lifetime distributions, for contrast with radioactive decay.
+
+The paper argues (Section 9, discussing Hayes) that survival rates of
+long-lived objects are either roughly uniform — the decay model — or
+*decrease* with age, and that both regimes favor non-predictive
+collection; survival rates that increase with age (the strong
+generational hypothesis) favor conventional collection.  These
+schedules realize all three regimes so experiments can compare:
+
+* :class:`FixedLifetimeSchedule` — every object lives exactly ``L``
+  words (survival jumps from 1 to 0 at age ``L``: strongly
+  age-predictable, the best case for any predictor).
+* :class:`UniformLifetimeSchedule` — lifetimes uniform on [lo, hi).
+* :class:`WeibullSchedule` — shape < 1 gives survival rates that
+  *increase* with age (strong generational hypothesis); shape > 1
+  gives rates that decrease with age (iterated-process-like);
+  shape = 1 degenerates to radioactive decay.
+* :class:`BimodalSchedule` — the weak generational hypothesis: most
+  objects die very young, the rest live long.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = [
+    "BimodalSchedule",
+    "FixedLifetimeSchedule",
+    "UniformLifetimeSchedule",
+    "WeibullSchedule",
+]
+
+
+class FixedLifetimeSchedule:
+    """Every object lives exactly ``lifetime`` words."""
+
+    def __init__(self, lifetime: int) -> None:
+        if lifetime <= 0:
+            raise ValueError(f"lifetime must be positive, got {lifetime!r}")
+        self.lifetime = lifetime
+
+    def lifetime_for(self, clock: int, index: int) -> int:
+        return self.lifetime
+
+
+class UniformLifetimeSchedule:
+    """Lifetimes uniform on [lo, hi)."""
+
+    def __init__(self, lo: int, hi: int, *, seed: int = 0) -> None:
+        if not 0 < lo < hi:
+            raise ValueError(f"need 0 < lo < hi, got lo={lo!r}, hi={hi!r}")
+        self.lo = lo
+        self.hi = hi
+        self._rng = random.Random(seed)
+
+    def lifetime_for(self, clock: int, index: int) -> int:
+        return self._rng.randrange(self.lo, self.hi)
+
+
+class WeibullSchedule:
+    """Weibull-distributed lifetimes.
+
+    With scale λ and shape k the survival function is
+    ``exp(-(t/λ)**k)``.  The hazard rate is increasing for k > 1
+    (old objects die faster — favourable to non-predictive GC),
+    decreasing for k < 1 (old objects die slower — the strong
+    generational hypothesis), and constant for k = 1 (the decay
+    model).
+    """
+
+    def __init__(self, scale: float, shape: float, *, seed: int = 0) -> None:
+        if scale <= 0 or shape <= 0:
+            raise ValueError(
+                f"scale and shape must be positive, got {scale!r}, {shape!r}"
+            )
+        self.scale = scale
+        self.shape = shape
+        self._rng = random.Random(seed)
+
+    def lifetime_for(self, clock: int, index: int) -> int:
+        u = self._rng.random()
+        sample = self.scale * (-math.log(1.0 - u)) ** (1.0 / self.shape)
+        return max(1, int(math.ceil(sample)))
+
+
+class BimodalSchedule:
+    """Weak generational hypothesis: mostly infant deaths, some elders.
+
+    A fraction ``young_fraction`` of objects die within
+    ``young_lifetime`` words (uniformly); the rest draw an exponential
+    lifetime with half-life ``old_half_life``.
+    """
+
+    def __init__(
+        self,
+        young_fraction: float,
+        young_lifetime: int,
+        old_half_life: float,
+        *,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= young_fraction <= 1.0:
+            raise ValueError(
+                f"young fraction must be in [0, 1], got {young_fraction!r}"
+            )
+        if young_lifetime <= 0 or old_half_life <= 0:
+            raise ValueError("lifetimes must be positive")
+        self.young_fraction = young_fraction
+        self.young_lifetime = young_lifetime
+        self.old_half_life = old_half_life
+        self._rng = random.Random(seed)
+
+    def lifetime_for(self, clock: int, index: int) -> int:
+        rng = self._rng
+        if rng.random() < self.young_fraction:
+            return 1 + rng.randrange(self.young_lifetime)
+        u = rng.random()
+        sample = -self.old_half_life * math.log2(1.0 - u)
+        return max(1, int(math.ceil(sample)))

@@ -1,0 +1,102 @@
+"""The nboyer / sboyer benchmarks (Table 2: "term rewriting and
+tautology checking").
+
+``run_nboyer`` reproduces Clinger's updated Boyer benchmark: set up
+the lemma database, instantiate the standard proof obligation under
+the standard substitution, rewrite it to normal form, and check that
+the result is a tautology.  ``run_sboyer`` is the same computation
+with Baker's shared-consing tweak.
+
+The problem-scaling parameter ``n`` ("suggested by Boyer") wraps the
+proof obligation: the scaled theorem is ``(or T (f))`` of the previous
+level.  Rewriting each wrapper re-walks (and re-copies) the entire
+normalized tree and if-distributes over it, so work and allocation
+grow by a roughly constant factor per increment — the growth pattern
+of the paper's sboyer2/sboyer3/sboyer4 rows in Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.programs.boyer.rewriter import BoyerRewriter
+from repro.programs.boyer.rules import build_lemma_database
+from repro.programs.boyer.terms import apply_subst, term_size
+from repro.runtime.interop import from_list
+from repro.runtime.machine import Machine
+
+__all__ = ["BoyerResult", "run_nboyer", "run_sboyer"]
+
+#: The proof obligation of the original benchmark.
+_THEOREM = [
+    "implies",
+    ["and", ["implies", "x", "y"],
+     ["and", ["implies", "y", "z"],
+      ["and", ["implies", "z", "u"], ["implies", "u", "w"]]]],
+    ["implies", "x", "w"],
+]
+
+#: The standard substitution instantiating the obligation's atoms.
+_SUBSTITUTION: dict[str, list] = {
+    "x": ["f", ["plus", ["plus", "a", "b"], ["plus", "c", ["zero"]]]],
+    "y": ["f", ["times", ["times", "a", "b"], ["plus", "c", "d"]]],
+    "z": ["f", ["reverse", ["append", ["append", "a", "b"], ["nil"]]]],
+    "u": ["equal", ["plus", "a", "b"], ["difference", "x", "y"]],
+    "w": ["lessp", ["remainder", "a", "b"],
+          ["member", "a", ["length", "b"]]],
+}
+
+
+@dataclass(frozen=True)
+class BoyerResult:
+    """Outcome of one Boyer run.
+
+    Attributes:
+        proved: whether the theorem was judged a tautology (must be
+            True; anything else means the rewriter is broken).
+        rewrites: rewrite-rule applications performed.
+        rewritten_size: pairs in the rewritten (normalized) term.
+        words_allocated: heap words the run allocated.
+    """
+
+    proved: bool
+    rewrites: int
+    rewritten_size: int
+    words_allocated: int
+
+
+def _run(machine: Machine, n: int, shared_consing: bool) -> BoyerResult:
+    if n < 0:
+        raise ValueError(f"scaling parameter must be non-negative, got {n!r}")
+    words_before = machine.stats.words_allocated
+    lemmas = build_lemma_database(machine)
+    rewriter = BoyerRewriter(machine, lemmas, shared_consing=shared_consing)
+
+    theorem: list = _THEOREM
+    for _ in range(n):
+        theorem = ["or", theorem, ["f"]]
+    term = from_list(machine, theorem)
+    subst = {
+        name: from_list(machine, shorthand)
+        for name, shorthand in _SUBSTITUTION.items()
+    }
+    instance = apply_subst(machine, subst, term)
+
+    rewritten = rewriter.rewrite(instance)
+    proved = rewriter.tautologyp(rewritten, None, None)
+    return BoyerResult(
+        proved=proved,
+        rewrites=rewriter.rewrite_count,
+        rewritten_size=term_size(machine, rewritten),
+        words_allocated=machine.stats.words_allocated - words_before,
+    )
+
+
+def run_nboyer(machine: Machine, n: int = 0) -> BoyerResult:
+    """The nboyer benchmark at scale ``n`` (paper's nboyer2 is n=2)."""
+    return _run(machine, n, shared_consing=False)
+
+
+def run_sboyer(machine: Machine, n: int = 0) -> BoyerResult:
+    """The sboyer benchmark at scale ``n`` (Baker's shared consing)."""
+    return _run(machine, n, shared_consing=True)

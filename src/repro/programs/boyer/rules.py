@@ -1,0 +1,257 @@
+"""The Boyer benchmark's lemma database.
+
+This is the classic rewrite-rule list of the Boyer benchmark (Gabriel's
+``boyer``, as updated in Clinger's ``nboyer``): each lemma is a term
+``(equal lhs rhs)`` and is indexed under the operator symbol of its
+left-hand side.  The database is built once, as Scheme list structure
+in the simulated heap, and is long-lived for the whole run — it is a
+significant part of the benchmark's permanent storage.
+
+Two deliberate departures from the 1977 original, matching the paper's
+description of ``nboyer`` ("We have fixed one bug in addition to those
+noted by Baker, replaced property lists by a faster and more portable
+data structure"):
+
+* numeric literals in patterns are *constants* (the original's
+  unifier treated every atom, numbers included, as a match variable —
+  one of the classic Boyer bugs);
+* the operator-to-lemma index is a host-side dictionary instead of
+  symbol property lists.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.interop import from_list
+from repro.runtime.machine import Machine
+from repro.runtime.values import SchemeValue
+
+__all__ = ["LEMMAS", "build_lemma_database"]
+
+#: Each entry is ``(lhs, rhs)`` in shorthand: Python lists are compound
+#: terms, strings are symbols, ints are numeric constants.
+LEMMAS: list[tuple[object, object]] = [
+    (["compile", "form"],
+     ["reverse", ["codegen", ["optimize", "form"], ["nil"]]]),
+    (["eqp", "x", "y"], ["equal", ["fix", "x"], ["fix", "y"]]),
+    (["greaterp", "x", "y"], ["lessp", "y", "x"]),
+    (["lesseqp", "x", "y"], ["not", ["lessp", "y", "x"]]),
+    (["greatereqp", "x", "y"], ["not", ["lessp", "x", "y"]]),
+    (["boolean", "x"],
+     ["or", ["equal", "x", ["t"]], ["equal", "x", ["f"]]]),
+    (["iff", "x", "y"],
+     ["and", ["implies", "x", "y"], ["implies", "y", "x"]]),
+    (["even1", "x"], ["if", ["zerop", "x"], ["t"], ["odd", ["sub1", "x"]]]),
+    (["countps-", "l", "pred"], ["countps-loop", "l", "pred", ["zero"]]),
+    (["fact-", "i"], ["fact-loop", "i", 1]),
+    (["reverse-", "x"], ["reverse-loop", "x", ["nil"]]),
+    (["divides", "x", "y"], ["zerop", ["remainder", "y", "x"]]),
+    (["assume-true", "var", "alist"],
+     ["cons", ["cons", "var", ["t"]], "alist"]),
+    (["assume-false", "var", "alist"],
+     ["cons", ["cons", "var", ["f"]], "alist"]),
+    (["tautology-checker", "x"],
+     ["tautologyp", ["normalize", "x"], ["nil"]]),
+    (["falsify", "x"], ["falsify1", ["normalize", "x"], ["nil"]]),
+    (["prime", "x"],
+     ["and", ["not", ["zerop", "x"]],
+      ["not", ["equal", "x", ["add1", ["zero"]]]],
+      ["prime1", "x", ["sub1", "x"]]]),
+    (["and", "p", "q"], ["if", "p", ["if", "q", ["t"], ["f"]], ["f"]]),
+    (["or", "p", "q"], ["if", "p", ["t"], ["if", "q", ["t"], ["f"]]]),
+    (["not", "p"], ["if", "p", ["f"], ["t"]]),
+    (["implies", "p", "q"],
+     ["if", "p", ["if", "q", ["t"], ["f"]], ["t"]]),
+    (["fix", "x"], ["if", ["numberp", "x"], "x", ["zero"]]),
+    (["if", ["if", "a", "b", "c"], "d", "e"],
+     ["if", "a", ["if", "b", "d", "e"], ["if", "c", "d", "e"]]),
+    (["zerop", "x"],
+     ["or", ["equal", "x", ["zero"]], ["not", ["numberp", "x"]]]),
+    (["plus", ["plus", "x", "y"], "z"], ["plus", "x", ["plus", "y", "z"]]),
+    (["equal", ["plus", "a", "b"], ["zero"]],
+     ["and", ["zerop", "a"], ["zerop", "b"]]),
+    (["difference", "x", "x"], ["zero"]),
+    (["equal", ["plus", "a", "b"], ["plus", "a", "c"]],
+     ["equal", ["fix", "b"], ["fix", "c"]]),
+    (["equal", ["zero"], ["difference", "x", "y"]],
+     ["not", ["lessp", "y", "x"]]),
+    (["equal", "x", ["difference", "x", "y"]],
+     ["and", ["numberp", "x"],
+      ["or", ["equal", "x", ["zero"]], ["zerop", "y"]]]),
+    (["meaning", ["plus-tree", ["append", "x", "y"]], "a"],
+     ["plus", ["meaning", ["plus-tree", "x"], "a"],
+      ["meaning", ["plus-tree", "y"], "a"]]),
+    (["meaning", ["plus-tree", ["plus-fringe", "x"]], "a"],
+     ["fix", ["meaning", "x", "a"]]),
+    (["append", ["append", "x", "y"], "z"],
+     ["append", "x", ["append", "y", "z"]]),
+    (["reverse", ["append", "a", "b"]],
+     ["append", ["reverse", "b"], ["reverse", "a"]]),
+    (["times", "x", ["plus", "y", "z"]],
+     ["plus", ["times", "x", "y"], ["times", "x", "z"]]),
+    (["times", ["times", "x", "y"], "z"],
+     ["times", "x", ["times", "y", "z"]]),
+    (["equal", ["times", "x", "y"], ["zero"]],
+     ["or", ["zerop", "x"], ["zerop", "y"]]),
+    (["exec", ["append", "x", "y"], "pds", "envrn"],
+     ["exec", "y", ["exec", "x", "pds", "envrn"], "envrn"]),
+    (["mc-flatten", "x", "y"], ["append", ["flatten", "x"], "y"]),
+    (["member", "x", ["append", "a", "b"]],
+     ["or", ["member", "x", "a"], ["member", "x", "b"]]),
+    (["member", "x", ["reverse", "y"]], ["member", "x", "y"]),
+    (["length", ["reverse", "x"]], ["length", "x"]),
+    (["member", "a", ["intersect", "b", "c"]],
+     ["and", ["member", "a", "b"], ["member", "a", "c"]]),
+    (["nth", ["zero"], "i"], ["zero"]),
+    (["exp", "i", ["plus", "j", "k"]],
+     ["times", ["exp", "i", "j"], ["exp", "i", "k"]]),
+    (["exp", "i", ["times", "j", "k"]], ["exp", ["exp", "i", "j"], "k"]),
+    (["reverse-loop", "x", "y"], ["append", ["reverse", "x"], "y"]),
+    (["reverse-loop", "x", ["nil"]], ["reverse", "x"]),
+    (["count-list", "z", ["sort-lp", "x", "y"]],
+     ["plus", ["count-list", "z", "x"], ["count-list", "z", "y"]]),
+    (["equal", ["append", "a", "b"], ["append", "a", "c"]],
+     ["equal", "b", "c"]),
+    (["plus", ["remainder", "x", "y"],
+      ["times", "y", ["quotient", "x", "y"]]],
+     ["fix", "x"]),
+    (["power-eval", ["big-plus1", "l", "i", "base"], "base"],
+     ["plus", ["power-eval", "l", "base"], "i"]),
+    (["power-eval", ["big-plus", "x", "y", "i", "base"], "base"],
+     ["plus", "i", ["plus", ["power-eval", "x", "base"],
+                    ["power-eval", "y", "base"]]]),
+    (["remainder", "y", 1], ["zero"]),
+    (["lessp", ["remainder", "x", "y"], "y"], ["not", ["zerop", "y"]]),
+    (["remainder", "x", "x"], ["zero"]),
+    (["lessp", ["quotient", "i", "j"], "i"],
+     ["and", ["not", ["zerop", "i"]],
+      ["or", ["zerop", "j"], ["not", ["equal", "j", 1]]]]),
+    (["lessp", ["remainder", "x", "y"], "x"],
+     ["and", ["not", ["zerop", "y"]], ["not", ["zerop", "x"]],
+      ["not", ["lessp", "x", "y"]]]),
+    (["power-eval", ["power-rep", "i", "base"], "base"], ["fix", "i"]),
+    (["power-eval",
+      ["big-plus", ["power-rep", "i", "base"],
+       ["power-rep", "j", "base"], ["zero"], "base"],
+      "base"],
+     ["plus", "i", "j"]),
+    (["gcd", "x", "y"], ["gcd", "y", "x"]),
+    (["nth", ["append", "a", "b"], "i"],
+     ["append", ["nth", "a", "i"],
+      ["nth", "b", ["difference", "i", ["length", "a"]]]]),
+    (["difference", ["plus", "x", "y"], "x"], ["fix", "y"]),
+    (["difference", ["plus", "y", "x"], "x"], ["fix", "y"]),
+    (["difference", ["plus", "x", "y"], ["plus", "x", "z"]],
+     ["difference", "y", "z"]),
+    (["times", "x", ["difference", "c", "w"]],
+     ["difference", ["times", "c", "x"], ["times", "w", "x"]]),
+    (["remainder", ["times", "x", "z"], "z"], ["zero"]),
+    (["difference", ["plus", "b", ["plus", "a", "c"]], "a"],
+     ["plus", "b", "c"]),
+    (["difference", ["add1", ["plus", "y", "z"]], "z"], ["add1", "y"]),
+    (["lessp", ["plus", "x", "y"], ["plus", "x", "z"]],
+     ["lessp", "y", "z"]),
+    (["lessp", ["times", "x", "z"], ["times", "y", "z"]],
+     ["and", ["not", ["zerop", "z"]], ["lessp", "x", "y"]]),
+    (["lessp", "y", ["plus", "x", "y"]], ["not", ["zerop", "x"]]),
+    (["gcd", ["times", "x", "z"], ["times", "y", "z"]],
+     ["times", "z", ["gcd", "x", "y"]]),
+    (["value", ["normalize", "x"], "a"], ["value", "x", "a"]),
+    (["equal", ["flatten", "x"], ["cons", "y", ["nil"]]],
+     ["and", ["nlistp", "x"], ["equal", "x", "y"]]),
+    (["listp", ["gopher", "x"]], ["listp", "x"]),
+    (["samefringe", "x", "y"],
+     ["equal", ["flatten", "x"], ["flatten", "y"]]),
+    (["equal", ["greatest-factor", "x", "y"], ["zero"]],
+     ["and", ["or", ["zerop", "y"], ["equal", "y", 1]],
+      ["equal", "x", ["zero"]]]),
+    (["equal", ["greatest-factor", "x", "y"], 1], ["equal", "x", 1]),
+    (["numberp", ["greatest-factor", "x", "y"]],
+     ["not", ["and", ["or", ["zerop", "y"], ["equal", "y", 1]],
+              ["not", ["numberp", "x"]]]]),
+    (["times-list", ["append", "x", "y"]],
+     ["times", ["times-list", "x"], ["times-list", "y"]]),
+    (["prime-list", ["append", "x", "y"]],
+     ["and", ["prime-list", "x"], ["prime-list", "y"]]),
+    (["equal", "z", ["times", "w", "z"]],
+     ["and", ["numberp", "z"],
+      ["or", ["equal", "z", ["zero"]], ["equal", "w", 1]]]),
+    (["equal", "x", ["times", "x", "y"]],
+     ["or", ["equal", "x", ["zero"]],
+      ["and", ["numberp", "x"], ["equal", "y", 1]]]),
+    (["remainder", ["times", "y", "x"], "y"], ["zero"]),
+    (["equal", ["times", "a", "b"], 1],
+     ["and", ["not", ["equal", "a", ["zero"]]],
+      ["not", ["equal", "b", ["zero"]]],
+      ["numberp", "a"], ["numberp", "b"],
+      ["equal", ["sub1", "a"], ["zero"]],
+      ["equal", ["sub1", "b"], ["zero"]]]),
+    (["lessp", ["length", ["delete", "x", "l"]], ["length", "l"]],
+     ["member", "x", "l"]),
+    (["sort2", ["delete", "x", "l"]], ["delete", "x", ["sort2", "l"]]),
+    (["dsort", "x"], ["sort2", "x"]),
+    (["length",
+      ["cons", "x1",
+       ["cons", "x2",
+        ["cons", "x3", ["cons", "x4", ["cons", "x5", ["cons", "x6", "x7"]]]]]]],
+     ["plus", 6, ["length", "x7"]]),
+    (["difference", ["add1", ["add1", "x"]], 2], ["fix", "x"]),
+    (["quotient", ["plus", "x", ["plus", "x", "y"]], 2],
+     ["plus", "x", ["quotient", "y", 2]]),
+    (["sigma", ["zero"], "i"],
+     ["quotient", ["times", "i", ["add1", "i"]], 2]),
+    (["plus", "x", ["add1", "y"]],
+     ["if", ["numberp", "y"], ["add1", ["plus", "x", "y"]],
+      ["add1", "x"]]),
+    (["equal", ["difference", "x", "y"], ["difference", "z", "y"]],
+     ["if", ["lessp", "x", "y"], ["not", ["lessp", "y", "z"]],
+      ["if", ["lessp", "z", "y"], ["not", ["lessp", "y", "x"]],
+       ["equal", ["fix", "x"], ["fix", "z"]]]]),
+    (["meaning", ["plus-tree", ["delete", "x", "y"]], "a"],
+     ["if", ["member", "x", "y"],
+      ["difference", ["meaning", ["plus-tree", "y"], "a"],
+       ["meaning", "x", "a"]],
+      ["meaning", ["plus-tree", "y"], "a"]]),
+    (["times", "x", ["add1", "y"]],
+     ["if", ["numberp", "y"], ["plus", "x", ["times", "x", "y"]],
+      ["fix", "x"]]),
+    (["nth", ["nil"], "i"], ["if", ["zerop", "i"], ["nil"], ["zero"]]),
+    (["last", ["append", "a", "b"]],
+     ["if", ["listp", "b"], ["last", "b"],
+      ["if", ["listp", "a"], ["cons", ["car", ["last", "a"]], "b"], "b"]]),
+    (["equal", ["lessp", "x", "y"], "z"],
+     ["if", ["lessp", "x", "y"], ["equal", ["t"], "z"],
+      ["equal", ["f"], "z"]]),
+    (["assignment", "x", ["append", "a", "b"]],
+     ["if", ["assignedp", "x", "a"], ["assignment", "x", "a"],
+      ["assignment", "x", "b"]]),
+    (["car", ["gopher", "x"]],
+     ["if", ["listp", "x"], ["car", ["flatten", "x"]], ["zero"]]),
+    (["flatten", ["cdr", ["gopher", "x"]]],
+     ["if", ["listp", "x"], ["cdr", ["flatten", "x"]],
+      ["cons", ["zero"], ["nil"]]]),
+    (["quotient", ["times", "y", "x"], "y"],
+     ["if", ["zerop", "y"], ["zero"], ["fix", "x"]]),
+    (["get", "j", ["set", "i", "val", "mem"]],
+     ["if", ["eqp", "j", "i"], "val", ["get", "j", "mem"]]),
+]
+
+
+def build_lemma_database(
+    machine: Machine,
+) -> dict[str, list[SchemeValue]]:
+    """Build the lemma index: operator name -> list of (equal lhs rhs) terms.
+
+    The lemma terms themselves are heap-allocated list structure; only
+    the index is host-side (the "faster and more portable data
+    structure").  Lemmas are consulted in the order added, as the
+    original's ``add-lemma`` (which conses onto the property) reverses
+    — we preserve the original's try-last-added-first order.
+    """
+    index: dict[str, list[SchemeValue]] = {}
+    for lhs, rhs in LEMMAS:
+        if not isinstance(lhs, list):
+            raise ValueError(f"lemma lhs must be a compound term: {lhs!r}")
+        lemma = from_list(machine, ["equal", lhs, rhs])
+        operator = str(lhs[0])
+        index.setdefault(operator, []).insert(0, lemma)
+    return index

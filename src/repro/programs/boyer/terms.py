@@ -1,0 +1,118 @@
+"""Term representation for the Boyer benchmark.
+
+Terms are ordinary Scheme data: a compound term is a proper list whose
+head is the operator symbol and whose tail is the argument list; an
+atomic term is a symbol.  All structure lives in the simulated heap as
+cons cells, so every rewrite allocates exactly as the Scheme original
+does.
+
+The helpers here are the small term utilities the original benchmark
+defines: structural equality (``term-equal?``), membership
+(``member-equal``), and the substitution machinery
+(``apply-subst``).  Substitution environments are Python dicts from
+variable names to Scheme terms — the reproduction of the paper's note
+that the authors "replaced property lists by a faster and more
+portable data structure".
+"""
+
+from __future__ import annotations
+
+from repro.runtime.machine import Machine
+from repro.runtime.values import Ref, SchemeValue
+
+__all__ = [
+    "apply_subst",
+    "is_compound",
+    "member_equal",
+    "term_equal",
+    "term_operator",
+    "term_size",
+]
+
+
+def is_compound(term: SchemeValue) -> bool:
+    """Whether a term is compound (a pair), as the original's ``pair?``."""
+    return isinstance(term, Ref) and term.is_pair()
+
+
+def term_operator(machine: Machine, term: SchemeValue) -> SchemeValue:
+    """The operator symbol of a compound term."""
+    return machine.car(term)
+
+
+def term_equal(machine: Machine, a: SchemeValue, b: SchemeValue) -> bool:
+    """Structural term equality (the original's ``term-equal?``).
+
+    Symbols are compared by identity (they are interned); compound
+    terms recursively.
+    """
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if isinstance(x, Ref) and x.is_pair():
+            if not (isinstance(y, Ref) and y.is_pair()):
+                return False
+            if x == y:
+                continue  # shared structure: trivially equal
+            stack.append((machine.car(x), machine.car(y)))
+            stack.append((machine.cdr(x), machine.cdr(y)))
+        else:
+            if x != y:
+                return False
+    return True
+
+
+def member_equal(
+    machine: Machine, term: SchemeValue, terms: SchemeValue
+) -> bool:
+    """Whether ``term`` occurs (by term-equal) in the list ``terms``."""
+    while terms is not None:
+        if term_equal(machine, term, machine.car(terms)):
+            return True
+        terms = machine.cdr(terms)
+    return False
+
+
+def apply_subst(
+    machine: Machine, subst: dict[str, SchemeValue], term: SchemeValue
+) -> SchemeValue:
+    """Instantiate a term under a substitution (original ``apply-subst``).
+
+    Unbound symbols stay themselves; compound terms are rebuilt (this
+    is a major allocation source of the benchmark, as in the
+    original).
+    """
+    if not is_compound(term):
+        if isinstance(term, Ref) and term.is_symbol():
+            bound = subst.get(machine.symbol_name(term))
+            if bound is not None:
+                return bound
+        return term
+    operator = machine.car(term)
+    new_args = _apply_subst_list(machine, subst, machine.cdr(term))
+    return machine.cons(operator, new_args)
+
+
+def _apply_subst_list(
+    machine: Machine, subst: dict[str, SchemeValue], terms: SchemeValue
+) -> SchemeValue:
+    if terms is None:
+        return None
+    head = apply_subst(machine, subst, machine.car(terms))
+    tail = _apply_subst_list(machine, subst, machine.cdr(terms))
+    return machine.cons(head, tail)
+
+
+def term_size(machine: Machine, term: SchemeValue) -> int:
+    """Number of pairs in a term (a size measure for scaling checks)."""
+    if not is_compound(term):
+        return 0
+    count = 0
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if is_compound(t):
+            count += 1
+            stack.append(machine.car(t))
+            stack.append(machine.cdr(t))
+    return count

@@ -1,0 +1,86 @@
+"""The deriv benchmark, in Scheme, through the interpreter.
+
+Gabriel's ``deriv`` — symbolic differentiation over list-structured
+expressions — is the oldest of the classic Lisp storage benchmarks and
+a staple of the suites Larceny shipped with.  Unlike the other ports,
+this one is *actual Scheme source* evaluated by
+:mod:`repro.runtime.interp`, so its storage load includes the
+interpreter's own environments and argument lists — demonstrating the
+source-language path end to end.
+
+Storage signature: pure list construction with immediate abandonment;
+like ``lattice``, almost nothing survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.interop import to_python
+from repro.runtime.interp import Interpreter
+from repro.runtime.machine import Machine
+
+__all__ = ["DERIV_SOURCE", "DerivResult", "run_deriv"]
+
+#: The benchmark source (Gabriel's deriv, R7RS-small subset).
+DERIV_SOURCE = """
+(define (deriv-aux a) (list '/ (deriv a) a))
+
+(define (map-deriv lst)
+  (if (null? lst) '() (cons (deriv (car lst)) (map-deriv (cdr lst)))))
+
+(define (map-deriv-aux lst)
+  (if (null? lst) '() (cons (deriv-aux (car lst)) (map-deriv-aux (cdr lst)))))
+
+(define (deriv a)
+  (cond
+    ((not (pair? a)) (if (eq? a 'x) 1 0))
+    ((eq? (car a) '+) (cons '+ (map-deriv (cdr a))))
+    ((eq? (car a) '-) (cons '- (map-deriv (cdr a))))
+    ((eq? (car a) '*)
+     (list '* a (cons '+ (map-deriv-aux (cdr a)))))
+    ((eq? (car a) '/)
+     (list '-
+           (list '/ (deriv (cadr a)) (caddr a))
+           (list '/ (cadr a)
+                 (list '* (caddr a) (caddr a) (deriv (caddr a))))))
+    (else 'error)))
+
+(define (cadr p) (car (cdr p)))
+(define (caddr p) (car (cdr (cdr p))))
+
+(define (run n)
+  (let loop ((i 0) (last '()))
+    (if (= i n)
+        last
+        (loop (+ i 1)
+              (deriv '(+ (* 3 x x) (* a x x) (* b x) 5))))))
+"""
+
+
+@dataclass(frozen=True)
+class DerivResult:
+    """Outcome of one deriv run."""
+
+    iterations: int
+    derivative: object
+    expressions_evaluated: int
+    words_allocated: int
+
+
+def run_deriv(machine: Machine, iterations: int = 50) -> DerivResult:
+    """Differentiate Gabriel's standard expression ``iterations`` times."""
+    if iterations < 1:
+        raise ValueError(
+            f"need at least one iteration, got {iterations!r}"
+        )
+    interpreter = Interpreter(machine)
+    interpreter.run(DERIV_SOURCE)
+    words_before = machine.stats.words_allocated
+    result = interpreter.run(f"(run {iterations})")
+    return DerivResult(
+        iterations=iterations,
+        derivative=to_python(machine, result),
+        expressions_evaluated=interpreter.steps,
+        words_allocated=machine.stats.words_allocated - words_before,
+    )

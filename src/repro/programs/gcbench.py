@@ -1,0 +1,137 @@
+"""GCBench: the classic Boehm/Ellis/Demers tree benchmark.
+
+Not one of the paper's Table 2 programs, but the canonical GC stress
+test of the same era (the paper's web site pointed at "more
+benchmarks"; this is the one every collector of the period was run
+on).  It exercises a storage pattern none of the six paper benchmarks
+has: *bounded-lifetime* medium-sized structures — complete binary
+trees that live exactly as long as it takes to build the next pair of
+trees — plus a long-lived tree and array allocated up front.
+
+The port follows the original's structure: for each depth d from
+``min_depth`` to ``max_depth`` in steps of 2, build tree pairs
+top-down and bottom-up such that each depth allocates roughly the
+same total storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.machine import Machine
+from repro.runtime.values import Fixnum, Ref, SchemeValue
+
+__all__ = ["GcBenchResult", "run_gcbench"]
+
+
+def _make_node(machine: Machine, left: SchemeValue, right: SchemeValue) -> Ref:
+    """A tree node: a pair (left . right), as the Scheme versions use."""
+    return machine.cons(left, right)
+
+
+def _populate(machine: Machine, depth: int, node: Ref) -> None:
+    """Build a tree of the given depth top-down, mutating ``node``."""
+    if depth <= 0:
+        return
+    left = _make_node(machine, None, None)
+    right = _make_node(machine, None, None)
+    machine.set_car(node, left)
+    machine.set_cdr(node, right)
+    _populate(machine, depth - 1, left)
+    _populate(machine, depth - 1, right)
+
+
+def _make_tree(machine: Machine, depth: int) -> SchemeValue:
+    """Build a tree of the given depth bottom-up."""
+    if depth <= 0:
+        return _make_node(machine, None, None)
+    return _make_node(
+        machine,
+        _make_tree(machine, depth - 1),
+        _make_tree(machine, depth - 1),
+    )
+
+
+def _tree_size(depth: int) -> int:
+    """Nodes in a complete binary tree of the given depth."""
+    return (1 << (depth + 1)) - 1
+
+
+def _check_tree(machine: Machine, node: SchemeValue, depth: int) -> int:
+    """Count nodes, verifying the expected complete-tree shape."""
+    if node is None:
+        return 0
+    count = 1
+    left = machine.car(node)
+    right = machine.cdr(node)
+    if depth > 0:
+        assert left is not None and right is not None, "tree truncated"
+    count += _check_tree(machine, left, depth - 1) if left is not None else 0
+    count += (
+        _check_tree(machine, right, depth - 1) if right is not None else 0
+    )
+    return count
+
+
+@dataclass(frozen=True)
+class GcBenchResult:
+    """Outcome of one GCBench run."""
+
+    min_depth: int
+    max_depth: int
+    long_lived_nodes: int
+    transient_trees: int
+    words_allocated: int
+
+
+def run_gcbench(
+    machine: Machine,
+    *,
+    min_depth: int = 4,
+    max_depth: int = 8,
+    long_lived_depth: int | None = None,
+    array_words: int = 500,
+) -> GcBenchResult:
+    """Run GCBench: transient tree pairs per depth + long-lived data."""
+    if min_depth < 1 or max_depth < min_depth:
+        raise ValueError(
+            f"need 1 <= min_depth <= max_depth, got {min_depth}, {max_depth}"
+        )
+    long_lived_depth = (
+        max_depth if long_lived_depth is None else long_lived_depth
+    )
+    words_before = machine.stats.words_allocated
+
+    # Long-lived structures, allocated up front as in the original.
+    long_lived = _make_node(machine, None, None)
+    _populate(machine, long_lived_depth, long_lived)
+    array = machine.make_vector(array_words)
+    for slot in range(0, array_words, 2):
+        machine.vector_set(array, slot, Fixnum(slot))
+
+    transient_trees = 0
+    for depth in range(min_depth, max_depth + 1, 2):
+        # As in the original: iterate so each depth allocates roughly
+        # the same storage as the deepest single tree.
+        iterations = max(1, _tree_size(max_depth) // _tree_size(depth))
+        for _ in range(iterations):
+            # Top-down.
+            temp = _make_node(machine, None, None)
+            _populate(machine, depth, temp)
+            del temp
+            # Bottom-up.
+            temp = _make_tree(machine, depth)
+            del temp
+            transient_trees += 2
+
+    long_lived_nodes = _check_tree(machine, long_lived, long_lived_depth)
+    assert long_lived_nodes == _tree_size(long_lived_depth), (
+        "long-lived tree corrupted by collection"
+    )
+    return GcBenchResult(
+        min_depth=min_depth,
+        max_depth=max_depth,
+        long_lived_nodes=long_lived_nodes,
+        transient_trees=transient_trees,
+        words_allocated=machine.stats.words_allocated - words_before,
+    )

@@ -1,0 +1,156 @@
+"""The nbody benchmark (Table 2: "inverse-square law simulation").
+
+The paper's nbody is an O(N) multipole simulation; its GC-relevant
+behaviour, though, is entirely due to Larceny's boxed flonums: "each
+of the ... floating point operations allocates 16 bytes of heap
+storage" (§7.2), producing an enormous allocation rate with a tiny
+live set (Table 3: 160 MB allocated, < 1 MB peak).  This reproduction
+uses a direct inverse-square integrator — the force law and the
+flonum-boxing behaviour are identical, only the asymptotic complexity
+differs, which is irrelevant to storage behaviour (documented in
+DESIGN.md).
+
+Bodies are heap vectors of boxed flonums; every arithmetic operation
+allocates a fresh 4-word flonum through the machine, exactly like the
+paper's Larceny.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.runtime.machine import Machine
+from repro.runtime.values import Ref
+
+__all__ = ["NBodyResult", "run_nbody"]
+
+# Body vector layout: [mass, x, y, z, vx, vy, vz], all boxed flonums.
+_MASS, _X, _Y, _Z, _VX, _VY, _VZ = range(7)
+
+
+def _make_bodies(machine: Machine, count: int, seed: int) -> list[Ref]:
+    rng = random.Random(seed)
+    bodies = []
+    for _ in range(count):
+        body = machine.make_vector(7)
+        machine.vector_set(body, _MASS, machine.make_flonum(rng.uniform(0.5, 2.0)))
+        for slot in (_X, _Y, _Z):
+            machine.vector_set(body, slot, machine.make_flonum(rng.uniform(-1, 1)))
+        for slot in (_VX, _VY, _VZ):
+            machine.vector_set(
+                body, slot, machine.make_flonum(rng.uniform(-0.1, 0.1))
+            )
+        bodies.append(body)
+    return bodies
+
+
+def _advance(machine: Machine, bodies: list[Ref], dt: Ref) -> None:
+    """One leapfrog step; every flonum operation allocates."""
+    fl = machine
+    count = len(bodies)
+    for i in range(count):
+        body_i = bodies[i]
+        ax = fl.make_flonum(0.0)
+        ay = fl.make_flonum(0.0)
+        az = fl.make_flonum(0.0)
+        for j in range(count):
+            if i == j:
+                continue
+            body_j = bodies[j]
+            dx = fl.fl_sub(fl.vector_ref(body_j, _X), fl.vector_ref(body_i, _X))
+            dy = fl.fl_sub(fl.vector_ref(body_j, _Y), fl.vector_ref(body_i, _Y))
+            dz = fl.fl_sub(fl.vector_ref(body_j, _Z), fl.vector_ref(body_i, _Z))
+            d2 = fl.fl_add(
+                fl.fl_add(fl.fl_mul(dx, dx), fl.fl_mul(dy, dy)),
+                fl.fl_add(fl.fl_mul(dz, dz), fl.make_flonum(1e-4)),
+            )
+            inv_d3 = fl.fl_div(
+                fl.make_flonum(1.0), fl.fl_mul(d2, fl.fl_sqrt(d2))
+            )
+            scale = fl.fl_mul(fl.vector_ref(body_j, _MASS), inv_d3)
+            ax = fl.fl_add(ax, fl.fl_mul(dx, scale))
+            ay = fl.fl_add(ay, fl.fl_mul(dy, scale))
+            az = fl.fl_add(az, fl.fl_mul(dz, scale))
+        fl.vector_set(
+            body_i, _VX, fl.fl_add(fl.vector_ref(body_i, _VX), fl.fl_mul(ax, dt))
+        )
+        fl.vector_set(
+            body_i, _VY, fl.fl_add(fl.vector_ref(body_i, _VY), fl.fl_mul(ay, dt))
+        )
+        fl.vector_set(
+            body_i, _VZ, fl.fl_add(fl.vector_ref(body_i, _VZ), fl.fl_mul(az, dt))
+        )
+    for body in bodies:
+        for pos, vel in ((_X, _VX), (_Y, _VY), (_Z, _VZ)):
+            fl.vector_set(
+                body,
+                pos,
+                fl.fl_add(
+                    fl.vector_ref(body, pos),
+                    fl.fl_mul(fl.vector_ref(body, vel), dt),
+                ),
+            )
+
+
+def _energy(machine: Machine, bodies: list[Ref]) -> float:
+    """Total energy (host-side floats; a correctness probe, not workload)."""
+    def fv(body: Ref, slot: int) -> float:
+        return machine.flonum_value(machine.vector_ref(body, slot))
+
+    total = 0.0
+    for i, body_i in enumerate(bodies):
+        mass_i = fv(body_i, _MASS)
+        speed2 = fv(body_i, _VX) ** 2 + fv(body_i, _VY) ** 2 + fv(body_i, _VZ) ** 2
+        total += 0.5 * mass_i * speed2
+        for body_j in bodies[i + 1 :]:
+            dx = fv(body_i, _X) - fv(body_j, _X)
+            dy = fv(body_i, _Y) - fv(body_j, _Y)
+            dz = fv(body_i, _Z) - fv(body_j, _Z)
+            distance = (dx * dx + dy * dy + dz * dz + 1e-4) ** 0.5
+            total -= mass_i * fv(body_j, _MASS) / distance
+    return total
+
+
+@dataclass(frozen=True)
+class NBodyResult:
+    """Outcome of one nbody run."""
+
+    bodies: int
+    steps: int
+    initial_energy: float
+    final_energy: float
+    words_allocated: int
+
+    @property
+    def energy_drift(self) -> float:
+        return abs(self.final_energy - self.initial_energy)
+
+
+def run_nbody(
+    machine: Machine,
+    *,
+    bodies: int = 32,
+    steps: int = 8,
+    dt: float = 1e-3,
+    seed: int = 20,
+) -> NBodyResult:
+    """Run the benchmark: integrate ``bodies`` bodies for ``steps`` steps."""
+    if bodies < 2:
+        raise ValueError(f"need at least 2 bodies, got {bodies!r}")
+    if steps < 1:
+        raise ValueError(f"need at least 1 step, got {steps!r}")
+    body_list = _make_bodies(machine, bodies, seed)
+    words_before = machine.stats.words_allocated
+    initial = _energy(machine, body_list)
+    dt_flonum = machine.make_flonum(dt)
+    for _ in range(steps):
+        _advance(machine, body_list, dt_flonum)
+    final = _energy(machine, body_list)
+    return NBodyResult(
+        bodies=bodies,
+        steps=steps,
+        initial_energy=initial,
+        final_energy=final,
+        words_allocated=machine.stats.words_allocated - words_before,
+    )

@@ -1,0 +1,161 @@
+"""The perm benchmark: Zorn's permutation generator.
+
+Another classic storage benchmark of the paper's era (Zorn used it to
+study conservative collection [41]; Larceny's own suite carries a
+version).  ``perm`` generates all permutations of an n-element list
+with the Zaks/Shen recursive algorithm, keeping every permutation in
+an accumulator.  Its storage pattern complements the paper's six: the
+accumulated permutations form a *queue of the ages* — storage survives
+from its creation until the whole accumulator is dropped, so survival
+rates are high and flat at every age, like the decay model's late
+tail but deterministic.
+
+``mpermNKL``-style batching (keep K batches of N! permutations,
+dropping the oldest) gives the bounded variant used to stress
+old-generation collection: the oldest storage is always the next to
+die, the iterated-process signature again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.interop import from_list
+from repro.runtime.machine import Machine
+from repro.runtime.values import SchemeValue
+
+__all__ = ["PermResult", "run_mperm", "run_perm"]
+
+
+def _permutations(machine: Machine, items: SchemeValue) -> SchemeValue:
+    """All permutations of a list, as a list of lists (pure consing).
+
+    The classic ``(permutations x)`` of the Scheme benchmark: for each
+    rotation of the list, permute the tail and cons the head onto
+    every result.
+    """
+    if items is None:
+        return machine.cons(None, None)  # one empty permutation
+
+    results: SchemeValue = None
+    rotations = _rotations(machine, items)
+    while rotations is not None:
+        rotation = machine.car(rotations)
+        head = machine.car(rotation)
+        tail = machine.cdr(rotation)
+        sub_permutations = _permutations(machine, tail)
+        while sub_permutations is not None:
+            permutation = machine.cons(
+                head, machine.car(sub_permutations)
+            )
+            results = machine.cons(permutation, results)
+            sub_permutations = machine.cdr(sub_permutations)
+        rotations = machine.cdr(rotations)
+    return results
+
+
+def _rotations(machine: Machine, items: SchemeValue) -> SchemeValue:
+    """All rotations of a list, each a freshly consed list."""
+    length = 0
+    probe = items
+    while probe is not None:
+        length += 1
+        probe = machine.cdr(probe)
+    results: SchemeValue = None
+    current = items
+    for _ in range(length):
+        # Rebuild the rotation starting at `current`.
+        rotation = _append(machine, current, _take_until(machine, items, current))
+        results = machine.cons(rotation, results)
+        current = machine.cdr(current)
+    return results
+
+
+def _take_until(
+    machine: Machine, items: SchemeValue, stop: SchemeValue
+) -> SchemeValue:
+    """The prefix of ``items`` before the ``stop`` cell, freshly consed."""
+    if items is stop or (items == stop):
+        return None
+    return machine.cons(
+        machine.car(items), _take_until(machine, machine.cdr(items), stop)
+    )
+
+
+def _append(
+    machine: Machine, front: SchemeValue, back: SchemeValue
+) -> SchemeValue:
+    if front is None:
+        return back
+    return machine.cons(
+        machine.car(front), _append(machine, machine.cdr(front), back)
+    )
+
+
+def _count(machine: Machine, items: SchemeValue) -> int:
+    count = 0
+    while items is not None:
+        count += 1
+        items = machine.cdr(items)
+    return count
+
+
+@dataclass(frozen=True)
+class PermResult:
+    """Outcome of one perm run."""
+
+    n: int
+    permutation_count: int
+    batches: int
+    words_allocated: int
+
+
+def run_perm(machine: Machine, n: int = 5) -> PermResult:
+    """Generate (and hold) all n! permutations of (1 .. n)."""
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n!r}")
+    words_before = machine.stats.words_allocated
+    items = from_list(machine, list(range(1, n + 1)))
+    permutations = _permutations(machine, items)
+    count = _count(machine, permutations)
+    expected = 1
+    for factor in range(2, n + 1):
+        expected *= factor
+    assert count == expected, f"expected {expected} permutations, got {count}"
+    return PermResult(
+        n=n,
+        permutation_count=count,
+        batches=1,
+        words_allocated=machine.stats.words_allocated - words_before,
+    )
+
+
+def run_mperm(
+    machine: Machine, n: int = 5, *, keep: int = 3, batches: int = 8
+) -> PermResult:
+    """The mpermNKL variant: a sliding window of permutation batches.
+
+    Keeps the ``keep`` most recent batches alive, dropping the oldest
+    on each new batch — old storage is always the next to die.
+    """
+    if keep < 1 or batches < keep:
+        raise ValueError(
+            f"need 1 <= keep <= batches, got keep={keep!r}, "
+            f"batches={batches!r}"
+        )
+    words_before = machine.stats.words_allocated
+    window: list[SchemeValue] = []
+    count = 0
+    for _ in range(batches):
+        items = from_list(machine, list(range(1, n + 1)))
+        batch = _permutations(machine, items)
+        count = _count(machine, batch)
+        window.append(batch)
+        if len(window) > keep:
+            window.pop(0)  # the mass extinction of the oldest batch
+    return PermResult(
+        n=n,
+        permutation_count=count,
+        batches=batches,
+        words_allocated=machine.stats.words_allocated - words_before,
+    )

@@ -1,0 +1,146 @@
+"""Conversion helpers between Python data and Scheme runtime data.
+
+The benchmark programs build their working sets through the machine's
+constructors; these helpers cover the recurring patterns (proper
+lists, vectors of values, symbol lists) so benchmark code reads like
+the Scheme it reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.runtime.machine import Machine
+from repro.runtime.values import Fixnum, Ref, SchemeValue
+
+__all__ = [
+    "from_list",
+    "list_length",
+    "list_ref",
+    "scheme_equal",
+    "to_list",
+    "to_python",
+]
+
+
+def from_list(machine: Machine, values: Sequence[SchemeValue]) -> SchemeValue:
+    """Build a proper list (chain of pairs) from Python values.
+
+    Elements may be immediates, handles, nested Python lists (converted
+    recursively), Python ints (converted to fixnums), Python floats
+    (boxed as flonums), and Python strings (interned as symbols —
+    the convenient default for benchmark source expressions).
+    """
+    result: SchemeValue = None
+    for value in reversed(values):
+        result = machine.cons(_convert(machine, value), result)
+    return result
+
+
+def _convert(machine: Machine, value: object) -> SchemeValue:
+    if isinstance(value, (list, tuple)):
+        return from_list(machine, list(value))
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return Fixnum(value)
+    if isinstance(value, float):
+        return machine.make_flonum(value)
+    if isinstance(value, str):
+        return machine.intern(value)
+    return value  # already a SchemeValue (Ref, Fixnum, None, ...)
+
+
+def to_list(machine: Machine, value: SchemeValue) -> list[SchemeValue]:
+    """Flatten a proper list into a Python list of Scheme values."""
+    out: list[SchemeValue] = []
+    while value is not None:
+        if not (isinstance(value, Ref) and value.is_pair()):
+            raise TypeError(f"improper list: unexpected tail {value!r}")
+        out.append(machine.car(value))
+        value = machine.cdr(value)
+    return out
+
+
+def to_python(machine: Machine, value: SchemeValue) -> object:
+    """Deep-convert a Scheme value to plain Python data (for asserts).
+
+    The empty list converts to ``[]`` (nil *is* the empty list in this
+    runtime, exactly as in Scheme).
+    """
+    if value is None:
+        return []
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Fixnum):
+        return value.value
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Ref):
+        if value.is_pair():
+            return [to_python(machine, item) for item in to_list(machine, value)]
+        if value.is_symbol():
+            return machine.symbol_name(value)
+        if value.is_string():
+            return machine.string_value(value)
+        if value.is_flonum():
+            return machine.flonum_value(value)
+        if value.is_vector():
+            return tuple(
+                to_python(machine, machine.vector_ref(value, index))
+                for index in range(machine.vector_length(value))
+            )
+    raise TypeError(f"cannot convert {value!r} to Python data")
+
+
+def list_length(machine: Machine, value: SchemeValue) -> int:
+    count = 0
+    while value is not None:
+        count += 1
+        value = machine.cdr(value)
+    return count
+
+
+def list_ref(machine: Machine, value: SchemeValue, index: int) -> SchemeValue:
+    for _ in range(index):
+        value = machine.cdr(value)
+    return machine.car(value)
+
+
+def scheme_equal(machine: Machine, a: SchemeValue, b: SchemeValue) -> bool:
+    """Structural equality (Scheme's ``equal?``) over runtime values."""
+    stack: list[tuple[SchemeValue, SchemeValue]] = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if x is None or isinstance(x, (bool, Fixnum, str)):
+            if x != y:
+                return False
+            continue
+        if not isinstance(x, Ref) or not isinstance(y, Ref):
+            return False
+        if x == y:
+            continue
+        if x.kind != y.kind:
+            return False
+        if x.is_pair():
+            stack.append((machine.car(x), machine.car(y)))
+            stack.append((machine.cdr(x), machine.cdr(y)))
+        elif x.is_vector():
+            if machine.vector_length(x) != machine.vector_length(y):
+                return False
+            for index in range(machine.vector_length(x)):
+                stack.append(
+                    (
+                        machine.vector_ref(x, index),
+                        machine.vector_ref(y, index),
+                    )
+                )
+        elif x.is_string():
+            if machine.string_value(x) != machine.string_value(y):
+                return False
+        elif x.is_flonum():
+            if machine.flonum_value(x) != machine.flonum_value(y):
+                return False
+        else:
+            return False  # distinct symbols or unknown kinds
+    return True

@@ -1,0 +1,369 @@
+"""The runtime machine: heap + collector + write barrier + roots.
+
+:class:`Machine` is the mutator-facing façade the benchmark programs
+run against.  It wires together a simulated heap, a collector, the
+write barrier, the root set, and a static area for interned symbols,
+and exposes Scheme-flavoured constructors and accessors (``cons``,
+``car``, ``vector_set``, flonum arithmetic, ...).
+
+Rooting model: every live :class:`~repro.runtime.values.Ref` handle
+held by Python code is a GC root, via a root provider registered with
+the root set.  This mirrors the stack maps/handle scopes of real
+runtimes and lets benchmark code be written as ordinary Python while
+remaining GC-safe (a collection can strike inside any constructor).
+
+Static area discipline: objects in the static area (symbols and their
+names) are immutable after creation and may only reference other
+static objects.  Collectors treat the static area as a boundary — it
+is never condemned — so a static-to-dynamic pointer would be unsound;
+the machine rejects such stores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.gc.collector import Collector
+from repro.gc.stats import GcStats
+from repro.heap.barrier import WriteBarrier
+from repro.heap.heap import HeapError, SimulatedHeap
+from repro.heap.object_model import HeapObject
+from repro.heap.roots import RootSet
+from repro.runtime.values import (
+    FLONUM_WORDS,
+    PAIR_WORDS,
+    SYMBOL_WORDS,
+    Fixnum,
+    Ref,
+    SchemeValue,
+    word_size_of_string,
+    word_size_of_vector,
+)
+
+__all__ = ["CollectorFactory", "Machine"]
+
+#: Builds a collector over a freshly created heap and root set.
+CollectorFactory = Callable[[SimulatedHeap, RootSet], Collector]
+
+
+class Machine:
+    """A complete simulated runtime for one benchmark execution."""
+
+    def __init__(self, collector_factory: CollectorFactory) -> None:
+        self.heap = SimulatedHeap()
+        self.roots = RootSet()
+        self.collector = collector_factory(self.heap, self.roots)
+        self.barrier = WriteBarrier(self.collector.remember_store)
+        self.static = self.heap.add_space("static", None)
+        self._handles: dict[int, int] = {}
+        self.roots.add_provider(self._handle_ids)
+        self._symbols: dict[str, Ref] = {}
+        #: Callbacks invoked with each dynamically allocated object.
+        self._allocation_hooks: list[Callable[[HeapObject], None]] = []
+        #: Mutator operations executed (reads, stores, arithmetic).
+        #: Together with words allocated this is the simulator's proxy
+        #: for "mutator time" in Table 3: programs like sboyer that
+        #: trade allocation for pointer comparisons keep their mutator
+        #: cost while shedding their GC cost.
+        self.operations = 0
+
+    # ------------------------------------------------------------------
+    # Handles (Python-side roots)
+    # ------------------------------------------------------------------
+
+    def _retain(self, obj_id: int) -> None:
+        self._handles[obj_id] = self._handles.get(obj_id, 0) + 1
+
+    def _release(self, obj_id: int) -> None:
+        count = self._handles.get(obj_id)
+        if count is None:
+            return
+        if count <= 1:
+            del self._handles[obj_id]
+        else:
+            self._handles[obj_id] = count - 1
+
+    def _handle_ids(self) -> Iterable[int]:
+        # Snapshot: a handle's __del__ may run at any bytecode, and
+        # mutating the dict during root enumeration would be an error.
+        return list(self._handles)
+
+    @property
+    def handle_count(self) -> int:
+        return len(self._handles)
+
+    # ------------------------------------------------------------------
+    # Value encoding
+    # ------------------------------------------------------------------
+
+    def _encode(self, value: SchemeValue) -> object:
+        """Program value -> slot value (id for handles, raw immediates)."""
+        if isinstance(value, Ref):
+            return value.obj.obj_id
+        if value is None or isinstance(value, (bool, Fixnum)):
+            return value
+        if isinstance(value, str) and len(value) == 1:
+            return value  # a character immediate
+        if isinstance(value, (int, float)):
+            raise TypeError(
+                f"raw Python numbers cannot be stored in the heap; wrap "
+                f"ints with Fixnum and box floats with make_flonum "
+                f"(got {value!r})"
+            )
+        raise TypeError(f"not a storable Scheme value: {value!r}")
+
+    def _decode(self, slot_value: object) -> SchemeValue:
+        """Slot value -> program value (ids become fresh handles)."""
+        if type(slot_value) is int:
+            return Ref(self, self.heap.get(slot_value))
+        return slot_value
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+
+    def _store(self, obj: HeapObject, slot: int, value: SchemeValue) -> None:
+        self.operations += 1
+        encoded = self._encode(value)
+        target = self.heap.get(encoded) if type(encoded) is int else None
+        if obj.space is self.static and target is not None:
+            if target.space is not self.static:
+                raise HeapError(
+                    "static objects may only reference static objects"
+                )
+        self.barrier.on_store(obj, slot, target)
+        self.heap.write_slot(obj, slot, encoded)
+
+    def _require(self, value: SchemeValue, kind: str) -> HeapObject:
+        if not isinstance(value, Ref) or value.obj.kind != kind:
+            raise TypeError(f"expected a {kind}, got {value!r}")
+        return value.obj
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    def _notify(self, obj: HeapObject) -> None:
+        for hook in self._allocation_hooks:
+            hook(obj)
+
+    def add_allocation_hook(self, hook: Callable[[HeapObject], None]) -> None:
+        self._allocation_hooks.append(hook)
+
+    def cons(self, car: SchemeValue, cdr: SchemeValue) -> Ref:
+        """Allocate a pair (2 words)."""
+        obj = self.collector.allocate(PAIR_WORDS, 2, "pair")
+        ref = Ref(self, obj)
+        self._store(obj, 0, car)
+        self._store(obj, 1, cdr)
+        self._notify(obj)
+        return ref
+
+    def make_vector(self, length: int, fill: SchemeValue = None) -> Ref:
+        """Allocate a vector (length + 1 words)."""
+        obj = self.collector.allocate(
+            word_size_of_vector(length), length, "vector"
+        )
+        ref = Ref(self, obj)
+        if fill is not None:
+            for slot in range(length):
+                self._store(obj, slot, fill)
+        self._notify(obj)
+        return ref
+
+    def make_flonum(self, value: float) -> Ref:
+        """Box an IEEE double (4 words, §7.2's flonum representation)."""
+        obj = self.collector.allocate(FLONUM_WORDS, 0, "flonum")
+        obj.payload = float(value)
+        ref = Ref(self, obj)
+        self._notify(obj)
+        return ref
+
+    def make_string(self, text: str) -> Ref:
+        """Allocate a string (1 + ceil(n/4) words)."""
+        obj = self.collector.allocate(
+            word_size_of_string(len(text)), 0, "string"
+        )
+        obj.payload = text
+        ref = Ref(self, obj)
+        self._notify(obj)
+        return ref
+
+    def intern(self, name: str) -> Ref:
+        """Return the interned symbol for ``name`` (static area).
+
+        Symbols and their print names live in the static area, are
+        never collected, and do not advance the allocation clock —
+        matching the paper's setup, where the static area holds "code,
+        constants, and global data" outside the measured heap.
+        """
+        existing = self._symbols.get(name)
+        if existing is not None:
+            return existing
+        string_obj = self.heap.allocate(
+            word_size_of_string(len(name)),
+            0,
+            self.static,
+            "string",
+            advance_clock=False,
+        )
+        string_obj.payload = name
+        symbol_obj = self.heap.allocate(
+            SYMBOL_WORDS, 1, self.static, "symbol", advance_clock=False
+        )
+        symbol_obj.payload = name
+        self.heap.write_field(symbol_obj, 0, string_obj)
+        ref = Ref(self, symbol_obj)
+        self._symbols[name] = ref
+        return ref
+
+    # ------------------------------------------------------------------
+    # Pairs
+    # ------------------------------------------------------------------
+
+    def car(self, pair: SchemeValue) -> SchemeValue:
+        self.operations += 1
+        return self._decode(self._require(pair, "pair").fields[0])
+
+    def cdr(self, pair: SchemeValue) -> SchemeValue:
+        self.operations += 1
+        return self._decode(self._require(pair, "pair").fields[1])
+
+    def set_car(self, pair: SchemeValue, value: SchemeValue) -> None:
+        self._store(self._require(pair, "pair"), 0, value)
+
+    def set_cdr(self, pair: SchemeValue, value: SchemeValue) -> None:
+        self._store(self._require(pair, "pair"), 1, value)
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def vector_length(self, vector: SchemeValue) -> int:
+        return len(self._require(vector, "vector").fields)
+
+    def vector_ref(self, vector: SchemeValue, index: int) -> SchemeValue:
+        self.operations += 1
+        obj = self._require(vector, "vector")
+        if not 0 <= index < len(obj.fields):
+            raise IndexError(
+                f"vector index {index} out of range 0..{len(obj.fields) - 1}"
+            )
+        return self._decode(obj.fields[index])
+
+    def vector_set(
+        self, vector: SchemeValue, index: int, value: SchemeValue
+    ) -> None:
+        obj = self._require(vector, "vector")
+        if not 0 <= index < len(obj.fields):
+            raise IndexError(
+                f"vector index {index} out of range 0..{len(obj.fields) - 1}"
+            )
+        self._store(obj, index, value)
+
+    # ------------------------------------------------------------------
+    # Strings and symbols
+    # ------------------------------------------------------------------
+
+    def string_value(self, string: SchemeValue) -> str:
+        return str(self._require(string, "string").payload)
+
+    def symbol_name(self, symbol: SchemeValue) -> str:
+        return str(self._require(symbol, "symbol").payload)
+
+    # ------------------------------------------------------------------
+    # Flonums
+    # ------------------------------------------------------------------
+
+    def flonum_value(self, flonum: SchemeValue) -> float:
+        self.operations += 1
+        payload = self._require(flonum, "flonum").payload
+        assert isinstance(payload, float)
+        return payload
+
+    def _flonum_binop(
+        self, a: SchemeValue, b: SchemeValue, op: Callable[[float, float], float]
+    ) -> Ref:
+        result = op(self.flonum_value(a), self.flonum_value(b))
+        return self.make_flonum(result)
+
+    def fl_add(self, a: SchemeValue, b: SchemeValue) -> Ref:
+        """Flonum addition: allocates the boxed result, as Larceny does."""
+        return self._flonum_binop(a, b, lambda x, y: x + y)
+
+    def fl_sub(self, a: SchemeValue, b: SchemeValue) -> Ref:
+        return self._flonum_binop(a, b, lambda x, y: x - y)
+
+    def fl_mul(self, a: SchemeValue, b: SchemeValue) -> Ref:
+        return self._flonum_binop(a, b, lambda x, y: x * y)
+
+    def fl_div(self, a: SchemeValue, b: SchemeValue) -> Ref:
+        return self._flonum_binop(a, b, lambda x, y: x / y)
+
+    def fl_sqrt(self, a: SchemeValue) -> Ref:
+        return self.make_flonum(self.flonum_value(a) ** 0.5)
+
+    def fl_less(self, a: SchemeValue, b: SchemeValue) -> bool:
+        return self.flonum_value(a) < self.flonum_value(b)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+
+    def collect(self) -> None:
+        """Request a full collection (the paper's mutator-initiated GC)."""
+        self.collector.collect()
+
+    def full_collect_to_static(self) -> int:
+        """§8.4's full collection: promote all live storage to static.
+
+        "A full collection empties the remembered set and promotes all
+        live storage to the static area.  Full collections occur only
+        when requested explicitly by the mutator."  Returns the words
+        promoted.  Promoted objects fall under the static-area
+        discipline: later stores into them may only reference static
+        objects (new dynamic data must not be reachable from the
+        uncollected static area).
+        """
+        heap = self.heap
+        reached = heap.reachable_from(self.roots.ids())
+        promoted = 0
+        for obj_id in reached:
+            obj = heap.get(obj_id)
+            if obj.space is not self.static:
+                heap.move(obj, self.static)
+                promoted += obj.size
+        # Everything left in a dynamic space is garbage.
+        for space in list(heap.spaces()):
+            if space is self.static:
+                continue
+            for obj in list(space.objects()):
+                heap.free(obj)
+        self.collector.on_static_promotion()
+        return promoted
+
+    @property
+    def stats(self) -> GcStats:
+        return self.collector.stats
+
+    @property
+    def clock(self) -> int:
+        """Words of dynamic allocation so far (the time axis)."""
+        return self.heap.clock
+
+    @property
+    def mutator_work(self) -> int:
+        """Mutator time proxy: words allocated plus operations executed."""
+        return self.stats.words_allocated + self.operations
+
+    def live_words(self) -> int:
+        """Words currently reachable from the roots (an exact trace)."""
+        total = 0
+        for obj_id in self.heap.reachable_from(self.roots.ids()):
+            obj = self.heap.get(obj_id)
+            if obj.space is not self.static:
+                total += obj.size
+        return total
+
+    def describe(self) -> str:
+        return f"machine({self.collector.describe()})"

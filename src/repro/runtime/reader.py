@@ -1,0 +1,165 @@
+"""An S-expression reader producing heap-allocated Scheme data.
+
+The paper's benchmarks are Scheme programs; the interpreter
+(:mod:`repro.runtime.interp`) runs a useful subset of Scheme directly
+against the simulated heap, and this reader turns program text into
+the heap list structure the interpreter evaluates.  Reading allocates
+— exactly as ``read`` does in a real Scheme — so "the source code is
+read only once, before the measured portion" is a meaningful sentence
+here too.
+
+Supported syntax: proper lists, dotted pairs, integers (fixnums),
+decimals (boxed flonums), ``#t``/``#f``, characters ``#\\x``,
+strings, symbols, ``'x`` quote sugar, and ``;`` comments.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.machine import Machine
+from repro.runtime.values import Fixnum, SchemeValue
+
+__all__ = ["ReaderError", "read", "read_all"]
+
+
+class ReaderError(ValueError):
+    """Malformed program text."""
+
+
+_DELIMITERS = set("()'\";")
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+        elif char == ";":
+            while index < length and text[index] != "\n":
+                index += 1
+        elif char in "()'":
+            tokens.append(char)
+            index += 1
+        elif char == '"':
+            end = index + 1
+            while end < length and text[end] != '"':
+                end += 1
+            if end >= length:
+                raise ReaderError("unterminated string literal")
+            tokens.append(text[index : end + 1])
+            index = end + 1
+        elif char == "#" and index + 1 < length and text[index + 1] == "\\":
+            if index + 2 >= length:
+                raise ReaderError("unterminated character literal")
+            tokens.append(text[index : index + 3])
+            index += 3
+        else:
+            end = index
+            while (
+                end < length
+                and not text[end].isspace()
+                and text[end] not in _DELIMITERS
+            ):
+                end += 1
+            tokens.append(text[index:end])
+            index = end
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self) -> str | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ReaderError("unexpected end of input")
+        self._position += 1
+        return token
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._tokens)
+
+
+def _atom(machine: Machine, token: str) -> SchemeValue:
+    if token == "#t":
+        return True
+    if token == "#f":
+        return False
+    if token.startswith("#\\"):
+        return token[2]  # a character immediate
+    if token.startswith('"'):
+        return machine.make_string(token[1:-1])
+    try:
+        return Fixnum(int(token))
+    except ValueError:
+        pass
+    try:
+        return machine.make_flonum(float(token))
+    except ValueError:
+        pass
+    return machine.intern(token)
+
+
+def _read_expr(machine: Machine, stream: _TokenStream) -> SchemeValue:
+    token = stream.next()
+    if token == "'":
+        quoted = _read_expr(machine, stream)
+        return machine.cons(
+            machine.intern("quote"), machine.cons(quoted, None)
+        )
+    if token == "(":
+        return _read_list(machine, stream)
+    if token == ")":
+        raise ReaderError("unexpected ')'")
+    return _atom(machine, token)
+
+
+def _read_list(machine: Machine, stream: _TokenStream) -> SchemeValue:
+    items: list[SchemeValue] = []
+    tail: SchemeValue = None
+    while True:
+        token = stream.peek()
+        if token is None:
+            raise ReaderError("unterminated list")
+        if token == ")":
+            stream.next()
+            break
+        if token == ".":
+            stream.next()
+            tail = _read_expr(machine, stream)
+            if stream.next() != ")":
+                raise ReaderError("malformed dotted pair")
+            break
+        items.append(_read_expr(machine, stream))
+    result = tail
+    for item in reversed(items):
+        result = machine.cons(item, result)
+    return result
+
+
+def read(machine: Machine, text: str) -> SchemeValue:
+    """Read exactly one expression from the text."""
+    stream = _TokenStream(_tokenize(text))
+    expr = _read_expr(machine, stream)
+    if not stream.exhausted:
+        raise ReaderError("trailing tokens after expression")
+    return expr
+
+
+def read_all(machine: Machine, text: str) -> list[SchemeValue]:
+    """Read every expression in the text (a program)."""
+    stream = _TokenStream(_tokenize(text))
+    expressions = []
+    while not stream.exhausted:
+        expressions.append(_read_expr(machine, stream))
+    return expressions

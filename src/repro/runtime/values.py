@@ -1,0 +1,173 @@
+"""Scheme-ish runtime values over the simulated heap.
+
+The benchmark programs of Section 7 are Scheme programs; to reproduce
+their allocation behaviour we provide a small Scheme-like data model
+whose heap-allocated values live in the simulated heap:
+
+==========  =====================  =========================
+value       representation         heap cost (32-bit words)
+==========  =====================  =========================
+fixnum      :class:`Fixnum`        0 (immediate)
+boolean     Python ``bool``        0 (immediate)
+character   1-char Python ``str``  0 (immediate)
+empty list  Python ``None``        0 (immediate)
+pair        heap object "pair"     2
+flonum      heap object "flonum"   4 (header, pad, 8 data bytes)
+vector      heap object "vector"   length + 1
+string      heap object "string"   ceil(length/4) + 1
+symbol      heap object "symbol"   4 (interned, static area)
+==========  =====================  =========================
+
+The flonum cost reproduces the paper's observation (§7.2) that "each
+of the 7 million floating point operations in nucleic2 allocates 16
+bytes of heap storage: a header word, a word of padding, and two data
+words".
+
+Heap values are handled through :class:`Ref`, a smart handle: while a
+``Ref`` is alive in Python, the object it names is a GC root (the
+machine registers a root provider enumerating live handles).  This
+plays the role of the register/stack map a real runtime maintains, and
+CPython's reference counting releases handles promptly, so death times
+remain accurate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.heap.object_model import HeapObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.machine import Machine
+
+__all__ = [
+    "Fixnum",
+    "Ref",
+    "SchemeValue",
+    "fx",
+    "word_size_of_string",
+    "word_size_of_vector",
+    "FLONUM_WORDS",
+    "PAIR_WORDS",
+    "SYMBOL_WORDS",
+]
+
+#: Heap cost of a pair (car + cdr; headerless cons cells, as in Larceny).
+PAIR_WORDS = 2
+#: Heap cost of a boxed IEEE double (§7.2: header, pad, two data words).
+FLONUM_WORDS = 4
+#: Heap cost of an interned symbol (header, name, hash, property slot).
+SYMBOL_WORDS = 4
+
+
+def word_size_of_vector(length: int) -> int:
+    """Vector of n elements: header word plus one word per element."""
+    if length < 0:
+        raise ValueError(f"vector length must be non-negative, got {length!r}")
+    return length + 1
+
+
+def word_size_of_string(length: int) -> int:
+    """String of n characters: header word plus 4 packed chars per word."""
+    if length < 0:
+        raise ValueError(f"string length must be non-negative, got {length!r}")
+    return 1 + (length + 3) // 4
+
+
+class Fixnum:
+    """An immediate small integer (never heap-allocated).
+
+    Raw Python ints cannot be stored in heap slots — the heap encodes
+    references as ints — so fixnums are wrapped.  Small values are
+    cached, mirroring tagged-immediate hardware where fixnums are free.
+    """
+
+    __slots__ = ("value",)
+    _cache: dict[int, "Fixnum"] = {}
+
+    def __new__(cls, value: int) -> "Fixnum":
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"fixnum requires an int, got {value!r}")
+        cached = cls._cache.get(value)
+        if cached is not None:
+            return cached
+        instance = super().__new__(cls)
+        instance.value = value
+        if -1024 <= value <= 1024:
+            cls._cache[value] = instance
+        return instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Fixnum) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("fx", self.value))
+
+    def __repr__(self) -> str:
+        return f"Fixnum({self.value})"
+
+
+def fx(value: int) -> Fixnum:
+    """Shorthand constructor for fixnums."""
+    return Fixnum(value)
+
+
+class Ref:
+    """A rooted handle to a heap object.
+
+    Creating a ``Ref`` registers its object with the machine's handle
+    table (making it a root); dropping the last Python reference
+    unregisters it.  Two handles are equal iff they name the same heap
+    object.
+    """
+
+    __slots__ = ("machine", "obj", "__weakref__")
+
+    def __init__(self, machine: "Machine", obj: HeapObject) -> None:
+        self.machine = machine
+        self.obj = obj
+        machine._retain(obj.obj_id)
+
+    def __del__(self) -> None:  # pragma: no cover - exercised implicitly
+        try:
+            self.machine._release(self.obj.obj_id)
+        except Exception:
+            # Interpreter shutdown can tear the machine down first;
+            # losing a release then is harmless.
+            pass
+
+    @property
+    def kind(self) -> str:
+        return self.obj.kind
+
+    @property
+    def obj_id(self) -> int:
+        return self.obj.obj_id
+
+    def is_pair(self) -> bool:
+        return self.obj.kind == "pair"
+
+    def is_vector(self) -> bool:
+        return self.obj.kind == "vector"
+
+    def is_string(self) -> bool:
+        return self.obj.kind == "string"
+
+    def is_symbol(self) -> bool:
+        return self.obj.kind == "symbol"
+
+    def is_flonum(self) -> bool:
+        return self.obj.kind == "flonum"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ref) and other.obj.obj_id == self.obj.obj_id
+
+    def __hash__(self) -> int:
+        return hash(("ref", self.obj.obj_id))
+
+    def __repr__(self) -> str:
+        return f"Ref({self.obj.kind}#{self.obj.obj_id})"
+
+
+#: The union of program-visible values: immediates and handles.
+SchemeValue = object

@@ -1,0 +1,48 @@
+"""A non-collecting "collector" used for lifetime measurement runs.
+
+Lifetime measurement must observe deaths without a real collection
+policy interfering, so measurement runs use this collector: a single
+unbounded space, no automatic collections.  The
+:class:`~repro.trace.recorder.LifetimeRecorder` reclaims unreachable
+objects itself at epoch boundaries (so memory stays bounded) and logs
+their death times.
+"""
+
+from __future__ import annotations
+
+from repro.gc.collector import Collector
+from repro.heap.heap import SimulatedHeap
+from repro.heap.object_model import HeapObject
+from repro.heap.roots import RootSet
+
+__all__ = ["TracingCollector"]
+
+
+class TracingCollector(Collector):
+    """Unbounded allocation, no policy: the measurement substrate."""
+
+    name = "tracing"
+
+    def __init__(self, heap: SimulatedHeap, roots: RootSet) -> None:
+        super().__init__(heap, roots)
+        self.space = heap.add_space("trace-heap", None)
+
+    def allocate(
+        self, size: int, field_count: int = 0, kind: str = "data"
+    ) -> HeapObject:
+        obj = self.heap.allocate(size, field_count, self.space, kind)
+        self._record_allocation(obj)
+        return obj
+
+    def collect(self) -> None:
+        """Reclaim unreachable objects without any work accounting.
+
+        Provided so that mutator-requested full collections (some
+        benchmarks call them between phases) behave sensibly during a
+        measurement run; the recorder's own epoch sweeps are the usual
+        reclamation path.
+        """
+        reached = self.heap.reachable_from(self.roots.ids())
+        for obj in list(self.space.objects()):
+            if obj.obj_id not in reached:
+                self.heap.free(obj)

@@ -1,0 +1,97 @@
+"""Trace records: the birth and death of every object in a run.
+
+The paper's Section 7 measurements (live-storage profiles, survival
+rates by age) are functions of each object's *lifetime*: the interval
+of allocation-clock time during which it is reachable.  An
+:class:`ObjectRecord` captures one object's interval; a
+:class:`LifetimeTrace` is the collection of records for a whole run
+plus the clock bounds of the measured window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["LifetimeTrace", "ObjectRecord"]
+
+
+@dataclass
+class ObjectRecord:
+    """One object's lifetime.
+
+    Attributes:
+        obj_id: the heap id of the object.
+        size: size in words.
+        birth: allocation clock at allocation.
+        death: allocation clock at which the object was first observed
+            unreachable, or ``None`` if it survived to the end of the
+            measured run.  Death times are quantized to the sampling
+            epoch, exactly as the paper's byte-granularity tables are.
+        kind: the runtime kind tag ("pair", "flonum", ...).
+    """
+
+    obj_id: int
+    size: int
+    birth: int
+    death: int | None = None
+    kind: str = "data"
+
+    def alive_at(self, clock: int) -> bool:
+        """Whether the object was live at the given clock time."""
+        if clock < self.birth:
+            return False
+        return self.death is None or clock < self.death
+
+    def lifetime(self) -> int | None:
+        """Words allocated between birth and death (None if immortal)."""
+        if self.death is None:
+            return None
+        return self.death - self.birth
+
+
+@dataclass
+class LifetimeTrace:
+    """All object lifetimes observed during one measured run."""
+
+    records: list[ObjectRecord] = field(default_factory=list)
+    #: Clock value when recording started.
+    start_clock: int = 0
+    #: Clock value when recording stopped.
+    end_clock: int = 0
+
+    @property
+    def words_allocated(self) -> int:
+        return sum(record.size for record in self.records)
+
+    @property
+    def object_count(self) -> int:
+        return len(self.records)
+
+    def live_words_at(self, clock: int) -> int:
+        """Total words live at a clock time (O(records))."""
+        return sum(
+            record.size for record in self.records if record.alive_at(clock)
+        )
+
+    def peak_live_words(self, sample_every: int) -> int:
+        """Peak live storage sampled at the given granularity."""
+        if self.end_clock <= self.start_clock:
+            return 0
+        peak = 0
+        clock = self.start_clock
+        while clock <= self.end_clock:
+            peak = max(peak, self.live_words_at(clock))
+            clock += sample_every
+        return peak
+
+    def immortal_words(self) -> int:
+        """Words belonging to objects that never died during the run."""
+        return sum(
+            record.size for record in self.records if record.death is None
+        )
+
+    def iter_dead(self) -> Iterator[ObjectRecord]:
+        for record in self.records:
+            if record.death is not None:
+                yield record

@@ -1,0 +1,88 @@
+"""Plain-text rendering shared by the experiments and the CLI.
+
+The reproduction regenerates the paper's tables and figures as text:
+:class:`TextTable` renders aligned columns (the tables) and
+:func:`render_series` renders an x/y series as a rough ASCII plot
+(Figure 1's curves).  Experiments return structured data; rendering is
+kept separate so benchmarks and tests can assert on numbers, not
+strings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["TextTable", "render_series"]
+
+
+class TextTable:
+    """A fixed-column text table with right-aligned numeric cells."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        if isinstance(cell, int) and not isinstance(cell, bool):
+            return f"{cell:,}"
+        return str(cell)
+
+    def to_text(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            "  ".join(
+                header.ljust(widths[index])
+                for index, header in enumerate(self.headers)
+            ),
+            "  ".join("-" * width for width in widths),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    cell.rjust(widths[index])
+                    for index, cell in enumerate(row)
+                )
+            )
+        return "\n".join(lines)
+
+
+def render_series(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series as a rough ASCII scatter plot."""
+    if not points:
+        return "(empty series)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = min(width - 1, int((x - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((y_hi - y) / y_span * (height - 1)))
+        grid[row][col] = "*"
+    lines = [f"{y_label} (top {y_hi:.3g}, bottom {y_lo:.3g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    return "\n".join(lines)

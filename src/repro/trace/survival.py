@@ -1,0 +1,151 @@
+"""Survival rates by age (the machinery behind Tables 4-7).
+
+The paper reports, for age brackets of a fixed width, "the percentage
+that survives the next N bytes of allocation".  Formally: sampling the
+heap at regular clock times ``t``, every live object of age in
+``[lo, hi)`` contributes its size to the bracket's *alive* total, and
+contributes to the bracket's *surviving* total iff it is still live at
+``t + horizon``.  The rate is surviving/alive.
+
+Samples with ``t + horizon`` beyond the end of the measured run are
+excluded (their survival outcome is unknown — right-censoring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.events import LifetimeTrace
+
+__all__ = ["SurvivalRow", "SurvivalTable", "survival_table"]
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class SurvivalRow:
+    """One age bracket of a survival table.
+
+    Attributes:
+        lo_age: inclusive lower age bound in words.
+        hi_age: exclusive upper age bound, or None for the open-ended
+            "More than ..." bracket.
+        alive_words: word-samples observed in the bracket.
+        surviving_words: word-samples that survived the horizon.
+    """
+
+    lo_age: int
+    hi_age: int | None
+    alive_words: int
+    surviving_words: int
+
+    @property
+    def rate(self) -> float | None:
+        """Survival fraction, or None if the bracket was never populated."""
+        if self.alive_words == 0:
+            return None
+        return self.surviving_words / self.alive_words
+
+    def label(self) -> str:
+        if self.hi_age is None:
+            return f"More than {self.lo_age:,} words old"
+        return f"{self.lo_age:,} to {self.hi_age:,} words old"
+
+
+@dataclass(frozen=True)
+class SurvivalTable:
+    """A full survival-by-age table (one of the paper's Tables 4-7)."""
+
+    rows: tuple[SurvivalRow, ...]
+    age_step: int
+    horizon: int
+
+    def rates(self) -> list[float | None]:
+        return [row.rate for row in self.rows]
+
+    def to_text(self) -> str:
+        lines = []
+        for row in self.rows:
+            rate = row.rate
+            shown = "  - " if rate is None else f"{round(100 * rate):3d}%"
+            lines.append(f"{row.label():<38} {shown}")
+        return "\n".join(lines)
+
+
+def survival_table(
+    trace: LifetimeTrace,
+    age_step: int,
+    *,
+    horizon: int | None = None,
+    bracket_count: int = 9,
+    min_age: int | None = None,
+    sample_every: int | None = None,
+) -> SurvivalTable:
+    """Compute a survival-by-age table from a lifetime trace.
+
+    Args:
+        trace: the recorded lifetimes.
+        age_step: bracket width in words (the paper's 100,000 or
+            500,000 bytes, expressed in words).
+        horizon: survival horizon; defaults to ``age_step`` ("survives
+            the next ``age_step`` of allocation"), as in the paper.
+        bracket_count: number of closed brackets before the open-ended
+            "More than ..." bracket.
+        min_age: lowest age included; defaults to ``age_step`` (the
+            paper's tables omit the youngest bracket).
+        sample_every: sampling period; defaults to ``age_step``.
+    """
+    if age_step <= 0:
+        raise ValueError(f"age step must be positive, got {age_step!r}")
+    if bracket_count < 1:
+        raise ValueError(
+            f"need at least one bracket, got {bracket_count!r}"
+        )
+    horizon = age_step if horizon is None else horizon
+    min_age = age_step if min_age is None else min_age
+    period = age_step if sample_every is None else sample_every
+    if horizon <= 0 or period <= 0 or min_age < 0:
+        raise ValueError("horizon and period must be positive, min_age >= 0")
+
+    skip = min_age // age_step  # brackets below min_age are dropped
+    total_brackets = skip + bracket_count + 1  # + open-ended
+    alive = [0] * total_brackets
+    surviving = [0] * total_brackets
+
+    start = trace.start_clock
+    last_sample = trace.end_clock - horizon
+    if last_sample < start:
+        raise ValueError(
+            "trace too short for the requested horizon: "
+            f"{trace.end_clock - trace.start_clock} words recorded, "
+            f"horizon {horizon}"
+        )
+
+    for record in trace.records:
+        death = _INFINITY if record.death is None else record.death
+        # First sample at or after birth + min_age, aligned to period.
+        earliest = record.birth + min_age
+        offset = earliest - start
+        first = start + -(-offset // period) * period  # ceil to grid
+        t = max(first, start)
+        while t <= last_sample and t < death:
+            bracket = (t - record.birth) // age_step
+            index = min(bracket, total_brackets - 1)
+            alive[index] += record.size
+            if death > t + horizon:
+                surviving[index] += record.size
+            t += period
+
+    rows = []
+    for index in range(skip, total_brackets):
+        lo = index * age_step
+        hi = None if index == total_brackets - 1 else (index + 1) * age_step
+        rows.append(
+            SurvivalRow(
+                lo_age=lo,
+                hi_age=hi,
+                alive_words=alive[index],
+                surviving_words=surviving[index],
+            )
+        )
+    return SurvivalTable(rows=tuple(rows), age_step=age_step, horizon=horizon)

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.gc.generational import GenerationalCollector
+from repro.gc.hybrid import HybridCollector
+from repro.gc.marksweep import MarkSweepCollector
+from repro.gc.nonpredictive import NonPredictiveCollector
+from repro.gc.stopcopy import StopAndCopyCollector
+from repro.heap.heap import SimulatedHeap
+from repro.heap.roots import RootSet
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+# The Boyer benchmark's if-trees recurse deeply.
+sys.setrecursionlimit(200_000)
+
+
+@pytest.fixture
+def heap() -> SimulatedHeap:
+    return SimulatedHeap()
+
+
+@pytest.fixture
+def roots() -> RootSet:
+    return RootSet()
+
+
+@pytest.fixture
+def tracing_machine() -> Machine:
+    """A machine that never collects (unbounded tracing collector)."""
+    return Machine(TracingCollector)
+
+
+#: name -> factory usable with Machine(...), small heaps suited to tests.
+COLLECTOR_FACTORIES = {
+    "mark-sweep": lambda heap, roots: MarkSweepCollector(heap, roots, 4_000),
+    "stop-and-copy": lambda heap, roots: StopAndCopyCollector(
+        heap, roots, 2_000
+    ),
+    "generational": lambda heap, roots: GenerationalCollector(
+        heap, roots, [600, 2_400]
+    ),
+    "non-predictive": lambda heap, roots: NonPredictiveCollector(
+        heap, roots, 8, 500
+    ),
+    "hybrid": lambda heap, roots: HybridCollector(heap, roots, 600, 8, 400),
+}
+
+
+@pytest.fixture(params=sorted(COLLECTOR_FACTORIES))
+def any_machine(request) -> Machine:
+    """A machine parameterized over every collector kind."""
+    return Machine(COLLECTOR_FACTORIES[request.param])

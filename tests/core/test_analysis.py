@@ -1,0 +1,230 @@
+"""Tests for the Section 5 analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analysis
+
+GS = st.floats(min_value=0.01, max_value=0.5)
+LOADS = st.floats(min_value=1.1, max_value=20.0)
+
+
+class TestLiveFraction:
+    def test_matches_paper_formula(self):
+        # l(f,g) = 1 - 2^{-Lf/ln2} (1 - L(g-f)); 2^{-Lf/ln2} = e^{-Lf}.
+        for f, g, load in [(0.1, 0.2, 3.5), (0.25, 0.25, 2.0), (0.0, 0.3, 5.0)]:
+            expected = 1.0 - 2.0 ** (
+                -load * f / math.log(2)
+            ) * (1.0 - load * (g - f))
+            assert analysis.live_fraction(f, g, load) == pytest.approx(expected)
+
+    def test_f_zero_gives_Lg(self):
+        # With no free space, the protected steps hold Ng words, all
+        # assumed live: l(0, g) = Lg of the live storage.
+        assert analysis.live_fraction(0.0, 0.3, 3.0) == pytest.approx(0.9)
+
+    def test_f_equals_g_form(self):
+        # l(g,g) = 1 - e^{-Lg}.
+        g, load = 0.25, 3.5
+        assert analysis.live_fraction(g, g, load) == pytest.approx(
+            1.0 - math.exp(-load * g)
+        )
+
+    @given(g=GS, load=LOADS)
+    def test_bounded_between_zero_and_min(self, g, load):
+        value = analysis.live_fraction(g, g, load)
+        assert 0.0 <= value <= 1.0
+
+    @given(g=GS, load=LOADS, split=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200)
+    def test_decreasing_in_f(self, g, load, split):
+        # More free space in the protected steps means fewer live
+        # objects expected there: dl/df <= 0.
+        f1 = split * g
+        f2 = g
+        assert analysis.live_fraction(f1, g, load) >= analysis.live_fraction(
+            f2, g, load
+        ) - 1e-12
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            analysis.live_fraction(0.1, 0.6, 2.0)  # g > 1/2
+        with pytest.raises(ValueError):
+            analysis.live_fraction(0.3, 0.2, 2.0)  # f > g
+        with pytest.raises(ValueError):
+            analysis.live_fraction(0.1, 0.2, 1.0)  # L <= 1
+
+
+class TestTheorem3:
+    """live_h(f,g)/n converges to l(f,g) as h grows."""
+
+    @given(
+        g=st.floats(min_value=0.05, max_value=0.5),
+        load=st.floats(min_value=1.5, max_value=8.0),
+        split=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_convergence(self, g, load, split):
+        f = split * g
+        limit = analysis.live_fraction(f, g, load)
+        h = 100_000.0
+        r = 2.0 ** (-1.0 / h)
+        n = 1.0 / (1.0 - r)
+        ratio = analysis.expected_live(f, g, load, h) / n
+        assert ratio == pytest.approx(limit, abs=5e-4)
+
+    def test_convergence_improves_with_h(self):
+        f, g, load = 0.2, 0.25, 3.5
+        limit = analysis.live_fraction(f, g, load)
+
+        def error(h: float) -> float:
+            r = 2.0 ** (-1.0 / h)
+            n = 1.0 / (1.0 - r)
+            return abs(analysis.expected_live(f, g, load, h) / n - limit)
+
+        assert error(100_000.0) < error(1_000.0) < error(100.0)
+
+    def test_rejects_non_positive_half_life(self):
+        with pytest.raises(ValueError):
+            analysis.expected_live(0.1, 0.2, 2.0, 0.0)
+
+
+class TestTheorem4:
+    def test_stable_condition_matches_formula(self):
+        # L(1-2g) >= 1 - l(g,g) = e^{-Lg}
+        for g, load in [(0.1, 2.0), (0.25, 3.5), (0.45, 1.5), (0.49, 10.0)]:
+            expected = load * (1 - 2 * g) >= math.exp(-load * g)
+            assert analysis.stable_equilibrium_holds(g, load) == expected
+
+    def test_mark_cons_closed_form(self):
+        g, load = 0.25, 3.5
+        assert analysis.stable_equilibrium_holds(g, load)
+        dead = math.exp(-load * g)
+        expected = dead / (load * (1 - g) - dead)
+        estimate = analysis.mark_cons_ratio(g, load)
+        assert estimate.exact
+        assert estimate.value == pytest.approx(expected)
+        assert estimate.free_fraction == g
+
+    def test_g_zero_degenerates_to_nongenerational(self):
+        for load in (1.5, 2.0, 3.5, 8.0):
+            estimate = analysis.mark_cons_ratio(0.0, load)
+            assert estimate.value == pytest.approx(
+                analysis.nongenerational_mark_cons(load)
+            )
+
+    @given(g=GS, load=st.floats(min_value=1.2, max_value=20.0))
+    @settings(max_examples=200)
+    def test_mark_cons_positive(self, g, load):
+        assert analysis.mark_cons_ratio(g, load).value > 0.0
+
+    @given(g=GS, load=st.floats(min_value=1.2, max_value=20.0))
+    @settings(max_examples=200)
+    def test_generational_never_worse_when_exact(self, g, load):
+        # Wherever Theorem 4 applies, the non-predictive collector is
+        # at least as good as the non-generational baseline — the
+        # paper's main theoretical result.
+        estimate = analysis.mark_cons_ratio(g, load)
+        if estimate.exact:
+            assert estimate.value <= analysis.nongenerational_mark_cons(
+                load
+            ) * (1.0 + 1e-12)
+
+
+class TestFixedPoint:
+    def test_returns_g_in_stable_regime(self):
+        assert analysis.fixed_point_f(0.25, 3.5) == pytest.approx(0.25)
+
+    def test_fixed_point_satisfies_equation_4(self):
+        g, load = 0.45, 1.5  # outside the stable regime
+        assert not analysis.stable_equilibrium_holds(g, load)
+        f = analysis.fixed_point_f(g, load)
+        update = 1 - g + (analysis.live_fraction(f, g, load) - 1) / load
+        clamped = max(0.0, min(update, g))
+        assert f == pytest.approx(clamped, abs=1e-9)
+        assert 0.0 < f < g
+
+    def test_g_zero(self):
+        assert analysis.fixed_point_f(0.0, 2.0) == 0.0
+
+    @given(g=GS, load=LOADS)
+    @settings(max_examples=200)
+    def test_fixed_point_in_range(self, g, load):
+        f = analysis.fixed_point_f(g, load)
+        assert 0.0 <= f <= g
+
+
+class TestCorollary5:
+    def test_relative_overhead_is_ratio(self):
+        g, load = 0.25, 3.5
+        mark_cons = analysis.mark_cons_ratio(g, load).value
+        relative = analysis.relative_overhead(g, load).value
+        assert relative == pytest.approx(
+            mark_cons / analysis.nongenerational_mark_cons(load)
+        )
+
+    def test_matches_paper_closed_form(self):
+        # (L-1)(1 - l) / (L(1-g) - (1 - l))
+        g, load = 0.2, 5.0
+        dead = 1.0 - analysis.live_fraction(g, g, load)
+        expected = (load - 1) * dead / (load * (1 - g) - dead)
+        assert analysis.relative_overhead(g, load).value == pytest.approx(
+            expected
+        )
+
+    def test_below_one_for_reasonable_parameters(self):
+        # The paper's headline: values below 1 exist.
+        for load in (1.5, 2.0, 3.5, 5.0, 8.0):
+            best = analysis.optimal_generation_fraction(load)
+            assert best.relative_overhead < 1.0
+
+
+class TestOverheadCurve:
+    def test_curve_length_and_ordering(self):
+        points = analysis.overhead_curve(3.5, samples=25)
+        assert len(points) == 25
+        gs = [point.g for point in points]
+        assert gs == sorted(gs)
+        assert 0 < gs[0] and gs[-1] == pytest.approx(0.5)
+
+    def test_explicit_points(self):
+        points = analysis.overhead_curve(2.0, gs=[0.1, 0.2])
+        assert [point.g for point in points] == [0.1, 0.2]
+
+    def test_exact_flag_transitions_at_most_once(self):
+        # The stable regime is a prefix in g: exact then lower-bound.
+        for load in (1.2, 1.5, 2.0, 3.5, 8.0):
+            flags = [
+                point.exact
+                for point in analysis.overhead_curve(load, samples=200)
+            ]
+            transitions = sum(
+                1 for a, b in zip(flags, flags[1:]) if a != b
+            )
+            assert transitions <= 1
+            if transitions == 1:
+                assert flags[0] and not flags[-1]
+
+    def test_optimal_g_beats_neighbors(self):
+        best = analysis.optimal_generation_fraction(3.5)
+        for delta in (-0.02, 0.02):
+            g = min(0.5, max(1e-6, best.g + delta))
+            assert (
+                analysis.relative_overhead(g, 3.5).value
+                >= best.relative_overhead - 1e-9
+            )
+
+
+class TestNongenerational:
+    def test_formula(self):
+        assert analysis.nongenerational_mark_cons(3.5) == pytest.approx(0.4)
+        assert analysis.nongenerational_mark_cons(2.0) == pytest.approx(1.0)
+
+    def test_rejects_load_at_most_one(self):
+        with pytest.raises(ValueError):
+            analysis.nongenerational_mark_cons(1.0)

@@ -1,0 +1,200 @@
+"""Tests for the radioactive decay model (paper Section 2)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import (
+    LN2,
+    RadioactiveDecayModel,
+    equilibrium_live_storage,
+    half_life_for_live_storage,
+)
+
+HALF_LIVES = st.floats(min_value=1.0, max_value=1e6)
+TIMES = st.floats(min_value=0.0, max_value=1e6)
+
+
+class TestDistribution:
+    def test_survival_at_zero_is_one(self):
+        model = RadioactiveDecayModel(100.0)
+        assert model.survival_probability(0.0) == 1.0
+
+    def test_survival_at_half_life_is_half(self):
+        model = RadioactiveDecayModel(100.0)
+        assert model.survival_probability(100.0) == pytest.approx(0.5)
+
+    def test_survival_at_two_half_lives_is_quarter(self):
+        model = RadioactiveDecayModel(64.0)
+        assert model.survival_probability(128.0) == pytest.approx(0.25)
+
+    def test_death_probability_complements_survival(self):
+        model = RadioactiveDecayModel(50.0)
+        for t in (0.0, 10.0, 50.0, 500.0):
+            assert model.death_probability(t) == pytest.approx(
+                1.0 - model.survival_probability(t)
+            )
+
+    def test_pdf_matches_paper_formula(self):
+        model = RadioactiveDecayModel(1024.0)
+        for t in (0.0, 100.0, 1024.0):
+            expected = (LN2 / 1024.0) * 2.0 ** (-t / 1024.0)
+            assert model.pdf(t) == pytest.approx(expected)
+
+    def test_pdf_is_zero_for_negative_times(self):
+        assert RadioactiveDecayModel(10.0).pdf(-1.0) == 0.0
+
+    def test_pdf_integrates_to_one(self):
+        model = RadioactiveDecayModel(32.0)
+        step = 0.01
+        total = sum(
+            model.pdf(i * step) * step for i in range(int(2000 / step))
+        )
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RadioactiveDecayModel(10.0).survival_probability(-1.0)
+
+    def test_invalid_half_life_rejected(self):
+        with pytest.raises(ValueError):
+            RadioactiveDecayModel(0.0)
+        with pytest.raises(ValueError):
+            RadioactiveDecayModel(-5.0)
+
+
+class TestMemorylessness:
+    """Assumption 1's consequence: age tells nothing about the future."""
+
+    @given(
+        h=HALF_LIVES,
+        age_half_lives=st.floats(min_value=0.0, max_value=200.0),
+        t_half_lives=st.floats(min_value=0.0, max_value=200.0),
+    )
+    @settings(max_examples=200)
+    def test_conditional_survival_is_age_independent(
+        self, h, age_half_lives, t_half_lives
+    ):
+        # Ages are bounded in half-lives: past ~1000 half-lives the
+        # survival probability underflows doubles entirely.
+        model = RadioactiveDecayModel(h)
+        age = age_half_lives * h
+        t = t_half_lives * h
+        conditional = model.conditional_survival(age, t)
+        unconditional = model.survival_probability(t)
+        assert conditional == pytest.approx(unconditional, rel=1e-6, abs=1e-12)
+
+    def test_conditional_survival_rejects_negative_age(self):
+        with pytest.raises(ValueError):
+            RadioactiveDecayModel(10.0).conditional_survival(-1.0, 5.0)
+
+
+class TestEquilibrium:
+    def test_equation_1_approximation(self):
+        # n ≈ h / ln 2 ≈ 1.4427 h (paper Equation 1).
+        assert equilibrium_live_storage(1000.0) == pytest.approx(
+            1442.695, rel=1e-4
+        )
+
+    def test_exact_form_close_to_approximation_for_large_h(self):
+        approx = equilibrium_live_storage(10_000.0)
+        exact = equilibrium_live_storage(10_000.0, exact=True)
+        assert exact == pytest.approx(approx, rel=1e-4)
+
+    def test_exact_form_diverges_for_small_h(self):
+        # L'Hospital's approximation is only good for large h.
+        approx = equilibrium_live_storage(1.0)
+        exact = equilibrium_live_storage(1.0, exact=True)
+        assert abs(exact - approx) / exact > 0.2
+
+    @given(h=st.floats(min_value=10.0, max_value=1e6))
+    def test_half_life_roundtrip(self, h):
+        n = equilibrium_live_storage(h)
+        assert half_life_for_live_storage(n) == pytest.approx(h, rel=1e-9)
+
+    def test_model_method_agrees_with_function(self):
+        model = RadioactiveDecayModel(123.0)
+        assert model.equilibrium_live_storage() == equilibrium_live_storage(
+            123.0
+        )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            equilibrium_live_storage(-1.0)
+        with pytest.raises(ValueError):
+            half_life_for_live_storage(0.0)
+
+
+class TestDerivedQuantities:
+    def test_expected_lifetime_equals_equilibrium(self):
+        model = RadioactiveDecayModel(777.0)
+        assert model.expected_lifetime() == pytest.approx(
+            model.equilibrium_live_storage()
+        )
+
+    def test_median_is_half_life(self):
+        assert RadioactiveDecayModel(99.0).median_lifetime() == 99.0
+
+    def test_expected_live_after_half_life(self):
+        model = RadioactiveDecayModel(10.0)
+        assert model.expected_live_after(1000.0, 10.0) == pytest.approx(500.0)
+
+    def test_time_to_decay_to(self):
+        model = RadioactiveDecayModel(100.0)
+        assert model.time_to_decay_to(0.5) == pytest.approx(100.0)
+        assert model.time_to_decay_to(0.25) == pytest.approx(200.0)
+        assert model.time_to_decay_to(1.0) == pytest.approx(0.0)
+
+    def test_time_to_decay_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            RadioactiveDecayModel(1.0).time_to_decay_to(0.0)
+        with pytest.raises(ValueError):
+            RadioactiveDecayModel(1.0).time_to_decay_to(1.5)
+
+    def test_survival_ratio_approximation(self):
+        # r ≈ 1 - ln2/h for large h (the paper's L'Hospital step).
+        model = RadioactiveDecayModel(10_000.0)
+        assert model.survival_ratio == pytest.approx(
+            1.0 - LN2 / 10_000.0, abs=1e-8
+        )
+
+
+class TestSampling:
+    def test_continuous_sample_mean(self):
+        model = RadioactiveDecayModel(100.0)
+        rng = random.Random(1)
+        samples = [model.sample_lifetime(rng) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.expected_lifetime(), rel=0.03)
+
+    def test_discrete_sample_median_near_half_life(self):
+        model = RadioactiveDecayModel(64.0)
+        rng = random.Random(2)
+        samples = sorted(
+            model.sample_discrete_lifetime(rng) for _ in range(20_000)
+        )
+        median = samples[len(samples) // 2]
+        assert abs(median - 64) <= 4
+
+    def test_discrete_samples_are_positive_integers(self):
+        model = RadioactiveDecayModel(3.0)
+        rng = random.Random(3)
+        for _ in range(1000):
+            sample = model.sample_discrete_lifetime(rng)
+            assert isinstance(sample, int)
+            assert sample >= 1
+
+    def test_discrete_sample_memoryless_in_aggregate(self):
+        """Cohort halving: of N samples, ~half exceed h, ~quarter 2h."""
+        model = RadioactiveDecayModel(128.0)
+        rng = random.Random(4)
+        samples = [model.sample_discrete_lifetime(rng) for _ in range(40_000)]
+        over_h = sum(1 for s in samples if s > 128) / len(samples)
+        over_2h = sum(1 for s in samples if s > 256) / len(samples)
+        assert over_h == pytest.approx(0.5, abs=0.02)
+        assert over_2h == pytest.approx(0.25, abs=0.02)

@@ -1,0 +1,118 @@
+"""Tests for the tuning policies (paper Section 8.1/8.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    AdaptiveRemsetPolicy,
+    FixedFractionPolicy,
+    FixedJPolicy,
+    HalfEmptyPolicy,
+    StepSnapshot,
+    leading_empty_steps,
+)
+
+
+def snapshot(used, *, remset=0, projected=0) -> StepSnapshot:
+    return StepSnapshot(
+        step_used=list(used),
+        step_capacity=[1024] * len(used),
+        remset_size=remset,
+        projected_remset_growth=projected,
+    )
+
+
+class TestLeadingEmpty:
+    def test_all_empty(self):
+        assert leading_empty_steps(snapshot([0, 0, 0, 0])) == 4
+
+    def test_none_empty(self):
+        assert leading_empty_steps(snapshot([5, 0, 0])) == 0
+
+    def test_prefix(self):
+        assert leading_empty_steps(snapshot([0, 0, 7, 0])) == 2
+
+
+class TestFixedJ:
+    def test_clamped_by_empty_prefix(self):
+        policy = FixedJPolicy(3)
+        assert policy.choose_j(snapshot([0, 0, 5, 0, 0, 0, 0, 0])) == 2
+
+    def test_clamped_by_half_k(self):
+        policy = FixedJPolicy(10)
+        assert policy.choose_j(snapshot([0] * 8)) == 4
+
+    def test_requested_value_when_legal(self):
+        assert FixedJPolicy(2).choose_j(snapshot([0, 0, 0, 9, 9, 9])) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedJPolicy(-1)
+
+
+class TestFixedFraction:
+    def test_rounds_fraction_of_k(self):
+        policy = FixedFractionPolicy(0.25)
+        assert policy.choose_j(snapshot([0] * 8)) == 2
+
+    def test_clamps_to_empty_prefix(self):
+        policy = FixedFractionPolicy(0.5)
+        assert policy.choose_j(snapshot([0, 4, 0, 0, 0, 0, 0, 0])) == 1
+
+    def test_rejects_fraction_above_half(self):
+        with pytest.raises(ValueError):
+            FixedFractionPolicy(0.6)
+
+
+class TestHalfEmpty:
+    def test_paper_rule(self):
+        # j = floor(l/2) with l = 6 empty steps -> j = 3.
+        policy = HalfEmptyPolicy()
+        assert policy.choose_j(snapshot([0, 0, 0, 0, 0, 0, 9, 9])) == 3
+
+    def test_never_exceeds_half_k(self):
+        policy = HalfEmptyPolicy()
+        assert policy.choose_j(snapshot([0] * 6)) == 3
+        assert policy.choose_j(snapshot([0] * 5)) == 2
+
+    @given(
+        used=st.lists(
+            st.integers(min_value=0, max_value=1024), min_size=2, max_size=20
+        )
+    )
+    def test_invariants(self, used):
+        snap = snapshot(used)
+        j = HalfEmptyPolicy().choose_j(snap)
+        assert 0 <= j <= len(used) // 2
+        assert all(value == 0 for value in list(used)[:j])
+
+
+class TestAdaptiveRemset:
+    def test_no_pressure_defers_to_base(self):
+        policy = AdaptiveRemsetPolicy(max_remset=1000)
+        snap = snapshot([0, 0, 0, 0, 9, 9, 9, 9])
+        assert policy.choose_j(snap) == HalfEmptyPolicy().choose_j(snap)
+
+    def test_pressure_reduces_j(self):
+        policy = AdaptiveRemsetPolicy(max_remset=100)
+        relaxed = snapshot([0, 0, 0, 0, 9, 9, 9, 9], remset=0, projected=0)
+        stressed = snapshot(
+            [0, 0, 0, 0, 9, 9, 9, 9], remset=150, projected=150
+        )
+        assert policy.choose_j(stressed) < policy.choose_j(relaxed)
+
+    def test_extreme_pressure_gives_zero(self):
+        policy = AdaptiveRemsetPolicy(max_remset=0)
+        snap = snapshot([0, 0, 0, 0, 9, 9, 9, 9], remset=10, projected=10)
+        assert policy.choose_j(snap) == 0
+
+    def test_custom_base_policy(self):
+        policy = AdaptiveRemsetPolicy(max_remset=10_000, base=FixedJPolicy(1))
+        assert policy.choose_j(snapshot([0, 0, 0, 0, 9, 9, 9, 9])) == 1
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            AdaptiveRemsetPolicy(max_remset=-1)

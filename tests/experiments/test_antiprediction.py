@@ -1,0 +1,49 @@
+"""Tests for the anti-prediction experiment (small configuration).
+
+The full-size run lives in benchmarks/; here a scaled-down run checks
+the paper's two ordering claims hold even at modest half-lives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.antiprediction import (
+    render_antiprediction,
+    run_antiprediction,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_antiprediction(half_life=800.0, cycles=15)
+
+
+class TestOrderings:
+    def test_conventional_generational_loses(self, result):
+        # Section 3: under radioactive decay, condemning the youngest
+        # generations collects the LEAST decayed storage.
+        assert result.conventional_loses
+
+    def test_nonpredictive_wins(self, result):
+        # The paper's main result.
+        assert result.nonpredictive_wins
+
+    def test_mark_sweep_near_analytic_value(self, result):
+        analytic = 1.0 / (result.load_factor - 1.0)
+        assert result.mark_cons["mark-sweep"] == pytest.approx(
+            analytic, rel=0.10
+        )
+
+    def test_all_four_collectors_measured(self, result):
+        assert set(result.mark_cons) == {
+            "mark-sweep",
+            "stop-and-copy",
+            "generational",
+            "non-predictive",
+        }
+
+    def test_render(self, result):
+        text = render_antiprediction(result)
+        assert "non-predictive" in text
+        assert "True (paper: True)" in text

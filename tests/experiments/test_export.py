@@ -1,0 +1,61 @@
+"""Tests for experiment-result serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.experiments.export import to_jsonable
+from repro.experiments.table2 import run_table2
+
+
+@dataclass(frozen=True)
+class _Inner:
+    value: float
+
+
+@dataclass(frozen=True)
+class _Outer:
+    name: str
+    inner: _Inner
+    numbers: tuple[int, ...]
+    mapping: dict[float, str]
+
+
+class TestToJsonable:
+    def test_dataclass_becomes_tagged_dict(self):
+        data = to_jsonable(_Inner(1.5))
+        assert data == {"_type": "_Inner", "value": 1.5}
+
+    def test_nesting_and_containers(self):
+        outer = _Outer("x", _Inner(2.0), (1, 2), {3.5: "a"})
+        data = to_jsonable(outer)
+        assert data["inner"]["_type"] == "_Inner"
+        assert data["numbers"] == [1, 2]
+        assert data["mapping"] == {"3.5": "a"}
+
+    def test_special_floats(self):
+        assert to_jsonable(float("inf")) == "inf"
+        assert to_jsonable(float("-inf")) == "-inf"
+        assert to_jsonable(float("nan")) == "nan"
+
+    def test_scalars_pass_through(self):
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+        assert to_jsonable(42) == 42
+        assert to_jsonable("s") == "s"
+
+    def test_opaque_objects_are_reprd(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert to_jsonable(Opaque()) == "<opaque>"
+
+    def test_real_experiment_result_round_trips_through_json(self):
+        result = run_table2()
+        dumped = json.dumps(to_jsonable(result))
+        loaded = json.loads(dumped)
+        assert loaded["_type"] == "Table2Result"
+        assert len(loaded["rows"]) == 6
+        assert loaded["rows"][0]["name"] == "nbody"

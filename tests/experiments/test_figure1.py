@@ -1,0 +1,65 @@
+"""Tests for the Figure 1 experiment (analysis side; the simulation
+cross-check at full size lives in benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import (
+    render_figure1,
+    run_figure1,
+    simulate_relative_overhead,
+)
+
+
+class TestCurves:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure1(simulate=False, samples=40)
+
+    def test_all_loads_present(self, result):
+        assert set(result.curves) == {1.5, 2.0, 3.5, 5.0, 8.0}
+
+    def test_heavier_load_lower_overhead(self, result):
+        # At fixed g, larger L (lighter load) gives the generational
+        # collector less advantage... actually more: check ordering at
+        # g = 0.25 is monotone in L.
+        values = {
+            load: next(
+                p.relative_overhead
+                for p in points
+                if abs(p.g - 0.25) < 0.01
+            )
+            for load, points in result.curves.items()
+        }
+        ordered = [values[load] for load in sorted(values)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_every_curve_dips_below_one(self, result):
+        for load, points in result.curves.items():
+            assert min(p.relative_overhead for p in points) < 1.0
+
+    def test_render(self, result):
+        text = render_figure1(result)
+        assert "L = 3.5" in text
+        assert "overhead" in text
+
+
+class TestSimulationCrossCheck:
+    def test_single_point_agrees_with_theory(self):
+        point = simulate_relative_overhead(
+            0.25, 3.5, half_life=1_000.0, cycles=15
+        )
+        assert point.exact
+        assert point.relative_error < 0.08
+
+    def test_run_with_simulation(self):
+        result = run_figure1(
+            loads=(3.5,),
+            samples=10,
+            simulate=True,
+            simulation_gs=(0.25,),
+            simulation_loads=(3.5,),
+        )
+        assert len(result.simulation) == 1
+        assert result.max_simulation_error() < 0.10

@@ -1,0 +1,33 @@
+"""Tests for the §9 hazard-regime experiment (small configuration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.hazard import render_hazard, run_hazard
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_hazard(shapes=(0.5, 1.0, 2.0), scale=1_000.0, cycles=12)
+
+
+class TestHazardRegimes:
+    def test_advantage_grows_with_hazard_shape(self, result):
+        # §9: uniform or decreasing survival rates (increasing hazard)
+        # are favorable to non-predictive collection; the advantage
+        # should be monotone in the Weibull shape.
+        advantages = [
+            point.nonpredictive_advantage for point in result.points
+        ]
+        assert advantages == sorted(advantages)
+        assert advantages[-1] > 2 * advantages[0]
+
+    def test_decay_point_matches_antiprediction(self, result):
+        point = result.point(1.0)
+        assert point.nonpredictive_mark_cons < point.generational_mark_cons
+
+    def test_render(self, result):
+        text = render_hazard(result)
+        assert "Weibull" in text
+        assert "decay" in text

@@ -1,0 +1,74 @@
+"""Edge-case tests for the profile/survival experiment plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.storage_profiles import traced_profile
+from repro.experiments.survival_tables import traced_survival
+from repro.runtime.values import Fixnum
+
+
+def tiny_program(machine):
+    keep = []
+    for index in range(300):
+        keep.append(machine.cons(Fixnum(index), None))
+        if len(keep) > 20:
+            keep.pop(0)
+
+
+class TestTracedProfile:
+    def test_runs_and_reports(self):
+        result = traced_profile("tiny", tiny_program, epochs_per_run=10)
+        assert result.words_allocated == 600
+        assert result.epoch_words == 60
+        assert result.profile.peak_live_words >= 40
+
+    def test_rejects_too_few_epochs(self):
+        with pytest.raises(ValueError):
+            traced_profile("tiny", tiny_program, epochs_per_run=1)
+
+    def test_rejects_microscopic_program(self):
+        def nothing(machine):
+            machine.cons(None, None)
+
+        with pytest.raises(RuntimeError):
+            traced_profile("nothing", nothing, epochs_per_run=10)
+
+
+class TestTracedSurvival:
+    def test_window_workload_has_low_survival(self):
+        # A sliding window of 60 pairs over 600 allocations: objects
+        # live ~120 words, so they populate the first 120-word age
+        # bracket but never survive its 120-word horizon.
+        def window_program(machine):
+            keep = []
+            for index in range(600):
+                keep.append(machine.cons(Fixnum(index), None))
+                if len(keep) > 60:
+                    keep.pop(0)
+
+        result = traced_survival(
+            "window", window_program, steps_per_run=10, bracket_count=3
+        )
+        populated = [
+            row for row in result.table.rows if row.alive_words > 0
+        ]
+        assert populated
+        assert all(row.rate == 0.0 for row in populated)
+
+    def test_immortal_workload_has_full_survival(self):
+        def hoarder(machine):
+            keep = []
+            for index in range(300):
+                keep.append(machine.cons(Fixnum(index), None))
+            hoarder.keep = keep  # outlive the recorder's final sample
+
+        result = traced_survival(
+            "hoard", hoarder, steps_per_run=10, bracket_count=3
+        )
+        populated = [
+            row for row in result.table.rows if row.alive_words > 0
+        ]
+        assert populated
+        assert all(row.rate == 1.0 for row in populated)

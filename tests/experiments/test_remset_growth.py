@@ -1,0 +1,40 @@
+"""Tests for the §8.3 remembered-set growth experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.remset_growth import (
+    render_remset_growth,
+    run_remset_growth,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_remset_growth()
+
+
+class TestRemsetGrowth:
+    def test_conventional_remset_nearly_empty(self, result):
+        # "For a conventional generational collector, this implies
+        # that the remembered set is nearly empty."
+        assert result.conventional_peak < 10
+
+    def test_unconstrained_hybrid_remset_grows_with_data(self, result):
+        # "...the remembered set may become very large unless the
+        # garbage collector acts first."
+        assert result.hybrid_unconstrained_peak > 300
+
+    def test_valve_caps_growth(self, result):
+        # §8.3: "its value can be reduced before those objects are
+        # promoted".
+        assert result.hybrid_capped_peak <= result.cap
+        assert (
+            result.hybrid_capped_peak < result.hybrid_unconstrained_peak / 4
+        )
+
+    def test_render(self, result):
+        text = render_remset_growth(result)
+        assert "conventional" in text
+        assert "valve" in text

@@ -1,0 +1,88 @@
+"""Tests for the experiment registry and the cheap experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.equilibrium import run_equilibrium
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    experiment_names,
+    run_experiment,
+)
+from repro.experiments.table2 import run_table2
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        names = experiment_names()
+        for expected in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "equilibrium",
+            "antiprediction",
+            "tuning",
+            "remset",
+            "hazard",
+            "promotion",
+            "weakhyp",
+        ):
+            assert expected in names
+
+    def test_names_unique(self):
+        names = experiment_names()
+        assert len(names) == len(set(names))
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_runner_returns_result_and_text(self):
+        result, text = run_experiment("table2")
+        assert result is not None
+        assert isinstance(text, str) and text
+
+    def test_artifact_descriptions_nonempty(self):
+        for experiment in EXPERIMENTS:
+            assert experiment.paper_artifact
+
+
+class TestTable2:
+    def test_lists_all_six(self):
+        result = run_table2()
+        assert [row.name for row in result.rows] == [
+            "nbody",
+            "nucleic2",
+            "lattice",
+            "10dynamic",
+            "nboyer",
+            "sboyer",
+        ]
+
+    def test_line_counts_positive(self):
+        for row in run_table2().rows:
+            assert row.lines_of_code > 50
+
+
+class TestEquilibrium:
+    def test_small_run_matches_equation_1(self):
+        result = run_equilibrium(
+            half_life=500.0, half_lives_to_run=16, samples=6
+        )
+        assert result.relative_error < 0.08
+
+    def test_memorylessness_flat(self):
+        result = run_equilibrium(
+            half_life=800.0, half_lives_to_run=16, samples=6
+        )
+        for rate in result.cohort_survival[:3]:
+            assert rate == pytest.approx(0.5, abs=0.1)

@@ -1,0 +1,46 @@
+"""Tests for the Table 1 experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    render_table1,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table1()
+
+
+class TestTable1:
+    def test_reproduces_paper_rows_within_jitter(self, result):
+        # The triggering allocation adds at most a couple of words of
+        # placement jitter per entry; the paper's idealized numbers
+        # must otherwise match exactly.
+        assert result.max_deviation() <= 2
+
+    def test_all_rows_present(self, result):
+        assert set(result.rows) == set(PAPER_TABLE1)
+
+    def test_mark_cons_is_one_fifth(self, result):
+        assert result.mark_cons == pytest.approx(0.2, abs=0.01)
+
+    def test_nongenerational_is_two_fifths(self, result):
+        assert result.nongenerational_mark_cons == pytest.approx(
+            0.4, abs=0.02
+        )
+
+    def test_total_live_at_collection_is_heap_half(self, result):
+        # Right before the collection the heap is full: 5120 words of
+        # the 7168-word heap live plus garbage; live = 2048.
+        final = result.rows[5120]
+        assert sum(final) == pytest.approx(2048, abs=8)
+
+    def test_render_mentions_paper_values(self, result):
+        text = render_table1(result)
+        assert "0.200" in text
+        assert "step 7" in text

@@ -1,0 +1,43 @@
+"""Tests for the tuning-parameter ablation (small configuration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import analysis
+from repro.experiments.tuning import render_tuning, run_tuning
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_tuning(half_life=800.0, cycles=15)
+
+
+class TestTuning:
+    def test_j_zero_matches_nongenerational(self, result):
+        row = result.row("j=0 (non-generational)")
+        expected = analysis.nongenerational_mark_cons(result.load_factor)
+        assert row.mark_cons == pytest.approx(expected, rel=0.10)
+
+    def test_fixed_fractions_match_theory(self, result):
+        for g, name in [(0.125, "fixed g=1/8"), (0.25, "fixed g=1/4")]:
+            row = result.row(name)
+            theory = analysis.mark_cons_ratio(g, result.load_factor)
+            assert row.mark_cons == pytest.approx(theory.value, rel=0.12)
+
+    def test_paper_rule_beats_nongenerational(self, result):
+        paper = result.row("half-empty (paper §8.1)")
+        baseline = result.row("j=0 (non-generational)")
+        assert paper.mark_cons < baseline.mark_cons
+
+    def test_scan_protected_same_markcons_more_root_work(self, result):
+        remset = result.row("half-empty (paper §8.1)")
+        scan = result.row("half-empty, scan-protected (§8.6 alternative)")
+        # §8.6: "much cheaper to trace only these pointers than it
+        # would be to trace every live pointer in steps 1..j" — the
+        # copying work is identical but root tracing balloons.
+        assert scan.mark_cons == pytest.approx(remset.mark_cons, rel=0.02)
+        assert scan.roots_traced > remset.roots_traced
+
+    def test_render(self, result):
+        assert "policy" in render_tuning(result)

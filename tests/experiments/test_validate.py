@@ -1,0 +1,29 @@
+"""Tests for the reproduction self-check battery."""
+
+from __future__ import annotations
+
+from repro.experiments import validate
+from repro.experiments.validate import CheckResult, run_validation
+
+
+class TestValidation:
+    def test_all_checks_pass(self):
+        results = run_validation()
+        failures = [result for result in results if not result.passed]
+        assert not failures, "\n".join(
+            f"{result.name}: {result.detail}" for result in failures
+        )
+
+    def test_every_check_reports_detail(self):
+        for result in run_validation():
+            assert result.name
+            assert result.detail
+
+    def test_crashing_check_reported_not_raised(self, monkeypatch):
+        def boom() -> CheckResult:
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(validate, "VALIDATIONS", (boom,))
+        (result,) = run_validation()
+        assert not result.passed
+        assert "synthetic failure" in result.detail

@@ -1,0 +1,46 @@
+"""Tests for the weak-hypothesis crossover experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.weak_hypothesis import (
+    render_weak_hypothesis,
+    run_weak_hypothesis,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_weak_hypothesis(
+        heap_sizes=(3_072, 16_384), workload_words=150_000
+    )
+
+
+class TestCrossover:
+    def test_conventional_wins_under_heavy_load(self, result):
+        # §7's youth bet: at a heavy load the conventional collector's
+        # minor collections beat both whole-heap alternatives.
+        heavy = result.heaviest
+        assert heavy.winner() == "generational"
+
+    def test_nonpredictive_wins_under_light_load(self, result):
+        light = result.lightest
+        assert light.winner() == "non-predictive"
+        # And the conventional collector's survival-fraction floor is
+        # the worst cost in the room at light load.
+        assert light.mark_cons["generational"] == max(
+            light.mark_cons.values()
+        )
+
+    def test_every_collector_cheapens_with_headroom(self, result):
+        for name in ("mark-sweep", "non-predictive"):
+            assert (
+                result.lightest.mark_cons[name]
+                < result.heaviest.mark_cons[name]
+            )
+
+    def test_render(self, result):
+        text = render_weak_hypothesis(result)
+        assert "winner" in text
+        assert "factor of 10" in text

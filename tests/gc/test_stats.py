@@ -1,0 +1,61 @@
+"""Tests for GC work accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gc.stats import GcStats, PauseRecord
+
+
+class TestDerivedMeasures:
+    def test_mark_cons_combines_marked_and_copied(self):
+        stats = GcStats()
+        stats.words_allocated = 1_000
+        stats.words_marked = 100
+        stats.words_copied = 150
+        assert stats.words_traced == 250
+        assert stats.mark_cons == pytest.approx(0.25)
+
+    def test_mark_cons_zero_when_nothing_allocated(self):
+        assert GcStats().mark_cons == 0.0
+
+    def test_gc_work_includes_sweep_and_roots(self):
+        stats = GcStats()
+        stats.words_marked = 10
+        stats.words_copied = 20
+        stats.words_swept = 30
+        stats.roots_traced = 5
+        assert stats.gc_work == 65
+
+    def test_gc_mutator_ratio_default_denominator(self):
+        stats = GcStats()
+        stats.words_allocated = 200
+        stats.words_copied = 50
+        assert stats.gc_mutator_ratio() == pytest.approx(0.25)
+
+    def test_gc_mutator_ratio_custom_denominator(self):
+        stats = GcStats()
+        stats.words_copied = 50
+        assert stats.gc_mutator_ratio(500) == pytest.approx(0.1)
+        assert stats.gc_mutator_ratio(0) == 0.0
+
+    def test_max_pause(self):
+        stats = GcStats()
+        assert stats.max_pause_work == 0
+        stats.record_pause(clock=10, kind="full", work=5, reclaimed=1, live=5)
+        stats.record_pause(clock=20, kind="full", work=9, reclaimed=2, live=9)
+        assert stats.max_pause_work == 9
+        assert stats.pauses[0] == PauseRecord(
+            clock=10, kind="full", work=5, reclaimed=1, live=5
+        )
+
+    def test_summary_keys(self):
+        summary = GcStats().summary()
+        for key in (
+            "words_allocated",
+            "mark_cons",
+            "gc_mutator_ratio",
+            "collections",
+            "max_pause_work",
+        ):
+            assert key in summary

@@ -1,0 +1,49 @@
+"""Tests for the write barrier dispatch and accounting."""
+
+from __future__ import annotations
+
+from repro.heap.barrier import WriteBarrier
+from repro.heap.object_model import HeapObject
+
+
+def obj(obj_id: int) -> HeapObject:
+    return HeapObject(obj_id, 2, 2, 0)
+
+
+class TestBarrier:
+    def test_counts_all_stores(self):
+        barrier = WriteBarrier()
+        barrier.on_store(obj(1), 0, obj(2))
+        barrier.on_store(obj(1), 1, None)
+        assert barrier.stores == 2
+        assert barrier.pointer_stores == 1
+
+    def test_hook_called_for_pointer_stores_only(self):
+        seen = []
+        barrier = WriteBarrier(
+            lambda src, slot, dst: seen.append((src.obj_id, slot, dst.obj_id))
+        )
+        barrier.on_store(obj(1), 0, obj(2))
+        barrier.on_store(obj(1), 1, None)
+        assert seen == [(1, 0, 2)]
+
+    def test_hook_can_be_swapped(self):
+        first, second = [], []
+        barrier = WriteBarrier(lambda *args: first.append(args))
+        barrier.on_store(obj(1), 0, obj(2))
+        barrier.set_hook(lambda *args: second.append(args))
+        barrier.on_store(obj(1), 0, obj(3))
+        assert len(first) == 1
+        assert len(second) == 1
+
+    def test_no_hook_is_fine(self):
+        barrier = WriteBarrier()
+        barrier.on_store(obj(1), 0, obj(2))
+        assert barrier.pointer_stores == 1
+
+    def test_reset_counters(self):
+        barrier = WriteBarrier()
+        barrier.on_store(obj(1), 0, obj(2))
+        barrier.reset_counters()
+        assert barrier.stores == 0
+        assert barrier.pointer_stores == 0

@@ -1,0 +1,232 @@
+"""Tests for the simulated heap: allocation, movement, tracing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heap.heap import HeapError, SimulatedHeap
+from repro.heap.space import SpaceFull
+from repro.runtime.values import Fixnum
+
+
+@pytest.fixture
+def heap():
+    return SimulatedHeap()
+
+
+class TestAllocation:
+    def test_clock_advances_by_size(self, heap):
+        space = heap.add_space("s", 100)
+        heap.allocate(3, 0, space)
+        heap.allocate(5, 0, space)
+        assert heap.clock == 8
+        assert heap.objects_allocated == 2
+
+    def test_birth_is_preallocation_clock(self, heap):
+        space = heap.add_space("s", 100)
+        first = heap.allocate(4, 0, space)
+        second = heap.allocate(4, 0, space)
+        assert first.birth == 0
+        assert second.birth == 4
+
+    def test_ids_unique_and_increasing(self, heap):
+        space = heap.add_space("s", 100)
+        ids = [heap.allocate(1, 0, space).obj_id for _ in range(10)]
+        assert ids == sorted(set(ids))
+
+    def test_static_allocation_skips_clock(self, heap):
+        space = heap.add_space("static", None)
+        heap.allocate(10, 0, space, advance_clock=False)
+        assert heap.clock == 0
+        assert heap.objects_allocated == 0
+
+    def test_full_space_raises_without_clock_advance(self, heap):
+        space = heap.add_space("s", 4)
+        heap.allocate(4, 0, space)
+        with pytest.raises(SpaceFull):
+            heap.allocate(1, 0, space)
+        assert heap.clock == 4
+
+    def test_ids_never_reused_after_free(self, heap):
+        space = heap.add_space("s", 100)
+        obj = heap.allocate(1, 0, space)
+        freed_id = obj.obj_id
+        heap.free(obj)
+        fresh = heap.allocate(1, 0, space)
+        assert fresh.obj_id != freed_id
+
+
+class TestSpaces:
+    def test_duplicate_space_rejected(self, heap):
+        heap.add_space("s", 10)
+        with pytest.raises(ValueError):
+            heap.add_space("s", 10)
+
+    def test_unknown_space_lookup(self, heap):
+        with pytest.raises(KeyError):
+            heap.space("nope")
+
+    def test_remove_space_requires_empty(self, heap):
+        space = heap.add_space("s", 10)
+        heap.allocate(1, 0, space)
+        with pytest.raises(HeapError):
+            heap.remove_space(space)
+
+    def test_move_between_spaces(self, heap):
+        a = heap.add_space("a", 10)
+        b = heap.add_space("b", 10)
+        obj = heap.allocate(4, 0, a)
+        heap.move(obj, b)
+        assert obj.space is b
+        assert a.used == 0
+        assert b.used == 4
+
+    def test_move_to_full_space_raises(self, heap):
+        a = heap.add_space("a", 10)
+        b = heap.add_space("b", 3)
+        obj = heap.allocate(4, 0, a)
+        with pytest.raises(SpaceFull):
+            heap.move(obj, b)
+
+    def test_live_words_sums_spaces(self, heap):
+        a = heap.add_space("a", 10)
+        b = heap.add_space("b", 10)
+        heap.allocate(4, 0, a)
+        heap.allocate(5, 0, b)
+        assert heap.live_words == 9
+
+
+class TestFields:
+    def test_write_and_read_reference(self, heap):
+        space = heap.add_space("s", 10)
+        a = heap.allocate(2, 2, space)
+        b = heap.allocate(2, 0, space)
+        heap.write_field(a, 0, b)
+        assert heap.read_field(a, 0) is b
+        heap.write_field(a, 0, None)
+        assert heap.read_field(a, 0) is None
+
+    def test_write_slot_immediate(self, heap):
+        space = heap.add_space("s", 10)
+        a = heap.allocate(2, 2, space)
+        heap.write_slot(a, 0, Fixnum(5))
+        assert heap.read_slot(a, 0) == Fixnum(5)
+        with pytest.raises(HeapError):
+            heap.read_field(a, 0)  # typed read rejects immediates
+
+    def test_dangling_store_rejected(self, heap):
+        space = heap.add_space("s", 10)
+        a = heap.allocate(2, 2, space)
+        b = heap.allocate(2, 0, space)
+        heap.free(b)
+        with pytest.raises(HeapError):
+            heap.write_slot(a, 0, b.obj_id)
+
+    def test_bad_slot_rejected(self, heap):
+        space = heap.add_space("s", 10)
+        a = heap.allocate(2, 1, space)
+        with pytest.raises(HeapError):
+            heap.write_field(a, 5, None)
+        with pytest.raises(HeapError):
+            heap.read_slot(a, 5)
+
+    def test_get_dangling_id(self, heap):
+        with pytest.raises(HeapError):
+            heap.get(123)
+
+
+class TestTracing:
+    def _chain(self, heap, space, length):
+        objs = [heap.allocate(2, 1, space) for _ in range(length)]
+        for a, b in zip(objs, objs[1:]):
+            heap.write_field(a, 0, b)
+        return objs
+
+    def test_reachability_follows_chain(self, heap):
+        space = heap.add_space("s", 100)
+        objs = self._chain(heap, space, 5)
+        reached = heap.reachable_from([objs[0].obj_id])
+        assert reached == {obj.obj_id for obj in objs}
+
+    def test_reachability_respects_cuts(self, heap):
+        space = heap.add_space("s", 100)
+        objs = self._chain(heap, space, 5)
+        heap.write_field(objs[2], 0, None)
+        reached = heap.reachable_from([objs[0].obj_id])
+        assert reached == {objs[0].obj_id, objs[1].obj_id, objs[2].obj_id}
+
+    def test_cycles_terminate(self, heap):
+        space = heap.add_space("s", 100)
+        a = heap.allocate(2, 1, space)
+        b = heap.allocate(2, 1, space)
+        heap.write_field(a, 0, b)
+        heap.write_field(b, 0, a)
+        assert heap.reachable_from([a.obj_id]) == {a.obj_id, b.obj_id}
+
+    def test_visit_called_once_per_object(self, heap):
+        space = heap.add_space("s", 100)
+        objs = self._chain(heap, space, 4)
+        heap.write_field(objs[-1], 0, objs[0])  # cycle
+        visited = []
+        heap.reachable_from(
+            [objs[0].obj_id, objs[1].obj_id],
+            visit=lambda obj: visited.append(obj.obj_id),
+        )
+        assert sorted(visited) == sorted(obj.obj_id for obj in objs)
+
+    def test_empty_roots(self, heap):
+        assert heap.reachable_from([]) == set()
+
+
+class TestIntegrity:
+    def test_clean_heap_passes(self, heap):
+        space = heap.add_space("s", 100)
+        a = heap.allocate(2, 1, space)
+        b = heap.allocate(2, 0, space)
+        heap.write_field(a, 0, b)
+        heap.check_integrity()
+
+    def test_detects_accounting_drift(self, heap):
+        space = heap.add_space("s", 100)
+        heap.allocate(2, 0, space)
+        space.used = 1  # corrupt deliberately
+        with pytest.raises(HeapError):
+            heap.check_integrity()
+
+    def test_detects_dangling_reference(self, heap):
+        space = heap.add_space("s", 100)
+        a = heap.allocate(2, 1, space)
+        b = heap.allocate(2, 0, space)
+        heap.write_field(a, 0, b)
+        # Free b behind the heap's back (bypassing the field check).
+        space.remove(b)
+        heap._objects.pop(b.obj_id)
+        with pytest.raises(HeapError):
+            heap.check_integrity()
+
+
+class TestPropertyBased:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=16), min_size=1, max_size=60
+        ),
+        free_mask=st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    @settings(max_examples=80)
+    def test_accounting_invariant_under_alloc_free(self, sizes, free_mask):
+        heap = SimulatedHeap()
+        space = heap.add_space("s", None)
+        objs = [heap.allocate(size, 0, space) for size in sizes]
+        for obj, do_free in zip(objs, free_mask):
+            if do_free:
+                heap.free(obj)
+        kept = [
+            obj
+            for obj, do_free in zip(objs, free_mask + [False] * len(objs))
+            if not do_free
+        ]
+        assert space.used == sum(obj.size for obj in kept)
+        assert heap.clock == sum(sizes)
+        heap.check_integrity()

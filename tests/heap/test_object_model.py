@@ -1,0 +1,74 @@
+"""Tests for heap objects and the slot-value tagging discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heap.object_model import HeapObject, is_ref
+from repro.runtime.values import Fixnum
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        obj = HeapObject(7, 4, 2, birth=100, kind="pair")
+        assert obj.obj_id == 7
+        assert obj.size == 4
+        assert obj.fields == [None, None]
+        assert obj.birth == 100
+        assert obj.kind == "pair"
+        assert obj.space is None
+        assert obj.payload is None
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            HeapObject(0, 0, 0, 0)
+
+    def test_rejects_negative_field_count(self):
+        with pytest.raises(ValueError):
+            HeapObject(0, 2, -1, 0)
+
+    def test_rejects_more_fields_than_words(self):
+        with pytest.raises(ValueError):
+            HeapObject(0, 2, 3, 0)
+
+    def test_repr_mentions_kind_and_space(self):
+        obj = HeapObject(1, 2, 2, 0, kind="pair")
+        assert "pair" in repr(obj)
+        assert "detached" in repr(obj)
+
+
+class TestReferences:
+    def test_references_skips_nulls_and_immediates(self):
+        obj = HeapObject(0, 8, 5, 0)
+        obj.fields[0] = 42  # a reference
+        obj.fields[1] = None
+        obj.fields[2] = True  # boolean immediate
+        obj.fields[3] = Fixnum(7)  # fixnum immediate
+        obj.fields[4] = 99  # a reference
+        assert list(obj.references()) == [42, 99]
+
+    def test_points_to(self):
+        obj = HeapObject(0, 4, 2, 0)
+        obj.fields[0] = 10
+        assert obj.points_to(10)
+        assert not obj.points_to(11)
+
+    def test_points_to_ignores_fixnum_collision(self):
+        # A Fixnum(10) immediate must not look like a pointer to id 10.
+        obj = HeapObject(0, 4, 2, 0)
+        obj.fields[0] = Fixnum(10)
+        assert not obj.points_to(10)
+
+
+class TestIsRef:
+    def test_ints_are_refs(self):
+        assert is_ref(0)
+        assert is_ref(12345)
+
+    def test_non_ints_are_not(self):
+        assert not is_ref(None)
+        assert not is_ref(True)  # bool is excluded deliberately
+        assert not is_ref(False)
+        assert not is_ref("x")
+        assert not is_ref(1.5)
+        assert not is_ref(Fixnum(3))

@@ -1,0 +1,90 @@
+"""Tests for spaces and occupancy accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heap.object_model import HeapObject
+from repro.heap.space import Space, SpaceFull
+
+
+def make_obj(obj_id: int, size: int) -> HeapObject:
+    return HeapObject(obj_id, size, 0, 0)
+
+
+class TestOccupancy:
+    def test_starts_empty(self):
+        space = Space("s", 100)
+        assert space.used == 0
+        assert space.free == 100
+        assert space.is_empty()
+        assert space.object_count == 0
+
+    def test_add_updates_accounting(self):
+        space = Space("s", 100)
+        obj = make_obj(1, 30)
+        space.add(obj)
+        assert space.used == 30
+        assert space.free == 70
+        assert obj.space is space
+        assert space.contains(obj)
+
+    def test_remove_updates_accounting(self):
+        space = Space("s", 100)
+        obj = make_obj(1, 30)
+        space.add(obj)
+        space.remove(obj)
+        assert space.used == 0
+        assert obj.space is None
+        assert not space.contains(obj)
+
+    def test_fits(self):
+        space = Space("s", 10)
+        space.add(make_obj(1, 6))
+        assert space.fits(4)
+        assert not space.fits(5)
+
+    def test_overflow_raises_space_full(self):
+        space = Space("s", 10)
+        space.add(make_obj(1, 8))
+        with pytest.raises(SpaceFull) as excinfo:
+            space.add(make_obj(2, 3))
+        assert excinfo.value.space is space
+        assert excinfo.value.requested == 3
+
+    def test_exact_fill_allowed(self):
+        space = Space("s", 10)
+        space.add(make_obj(1, 10))
+        assert space.free == 0
+
+    def test_duplicate_add_rejected(self):
+        space = Space("s", 100)
+        obj = make_obj(1, 5)
+        space.add(obj)
+        with pytest.raises(ValueError):
+            space.add(obj)
+
+    def test_remove_absent_rejected(self):
+        space = Space("s", 100)
+        with pytest.raises(KeyError):
+            space.remove(make_obj(1, 5))
+
+    def test_unbounded_space(self):
+        space = Space("s", None)
+        assert space.fits(10**12)
+        space.add(make_obj(1, 10**9))
+        assert space.used == 10**9
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Space("s", -1)
+
+
+class TestIteration:
+    def test_objects_in_insertion_order(self):
+        space = Space("s", 100)
+        objs = [make_obj(index, 1) for index in range(5)]
+        for obj in objs:
+            space.add(obj)
+        assert list(space.objects()) == objs
+        assert list(space.object_ids()) == [0, 1, 2, 3, 4]

@@ -1,0 +1,235 @@
+"""Tests for the Boyer term rewriter and benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.boyer import run_nboyer, run_sboyer
+from repro.programs.boyer.rewriter import BoyerRewriter
+from repro.programs.boyer.rules import LEMMAS, build_lemma_database
+from repro.programs.boyer.terms import (
+    apply_subst,
+    is_compound,
+    member_equal,
+    term_equal,
+    term_size,
+)
+from repro.runtime.interop import from_list, to_python
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+@pytest.fixture
+def rewriter(machine):
+    return BoyerRewriter(machine, build_lemma_database(machine))
+
+
+class TestTermUtilities:
+    def test_term_equal_structural(self, machine):
+        a = from_list(machine, ["plus", "x", ["times", "y", "z"]])
+        b = from_list(machine, ["plus", "x", ["times", "y", "z"]])
+        c = from_list(machine, ["plus", "x", ["times", "y", "w"]])
+        assert term_equal(machine, a, b)
+        assert not term_equal(machine, a, c)
+
+    def test_term_equal_on_atoms(self, machine):
+        assert term_equal(machine, machine.intern("x"), machine.intern("x"))
+        assert not term_equal(
+            machine, machine.intern("x"), machine.intern("y")
+        )
+
+    def test_member_equal(self, machine):
+        lst = from_list(machine, [["f", "a"], ["g", "b"]])
+        assert member_equal(machine, from_list(machine, ["g", "b"]), lst)
+        assert not member_equal(machine, from_list(machine, ["h", "c"]), lst)
+
+    def test_apply_subst_replaces_variables(self, machine):
+        term = from_list(machine, ["plus", "x", ["times", "x", "y"]])
+        subst = {"x": from_list(machine, ["zero"]), "y": machine.intern("q")}
+        result = apply_subst(machine, subst, term)
+        assert to_python(machine, result) == [
+            "plus",
+            ["zero"],
+            ["times", ["zero"], "q"],
+        ]
+
+    def test_apply_subst_shares_bound_terms(self, machine):
+        big = from_list(machine, ["f", "a", "b"])
+        term = from_list(machine, ["g", "x", "x"])
+        result = apply_subst(machine, {"x": big}, term)
+        first = machine.car(machine.cdr(result))
+        second = machine.car(machine.cdr(machine.cdr(result)))
+        assert first == second  # the same heap object, not a copy
+
+    def test_term_size(self, machine):
+        assert term_size(machine, machine.intern("x")) == 0
+        term = from_list(machine, ["f", "x"])  # 2 pairs
+        assert term_size(machine, term) == 2
+
+    def test_is_compound(self, machine):
+        assert is_compound(from_list(machine, ["f"]))
+        assert not is_compound(machine.intern("f"))
+        assert not is_compound(None)
+
+
+class TestUnification:
+    def test_variable_binds(self, machine, rewriter):
+        term = from_list(machine, ["plus", ["f", "a"], "b"])
+        pattern = from_list(machine, ["plus", "x", "y"])
+        subst = rewriter.one_way_unify(term, pattern)
+        assert subst is not None
+        assert to_python(machine, subst["x"]) == ["f", "a"]
+
+    def test_repeated_variable_must_match(self, machine, rewriter):
+        pattern = from_list(machine, ["difference", "x", "x"])
+        good = from_list(machine, ["difference", ["f", "a"], ["f", "a"]])
+        bad = from_list(machine, ["difference", ["f", "a"], ["f", "b"]])
+        assert rewriter.one_way_unify(good, pattern) is not None
+        assert rewriter.one_way_unify(bad, pattern) is None
+
+    def test_operator_mismatch_fails(self, machine, rewriter):
+        term = from_list(machine, ["times", "a", "b"])
+        pattern = from_list(machine, ["plus", "x", "y"])
+        assert rewriter.one_way_unify(term, pattern) is None
+
+    def test_nested_pattern(self, machine, rewriter):
+        pattern = from_list(machine, ["plus", ["plus", "x", "y"], "z"])
+        term = from_list(machine, ["plus", ["plus", "a", "b"], "c"])
+        subst = rewriter.one_way_unify(term, pattern)
+        assert subst is not None
+        assert to_python(machine, subst["x"]) == "a"
+
+    def test_numeric_literals_are_constants(self, machine, rewriter):
+        # The nboyer bug fix: (remainder y 1) must not match
+        # (remainder a b) for arbitrary b.
+        pattern = from_list(machine, ["remainder", "y", 1])
+        matching = from_list(machine, ["remainder", "q", 1])
+        not_matching = from_list(machine, ["remainder", "q", ["f", "b"]])
+        assert rewriter.one_way_unify(matching, pattern) is not None
+        assert rewriter.one_way_unify(not_matching, pattern) is None
+
+    def test_arity_mismatch_fails(self, machine, rewriter):
+        pattern = from_list(machine, ["plus", "x", "y"])
+        term = from_list(machine, ["plus", "a"])
+        assert rewriter.one_way_unify(term, pattern) is None
+
+
+class TestRewriting:
+    def test_atoms_rewrite_to_themselves(self, machine, rewriter):
+        atom = machine.intern("a")
+        assert rewriter.rewrite(atom) == atom
+
+    def test_plus_associativity(self, machine, rewriter):
+        term = from_list(machine, ["plus", ["plus", "a", "b"], "c"])
+        result = rewriter.rewrite(term)
+        assert to_python(machine, result) == ["plus", "a", ["plus", "b", "c"]]
+
+    def test_implies_becomes_if(self, machine, rewriter):
+        term = from_list(machine, ["implies", "p", "q"])
+        result = rewriter.rewrite(term)
+        assert to_python(machine, result) == [
+            "if", "p", ["if", "q", ["t"], ["f"]], ["t"],
+        ]
+
+    def test_difference_x_x(self, machine, rewriter):
+        term = from_list(machine, ["difference", ["f", "a"], ["f", "a"]])
+        assert to_python(machine, rewriter.rewrite(term)) == ["zero"]
+
+    def test_unmatched_term_unchanged(self, machine, rewriter):
+        term = from_list(machine, ["mystery", "a", "b"])
+        assert to_python(machine, rewriter.rewrite(term)) == [
+            "mystery", "a", "b",
+        ]
+
+    def test_rewrite_counts_rule_applications(self, machine, rewriter):
+        rewriter.rewrite(from_list(machine, ["implies", "p", "q"]))
+        assert rewriter.rewrite_count >= 1
+
+
+class TestTautology:
+    def test_t_is_tautology(self, machine, rewriter):
+        assert rewriter.tautologyp(from_list(machine, ["t"]), None, None)
+
+    def test_f_is_not(self, machine, rewriter):
+        assert not rewriter.tautologyp(from_list(machine, ["f"]), None, None)
+
+    def test_if_with_assumed_condition(self, machine, rewriter):
+        # (if p (t) (f)) is a tautology when p is in the true list.
+        p = machine.intern("p")
+        term = from_list(machine, ["if", "p", ["t"], ["f"]])
+        assert rewriter.tautologyp(term, machine.cons(p, None), None)
+        assert not rewriter.tautologyp(term, None, None)
+
+    def test_excluded_middle_via_branches(self, machine, rewriter):
+        # (if p (if p (t) (f)) (if p (f) (t))) is a tautology.
+        term = from_list(
+            machine,
+            ["if", "p", ["if", "p", ["t"], ["f"]], ["if", "p", ["f"], ["t"]]],
+        )
+        assert rewriter.tautologyp(term, None, None)
+
+    def test_tautp_on_simple_implication(self, machine, rewriter):
+        assert rewriter.tautp(from_list(machine, ["implies", "p", "p"]))
+        assert not rewriter.tautp(from_list(machine, ["implies", "p", "q"]))
+
+
+class TestBenchmark:
+    def test_nboyer_proves_the_theorem(self, machine):
+        result = run_nboyer(machine, 0)
+        assert result.proved
+        assert result.rewrites > 500
+        assert result.words_allocated > 100_000
+
+    def test_sboyer_same_result_far_less_allocation(self):
+        machine_n = Machine(TracingCollector)
+        machine_s = Machine(TracingCollector)
+        nres = run_nboyer(machine_n, 0)
+        sres = run_sboyer(machine_s, 0)
+        assert sres.proved
+        assert sres.rewrites == nres.rewrites
+        assert sres.rewritten_size == nres.rewritten_size
+        # Baker: shared consing "greatly decreases" allocation.
+        assert sres.words_allocated < nres.words_allocated / 5
+
+    def test_scaling_grows_allocation(self):
+        machine0 = Machine(TracingCollector)
+        machine1 = Machine(TracingCollector)
+        r0 = run_nboyer(machine0, 0)
+        r1 = run_nboyer(machine1, 1)
+        assert r1.proved
+        assert r1.words_allocated > 2 * r0.words_allocated
+
+    def test_rejects_negative_scale(self, machine):
+        with pytest.raises(ValueError):
+            run_nboyer(machine, -1)
+
+
+class TestRuleBase:
+    def test_rule_count_substantial(self):
+        assert len(LEMMAS) >= 90
+
+    def test_every_lemma_is_equal_form(self, machine):
+        database = build_lemma_database(machine)
+        for lemmas in database.values():
+            for lemma in lemmas:
+                assert machine.symbol_name(machine.car(lemma)) == "equal"
+
+    def test_index_keyed_by_lhs_operator(self, machine):
+        database = build_lemma_database(machine)
+        assert "plus" in database
+        assert "append" in database
+        assert "implies" in database
+
+    def test_try_order_is_last_added_first(self, machine):
+        # add-lemma conses onto the property list, so later lemmas are
+        # tried first; reverse-loop has two lemmas and the (nil)
+        # special case was added second.
+        database = build_lemma_database(machine)
+        first = database["reverse-loop"][0]
+        lhs = machine.car(machine.cdr(first))
+        assert to_python(machine, lhs) == ["reverse-loop", "x", ["nil"]]

@@ -1,0 +1,63 @@
+"""Tests for the deriv benchmark (Scheme via the interpreter)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gc.hybrid import HybridCollector
+from repro.programs.deriv import run_deriv
+from repro.programs.registry import get_benchmark
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+class TestDeriv:
+    def test_derivative_of_gabriels_expression(self, machine):
+        result = run_deriv(machine, iterations=1)
+        # d/dx of 3x^2 is represented (unsimplified) as the classic
+        # product-rule expansion; spot-check its head and the constant
+        # term's derivative.
+        assert result.derivative[0] == "+"
+        assert result.derivative[-1] == 0  # d/dx 5
+        three_x_squared = result.derivative[1]
+        assert three_x_squared[0] == "*"
+        assert three_x_squared[1] == ["*", 3, "x", "x"]
+
+    def test_deterministic(self):
+        a = run_deriv(Machine(TracingCollector), iterations=3)
+        b = run_deriv(Machine(TracingCollector), iterations=3)
+        assert a.derivative == b.derivative
+        assert a.words_allocated == b.words_allocated
+
+    def test_allocation_scales_with_iterations(self):
+        small = run_deriv(Machine(TracingCollector), iterations=5)
+        large = run_deriv(Machine(TracingCollector), iterations=20)
+        assert 3.0 < large.words_allocated / small.words_allocated < 5.0
+
+    def test_nothing_survives(self, machine):
+        result = run_deriv(machine, iterations=10)
+        machine.collect()
+        # Only the interpreter's defined procedures remain (closures in
+        # the global table); the derivatives themselves are garbage.
+        assert machine.live_words() < result.words_allocated / 10
+
+    def test_runs_under_real_collector(self):
+        machine = Machine(
+            lambda heap, roots: HybridCollector(heap, roots, 512, 8, 512)
+        )
+        result = run_deriv(machine, iterations=20)
+        assert machine.stats.collections > 0
+        assert result.derivative[0] == "+"
+        machine.heap.check_integrity()
+
+    def test_registered_as_extra(self):
+        assert get_benchmark("deriv").name == "deriv"
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            run_deriv(machine, iterations=0)

@@ -1,0 +1,114 @@
+"""Tests for the dynamic / 10dynamic benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.dynamic import generate_corpus, infer_program, run_dynamic
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+from repro.trace.recorder import LifetimeRecorder
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        machine_a = Machine(TracingCollector)
+        machine_b = Machine(TracingCollector)
+        corpus_a = generate_corpus(machine_a, definitions=5, seed=1)
+        corpus_b = generate_corpus(machine_b, definitions=5, seed=1)
+        from repro.runtime.interop import to_python
+
+        assert [to_python(machine_a, d) for d in corpus_a] == [
+            to_python(machine_b, d) for d in corpus_b
+        ]
+
+    def test_different_seeds_differ(self):
+        machine_a = Machine(TracingCollector)
+        machine_b = Machine(TracingCollector)
+        from repro.runtime.interop import to_python
+
+        a = [
+            to_python(machine_a, d)
+            for d in generate_corpus(machine_a, definitions=5, seed=1)
+        ]
+        b = [
+            to_python(machine_b, d)
+            for d in generate_corpus(machine_b, definitions=5, seed=2)
+        ]
+        assert a != b
+
+    def test_corpus_size(self, machine):
+        corpus = generate_corpus(machine, definitions=7)
+        assert len(corpus) == 7
+
+
+class TestInference:
+    def test_deterministic_coercions(self):
+        machine_a = Machine(TracingCollector)
+        machine_b = Machine(TracingCollector)
+        corpus_a = generate_corpus(machine_a, definitions=10, seed=3)
+        corpus_b = generate_corpus(machine_b, definitions=10, seed=3)
+        assert infer_program(machine_a, corpus_a) == infer_program(
+            machine_b, corpus_b
+        )
+
+    def test_iterations_identical(self, machine):
+        # Re-analyzing the same corpus gives the same answer — the
+        # iterated runs differ only in storage behaviour.
+        corpus = generate_corpus(machine, definitions=10, seed=4)
+        first = infer_program(machine, corpus)
+        second = infer_program(machine, corpus)
+        assert first == second
+
+    def test_mass_extinction_at_iteration_end(self, machine):
+        corpus = generate_corpus(machine, definitions=10, seed=5)
+        live_before = machine.live_words()
+        infer_program(machine, corpus)
+        machine.collect()
+        # Once the iteration's structures are dropped, live storage
+        # returns to (roughly) just the corpus.
+        assert machine.live_words() == pytest.approx(live_before, rel=0.05)
+
+    def test_storage_survives_within_iteration(self):
+        # During the iteration, allocated storage accumulates: the
+        # high within-iteration survival of Figure 2 / Table 4.
+        machine = Machine(TracingCollector)
+        corpus = generate_corpus(machine, definitions=20, seed=6)
+        recorder = LifetimeRecorder(machine, epoch_words=2_000)
+        infer_program(machine, corpus)
+        live = sum(
+            record.size
+            for record in recorder.trace.records
+            if record.death is None
+        )
+        total = recorder.trace.words_allocated
+        recorder.finish()
+        assert live / total > 0.75
+
+
+class TestRunner:
+    def test_result_shape(self, machine):
+        result = run_dynamic(machine, iterations=3, definitions=8, depth=4)
+        assert result.iterations == 3
+        assert len(result.coercions_per_iteration) == 3
+        # Every iteration analyzes the same corpus.
+        assert len(set(result.coercions_per_iteration)) == 1
+        assert result.words_allocated > 0
+
+    def test_rejects_zero_iterations(self, machine):
+        with pytest.raises(ValueError):
+            run_dynamic(machine, iterations=0)
+
+    def test_unknown_head_rejected(self, machine):
+        from repro.runtime.interop import from_list
+        from repro.programs.dynamic import _Inference
+
+        inference = _Inference(machine)
+        bad = from_list(machine, ["bogus", "x"])
+        with pytest.raises(ValueError):
+            inference.infer(bad, None)

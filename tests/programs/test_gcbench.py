@@ -1,0 +1,64 @@
+"""Tests for the GCBench workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gc.generational import GenerationalCollector
+from repro.programs.gcbench import run_gcbench
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+class TestGcBench:
+    def test_long_lived_tree_complete(self, machine):
+        result = run_gcbench(machine, min_depth=3, max_depth=5)
+        assert result.long_lived_nodes == (1 << 6) - 1
+
+    def test_transient_trees_counted(self, machine):
+        result = run_gcbench(machine, min_depth=3, max_depth=5)
+        # Depths 3 and 5, each with iterations x 2 trees.
+        assert result.transient_trees > 0
+        assert result.transient_trees % 2 == 0
+
+    def test_allocation_balanced_across_depths(self):
+        # Each depth allocates roughly the same storage as the deepest
+        # tree (the original's design); total is therefore roughly
+        # (number of depths + long-lived) x deepest-tree words.
+        machine = Machine(TracingCollector)
+        result = run_gcbench(machine, min_depth=4, max_depth=8)
+        deepest_words = ((1 << 9) - 1) * 2
+        depths = len(range(4, 9, 2))
+        assert result.words_allocated > depths * deepest_words
+
+    def test_runs_under_real_collector(self):
+        # Small nursery so collections strike mid-build; the final
+        # _check_tree inside run_gcbench verifies the long-lived tree
+        # survived them intact.
+        machine = Machine(
+            lambda heap, roots: GenerationalCollector(
+                heap, roots, [512, 4_096]
+            )
+        )
+        result = run_gcbench(machine, min_depth=4, max_depth=8)
+        assert result.long_lived_nodes == (1 << 9) - 1
+        assert machine.stats.collections > 0
+        machine.heap.check_integrity()
+
+    def test_everything_dies_when_results_dropped(self, machine):
+        # The workload holds its long-lived data only for the run;
+        # once the handles are dropped nothing remains reachable.
+        run_gcbench(machine, min_depth=3, max_depth=5)
+        machine.collect()
+        assert machine.live_words() == 0
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            run_gcbench(machine, min_depth=0, max_depth=4)
+        with pytest.raises(ValueError):
+            run_gcbench(machine, min_depth=5, max_depth=4)

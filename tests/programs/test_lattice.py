@@ -1,0 +1,107 @@
+"""Tests for the lattice benchmark."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+
+from repro.programs.lattice import Lattice, count_monotone_maps, run_lattice
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+def brute_force_count(source: Lattice, target: Lattice) -> int:
+    """Reference implementation: try every function."""
+    count = 0
+    n = len(source)
+    for assignment in product(range(len(target)), repeat=n):
+        ok = True
+        for a in range(n):
+            for b in range(n):
+                if source.leq(a, b) and not target.leq(
+                    assignment[a], assignment[b]
+                ):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            count += 1
+    return count
+
+
+class TestLatticeStructure:
+    def test_chain_product_size(self):
+        lattice = Lattice.chain_product((2, 3))
+        assert len(lattice) == 6
+
+    def test_leq_componentwise(self):
+        lattice = Lattice.chain_product((2, 2))
+        elements = {element: i for i, element in enumerate(lattice.elements)}
+        assert lattice.leq(elements[(0, 0)], elements[(1, 1)])
+        assert not lattice.leq(elements[(1, 0)], elements[(0, 1)])
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Lattice.chain_product(())
+        with pytest.raises(ValueError):
+            Lattice.chain_product((0, 2))
+
+
+class TestCounting:
+    def test_chain_to_chain(self, machine):
+        # Monotone maps from an m-chain to an n-chain: C(n+m-1, m).
+        source = Lattice.chain_product((3,))
+        target = Lattice.chain_product((4,))
+        # C(4+3-1, 3) = C(6,3) = 20.
+        assert count_monotone_maps(machine, source, target) == 20
+
+    def test_singleton_source(self, machine):
+        source = Lattice.chain_product((1,))
+        target = Lattice.chain_product((5,))
+        assert count_monotone_maps(machine, source, target) == 5
+
+    @pytest.mark.parametrize(
+        "source_dims,target_dims",
+        [((2,), (2, 2)), ((2, 2), (3,)), ((2, 2), (2, 2)), ((3, 2), (2, 2))],
+    )
+    def test_matches_brute_force(self, machine, source_dims, target_dims):
+        source = Lattice.chain_product(source_dims)
+        target = Lattice.chain_product(target_dims)
+        expected = brute_force_count(source, target)
+        assert count_monotone_maps(machine, source, target) == expected
+
+    def test_allocation_is_transient(self, machine):
+        source = Lattice.chain_product((2, 2))
+        target = Lattice.chain_product((2, 2))
+        count_monotone_maps(machine, source, target)
+        allocated = machine.stats.words_allocated
+        machine.collect()
+        # "allocates almost no long-lived storage": everything the
+        # enumeration built is garbage once it returns.
+        assert allocated > 100
+        assert machine.live_words() == 0
+
+
+class TestRunner:
+    def test_default_run(self, machine):
+        result = run_lattice(machine, (2, 2), (3,))
+        assert result.source_size == 4
+        assert result.target_size == 3
+        assert result.map_count == brute_force_count(
+            Lattice.chain_product((2, 2)), Lattice.chain_product((3,))
+        )
+        assert result.words_allocated > 0
+
+    def test_known_default_count(self):
+        # The shipped default configuration's answer is pinned so a
+        # regression in the enumerator is caught immediately.
+        machine = Machine(TracingCollector)
+        result = run_lattice(machine)
+        assert result.map_count == 28_224

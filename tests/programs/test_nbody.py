@@ -1,0 +1,49 @@
+"""Tests for the nbody benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.nbody import run_nbody
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+class TestNBody:
+    def test_energy_approximately_conserved(self, machine):
+        result = run_nbody(machine, bodies=8, steps=10, dt=1e-4, seed=1)
+        assert result.energy_drift < 0.05 * abs(result.initial_energy) + 0.05
+
+    def test_deterministic(self):
+        a = run_nbody(Machine(TracingCollector), bodies=6, steps=3, seed=2)
+        b = run_nbody(Machine(TracingCollector), bodies=6, steps=3, seed=2)
+        assert a.final_energy == b.final_energy
+        assert a.words_allocated == b.words_allocated
+
+    def test_flonum_allocation_dominates(self, machine):
+        result = run_nbody(machine, bodies=8, steps=4)
+        # ~20 flonum ops per body pair per step, 4 words each.
+        assert result.words_allocated > 8 * 7 * 4 * 10
+
+    def test_live_set_is_tiny(self, machine):
+        # The paper's signature: enormous allocation, < 1% live.
+        result = run_nbody(machine, bodies=8, steps=6)
+        machine.collect()
+        assert machine.live_words() < result.words_allocated / 50
+
+    def test_allocation_scales_quadratically_in_bodies(self):
+        small = run_nbody(Machine(TracingCollector), bodies=8, steps=2)
+        large = run_nbody(Machine(TracingCollector), bodies=16, steps=2)
+        ratio = large.words_allocated / small.words_allocated
+        assert 3.0 < ratio < 5.0
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            run_nbody(machine, bodies=1)
+        with pytest.raises(ValueError):
+            run_nbody(machine, steps=0)

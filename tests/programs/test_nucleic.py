@@ -1,0 +1,92 @@
+"""Tests for the nucleic (pseudoknot-like) benchmark."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.programs.nucleic import _compose, _identity, _make_transform, run_nucleic
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+def transform_values(machine, transform) -> list[float]:
+    return [
+        machine.flonum_value(machine.vector_ref(transform, slot))
+        for slot in range(12)
+    ]
+
+
+class TestTransforms:
+    def test_identity_composition(self, machine):
+        identity = _identity(machine)
+        other = _make_transform(
+            machine, [0, 1, 0, -1, 0, 0, 0, 0, 1, 5, 6, 7]
+        )
+        composed = _compose(machine, identity, other)
+        assert transform_values(machine, composed) == pytest.approx(
+            transform_values(machine, other)
+        )
+
+    def test_composition_matches_matrix_algebra(self, machine):
+        # Rotate 90 degrees about z twice: equals 180-degree rotation.
+        quarter = _make_transform(
+            machine, [0, -1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0]
+        )
+        half = _compose(machine, quarter, quarter)
+        values = transform_values(machine, half)
+        expected = [-1, 0, 0, 0, -1, 0, 0, 0, 1, 0, 0, 0]
+        assert values == pytest.approx(expected, abs=1e-12)
+
+    def test_translation_composes(self, machine):
+        move = _make_transform(
+            machine, [1, 0, 0, 0, 1, 0, 0, 0, 1, 1, 2, 3]
+        )
+        double = _compose(machine, move, move)
+        assert transform_values(machine, double)[9:] == pytest.approx(
+            [2.0, 4.0, 6.0]
+        )
+
+    def test_composition_allocates_flonums(self, machine):
+        a = _identity(machine)
+        before = machine.stats.words_allocated
+        _compose(machine, a, a)
+        # 9 dot products of 3 mul+add pairs plus translation work,
+        # all boxed.
+        assert machine.stats.words_allocated - before > 100
+
+
+class TestSearch:
+    def test_deterministic(self):
+        a = run_nucleic(Machine(TracingCollector), residues=5, seed=3)
+        b = run_nucleic(Machine(TracingCollector), residues=5, seed=3)
+        assert a.solutions == b.solutions
+        assert a.placements_tried == b.placements_tried
+
+    def test_pruning_bounds_search(self, machine):
+        result = run_nucleic(
+            machine, residues=6, candidates=3, max_radius=0.5, seed=4
+        )
+        # A tight radius prunes almost everything.
+        assert result.placements_tried < 3**6
+
+    def test_live_set_small_after_run(self, machine):
+        result = run_nucleic(machine, residues=5, seed=5)
+        machine.collect()
+        assert machine.live_words() < result.words_allocated / 10
+
+    def test_solution_count_bounded_by_tree(self, machine):
+        result = run_nucleic(machine, residues=4, candidates=2, seed=6)
+        assert 0 <= result.solutions <= 2**4
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            run_nucleic(machine, residues=0)
+        with pytest.raises(ValueError):
+            run_nucleic(machine, candidates=0)

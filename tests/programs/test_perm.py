@@ -1,0 +1,68 @@
+"""Tests for the perm / mperm workloads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.gc.stopcopy import StopAndCopyCollector
+from repro.programs.perm import run_mperm, run_perm
+from repro.runtime.interop import to_python
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+class TestPerm:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_counts_are_factorials(self, machine, n):
+        result = run_perm(machine, n)
+        assert result.permutation_count == math.factorial(n)
+
+    def test_permutations_are_distinct_and_valid(self, machine):
+        from repro.programs.perm import _permutations
+        from repro.runtime.interop import from_list
+
+        items = from_list(machine, [1, 2, 3])
+        perms = _permutations(machine, items)
+        seen = set()
+        while perms is not None:
+            perm = to_python(machine, machine.car(perms))
+            assert sorted(perm) == [1, 2, 3]
+            seen.add(tuple(perm))
+            perms = machine.cdr(perms)
+        assert len(seen) == 6
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            run_perm(machine, 0)
+
+
+class TestMperm:
+    def test_window_bounds_live_storage(self, machine):
+        result = run_mperm(machine, 4, keep=2, batches=6)
+        assert result.batches == 6
+        machine.collect()
+        # Only the kept batches remain live; with 6 batches generated,
+        # most storage has died.
+        assert machine.live_words() < result.words_allocated / 2
+
+    def test_runs_under_real_collector(self):
+        machine = Machine(
+            lambda heap, roots: StopAndCopyCollector(heap, roots, 4_096)
+        )
+        result = run_mperm(machine, 4, keep=2, batches=8)
+        assert result.permutation_count == 24
+        assert machine.stats.collections > 0
+        machine.heap.check_integrity()
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            run_mperm(machine, 4, keep=0)
+        with pytest.raises(ValueError):
+            run_mperm(machine, 4, keep=5, batches=3)

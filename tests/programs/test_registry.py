@@ -1,0 +1,55 @@
+"""Tests for the benchmark registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.registry import BENCHMARKS, benchmark_names, get_benchmark
+from repro.runtime.machine import Machine
+from repro.trace.collector import TracingCollector
+
+
+class TestRegistry:
+    def test_all_six_paper_benchmarks_present(self):
+        assert benchmark_names(include_extras=False) == [
+            "nbody",
+            "nucleic2",
+            "lattice",
+            "10dynamic",
+            "nboyer",
+            "sboyer",
+        ]
+
+    def test_extra_workloads_listed_after_the_six(self):
+        names = benchmark_names()
+        assert names[:6] == benchmark_names(include_extras=False)
+        assert "gcbench" in names
+        assert "mperm" in names
+
+    def test_extras_resolvable(self):
+        assert get_benchmark("gcbench").name == "gcbench"
+        assert get_benchmark("mperm").name == "mperm"
+
+    def test_get_by_name(self):
+        assert get_benchmark("lattice").name == "lattice"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_benchmark("quicksort")
+
+    def test_descriptions_match_table2(self):
+        descriptions = {b.name: b.description for b in BENCHMARKS}
+        assert descriptions["nbody"] == "inverse-square law simulation"
+        assert (
+            descriptions["10dynamic"] == "Henglein's dynamic type inference"
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["nbody", "nucleic2", "lattice", "10dynamic"]
+    )
+    def test_scale_zero_runs_quickly(self, name):
+        machine = Machine(TracingCollector)
+        benchmark = get_benchmark(name)
+        result = benchmark.run(machine, 0)
+        assert machine.stats.words_allocated > 0
+        assert result is not None

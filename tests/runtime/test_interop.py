@@ -1,0 +1,127 @@
+"""Tests for Python <-> Scheme data conversion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.interop import (
+    from_list,
+    list_length,
+    list_ref,
+    scheme_equal,
+    to_list,
+    to_python,
+)
+from repro.runtime.machine import Machine
+from repro.runtime.values import Fixnum
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+class TestRoundTrip:
+    def test_flat_list(self, machine):
+        lst = from_list(machine, [1, 2, 3])
+        assert to_python(machine, lst) == [1, 2, 3]
+
+    def test_nested_list(self, machine):
+        data = [1, ["a", [2, "b"]], 3]
+        lst = from_list(machine, data)
+        assert to_python(machine, lst) == [1, ["a", [2, "b"]], 3]
+
+    def test_strings_become_symbols(self, machine):
+        lst = from_list(machine, ["plus", "x"])
+        head = machine.car(lst)
+        assert head.is_symbol()
+        assert machine.symbol_name(head) == "plus"
+
+    def test_floats_become_flonums(self, machine):
+        lst = from_list(machine, [1.5])
+        assert machine.car(lst).is_flonum()
+        assert to_python(machine, lst) == [1.5]
+
+    def test_booleans_and_nil(self, machine):
+        lst = from_list(machine, [True, False])
+        assert to_python(machine, lst) == [True, False]
+        assert from_list(machine, []) is None
+
+    def test_empty_list_is_nil(self, machine):
+        assert to_python(machine, None) == []
+
+    simple_data = st.recursive(
+        st.one_of(
+            st.integers(min_value=-100, max_value=100),
+            st.sampled_from(["a", "b", "c"]),
+            st.booleans(),
+        ),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=20,
+    )
+
+    @given(data=st.lists(simple_data, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        machine = Machine(TracingCollector)
+        assert to_python(machine, from_list(machine, data)) == data
+
+
+class TestListOperations:
+    def test_length(self, machine):
+        assert list_length(machine, from_list(machine, [1, 2, 3])) == 3
+        assert list_length(machine, None) == 0
+
+    def test_list_ref(self, machine):
+        lst = from_list(machine, [10, 20, 30])
+        assert list_ref(machine, lst, 0) == Fixnum(10)
+        assert list_ref(machine, lst, 2) == Fixnum(30)
+
+    def test_to_list(self, machine):
+        lst = from_list(machine, [1, 2])
+        values = to_list(machine, lst)
+        assert values == [Fixnum(1), Fixnum(2)]
+
+    def test_to_list_rejects_improper(self, machine):
+        improper = machine.cons(Fixnum(1), Fixnum(2))
+        with pytest.raises(TypeError):
+            to_list(machine, improper)
+
+
+class TestSchemeEqual:
+    def test_structural_equality(self, machine):
+        a = from_list(machine, [1, ["x", 2], 3.5])
+        b = from_list(machine, [1, ["x", 2], 3.5])
+        assert scheme_equal(machine, a, b)
+
+    def test_inequality(self, machine):
+        a = from_list(machine, [1, 2])
+        b = from_list(machine, [1, 3])
+        assert not scheme_equal(machine, a, b)
+
+    def test_different_shapes(self, machine):
+        a = from_list(machine, [1, [2]])
+        b = from_list(machine, [1, 2])
+        assert not scheme_equal(machine, a, b)
+
+    def test_symbols_by_identity(self, machine):
+        assert scheme_equal(machine, machine.intern("x"), machine.intern("x"))
+        assert not scheme_equal(
+            machine, machine.intern("x"), machine.intern("y")
+        )
+
+    def test_vectors(self, machine):
+        a = machine.make_vector(2, Fixnum(1))
+        b = machine.make_vector(2, Fixnum(1))
+        c = machine.make_vector(3, Fixnum(1))
+        assert scheme_equal(machine, a, b)
+        assert not scheme_equal(machine, a, c)
+
+    def test_shared_structure_fast_path(self, machine):
+        shared = from_list(machine, [1, 2, 3])
+        a = machine.cons(shared, None)
+        b = machine.cons(shared, None)
+        assert scheme_equal(machine, a, b)

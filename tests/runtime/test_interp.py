@@ -1,0 +1,253 @@
+"""Tests for the Scheme interpreter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gc.generational import GenerationalCollector
+from repro.gc.nonpredictive import NonPredictiveCollector
+from repro.runtime.interop import to_python
+from repro.runtime.interp import Interpreter, SchemeError
+from repro.runtime.machine import Machine
+from repro.runtime.values import Fixnum
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def interp():
+    return Interpreter(Machine(TracingCollector))
+
+
+def result_of(interp, program):
+    return to_python(interp.machine, interp.run(program))
+
+
+class TestBasics:
+    def test_self_evaluating(self, interp):
+        assert interp.run("42") == Fixnum(42)
+        assert interp.run("#t") is True
+        assert interp.run("()") is None
+
+    def test_arithmetic(self, interp):
+        assert result_of(interp, "(+ 1 2 3)") == 6
+        assert result_of(interp, "(- 10 3 2)") == 5
+        assert result_of(interp, "(- 4)") == -4
+        assert result_of(interp, "(* 2 3 4)") == 24
+        assert result_of(interp, "(quotient 7 2)") == 3
+        assert result_of(interp, "(quotient -7 2)") == -3  # truncating
+        assert result_of(interp, "(remainder 7 2)") == 1
+
+    def test_comparisons(self, interp):
+        assert interp.run("(< 1 2)") is True
+        assert interp.run("(>= 1 2)") is False
+        assert interp.run("(= 3 3)") is True
+
+    def test_quote(self, interp):
+        assert result_of(interp, "'(1 (2 3))") == [1, [2, 3]]
+
+    def test_if(self, interp):
+        assert result_of(interp, "(if #t 1 2)") == 1
+        assert result_of(interp, "(if #f 1 2)") == 2
+        assert interp.run("(if #f 1)") is None
+
+    def test_only_false_is_false(self, interp):
+        # Scheme truthiness: 0 and () are true.
+        assert result_of(interp, "(if 0 1 2)") == 1
+        assert result_of(interp, "(if '() 1 2)") == 1
+
+
+class TestDefinitionsAndClosures:
+    def test_define_value(self, interp):
+        interp.run("(define x 5)")
+        assert result_of(interp, "(+ x 1)") == 6
+
+    def test_define_function_sugar(self, interp):
+        assert result_of(interp, "(define (double n) (* 2 n)) (double 21)") == 42
+
+    def test_recursion(self, interp):
+        program = """
+        (define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))
+        (fact 10)
+        """
+        assert result_of(interp, program) == 3_628_800
+
+    def test_closure_captures_environment(self, interp):
+        program = """
+        (define (adder n) (lambda (x) (+ x n)))
+        ((adder 10) 32)
+        """
+        assert result_of(interp, program) == 42
+
+    def test_set_mutates_captured_binding(self, interp):
+        program = """
+        (define (make-counter)
+          (let ((n 0)) (lambda () (set! n (+ n 1)) n)))
+        (define c (make-counter))
+        (c) (c) (c)
+        """
+        assert result_of(interp, program) == 3
+
+    def test_counters_are_independent(self, interp):
+        program = """
+        (define (make-counter)
+          (let ((n 0)) (lambda () (set! n (+ n 1)) n)))
+        (define a (make-counter))
+        (define b (make-counter))
+        (a) (a) (b)
+        """
+        assert result_of(interp, program) == 1
+
+    def test_arity_checked(self, interp):
+        interp.run("(define (f x) x)")
+        with pytest.raises(SchemeError):
+            interp.run("(f 1 2)")
+
+    def test_unbound_variable(self, interp):
+        with pytest.raises(SchemeError):
+            interp.run("nope")
+
+
+class TestBindingForms:
+    def test_let(self, interp):
+        assert result_of(interp, "(let ((x 1) (y 2)) (+ x y))") == 3
+
+    def test_let_star_sees_earlier_bindings(self, interp):
+        assert result_of(interp, "(let* ((x 1) (y (+ x 1))) y)") == 2
+
+    def test_letrec_mutual_recursion(self, interp):
+        program = """
+        (letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))
+                 (odd?  (lambda (n) (if (= n 0) #f (even? (- n 1))))))
+          (even? 10))
+        """
+        assert interp.run(program) is True
+
+    def test_named_let_loop(self, interp):
+        program = """
+        (let loop ((i 0) (acc 0))
+          (if (= i 10) acc (loop (+ i 1) (+ acc i))))
+        """
+        assert result_of(interp, program) == 45
+
+    def test_cond_with_else(self, interp):
+        program = "(cond ((= 1 2) 'a) ((= 1 1) 'b) (else 'c))"
+        assert result_of(interp, program) == "b"
+
+    def test_cond_test_only_clause(self, interp):
+        assert result_of(interp, "(cond (#f) (42))") == 42
+
+    def test_and_or_short_circuit(self, interp):
+        assert result_of(interp, "(and 1 2 3)") == 3
+        assert interp.run("(and 1 #f 3)") is False
+        assert result_of(interp, "(or #f 2 3)") == 2
+        assert interp.run("(or #f #f)") is False
+
+    def test_when_unless(self, interp):
+        assert result_of(interp, "(when #t 1 2)") == 2
+        assert interp.run("(when #f 1)") is None
+        assert result_of(interp, "(unless #f 7)") == 7
+
+
+class TestDataStructures:
+    def test_pairs(self, interp):
+        program = """
+        (define p (cons 1 2))
+        (set-car! p 10)
+        (+ (car p) (cdr p))
+        """
+        assert result_of(interp, program) == 12
+
+    def test_list_and_predicates(self, interp):
+        assert result_of(interp, "(list 1 2 3)") == [1, 2, 3]
+        assert interp.run("(null? '())") is True
+        assert interp.run("(pair? '(1))") is True
+        assert interp.run("(symbol? 'x)") is True
+        assert interp.run("(eq? 'x 'x)") is True
+        assert interp.run("(equal? '(1 2) '(1 2))") is True
+
+    def test_vectors(self, interp):
+        program = """
+        (define v (make-vector 3 0))
+        (vector-set! v 1 42)
+        (+ (vector-ref v 1) (vector-length v))
+        """
+        assert result_of(interp, program) == 45
+
+    def test_flonums(self, interp):
+        program = "(fl+ (fixnum->flonum 1) 2.5)"
+        value = interp.run(program)
+        assert interp.machine.flonum_value(value) == 3.5
+
+    def test_division_by_zero(self, interp):
+        with pytest.raises(SchemeError):
+            interp.run("(quotient 1 0)")
+
+
+class TestUnderRealCollectors:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda h, r: GenerationalCollector(h, r, [1_024, 4_096]),
+            lambda h, r: NonPredictiveCollector(h, r, 8, 1_024),
+        ],
+        ids=["generational", "non-predictive"],
+    )
+    def test_gc_strikes_mid_interpretation(self, factory):
+        machine = Machine(factory)
+        interp = Interpreter(machine)
+        program = """
+        (define (iota n) (if (= n 0) '() (cons n (iota (- n 1)))))
+        (define (sum lst) (if (null? lst) 0 (+ (car lst) (sum (cdr lst)))))
+        (let loop ((i 0) (acc 0))
+          (if (= i 40)
+              acc
+              (loop (+ i 1) (+ acc (sum (iota 30))))))
+        """
+        result = interp.run(program)
+        assert result == Fixnum(40 * sum(range(1, 31)))
+        assert machine.stats.collections > 0
+        machine.heap.check_integrity()
+
+
+def _expr_strategy():
+    from hypothesis import strategies as st
+
+    return st.recursive(
+        st.integers(min_value=-50, max_value=50),
+        lambda children: st.tuples(
+            st.sampled_from(["+", "-", "*"]), children, children
+        ),
+        max_leaves=25,
+    )
+
+
+def _to_scheme(expr) -> str:
+    if isinstance(expr, int):
+        return str(expr)
+    op, a, b = expr
+    return f"({op} {_to_scheme(a)} {_to_scheme(b)})"
+
+
+def _to_value(expr) -> int:
+    if isinstance(expr, int):
+        return expr
+    op, a, b = expr
+    left, right = _to_value(a), _to_value(b)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    return left * right
+
+
+class TestPropertyBased:
+    """Random arithmetic expressions must agree with Python's arithmetic."""
+
+    from hypothesis import given, settings
+
+    @given(expr=_expr_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_arithmetic_agrees_with_python(self, expr):
+        interp = Interpreter(Machine(TracingCollector))
+        got = interp.run(_to_scheme(expr))
+        assert got == Fixnum(_to_value(expr))

@@ -1,0 +1,105 @@
+"""Tests for the S-expression reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.interop import to_python
+from repro.runtime.machine import Machine
+from repro.runtime.reader import ReaderError, read, read_all
+from repro.runtime.values import Fixnum
+from repro.trace.collector import TracingCollector
+
+
+@pytest.fixture
+def machine():
+    return Machine(TracingCollector)
+
+
+class TestAtoms:
+    def test_fixnum(self, machine):
+        assert read(machine, "42") == Fixnum(42)
+        assert read(machine, "-7") == Fixnum(-7)
+
+    def test_flonum(self, machine):
+        value = read(machine, "3.25")
+        assert value.is_flonum()
+        assert machine.flonum_value(value) == 3.25
+
+    def test_booleans(self, machine):
+        assert read(machine, "#t") is True
+        assert read(machine, "#f") is False
+
+    def test_character(self, machine):
+        assert read(machine, "#\\a") == "a"
+
+    def test_string(self, machine):
+        value = read(machine, '"hello world"')
+        assert value.is_string()
+        assert machine.string_value(value) == "hello world"
+
+    def test_symbol(self, machine):
+        value = read(machine, "set-car!")
+        assert value.is_symbol()
+        assert machine.symbol_name(value) == "set-car!"
+
+
+class TestLists:
+    def test_flat_list(self, machine):
+        assert to_python(machine, read(machine, "(1 2 3)")) == [1, 2, 3]
+
+    def test_nested(self, machine):
+        data = to_python(machine, read(machine, "(a (b 1) ((c)) 2)"))
+        assert data == ["a", ["b", 1], [["c"]], 2]
+
+    def test_empty_list(self, machine):
+        assert read(machine, "()") is None
+
+    def test_dotted_pair(self, machine):
+        pair = read(machine, "(1 . 2)")
+        assert machine.car(pair) == Fixnum(1)
+        assert machine.cdr(pair) == Fixnum(2)
+
+    def test_quote_sugar(self, machine):
+        data = to_python(machine, read(machine, "'(a b)"))
+        assert data == ["quote", ["a", "b"]]
+
+    def test_comments_skipped(self, machine):
+        program = """
+        ; a comment
+        (1 2 ; trailing comment
+         3)
+        """
+        assert to_python(machine, read(machine, program)) == [1, 2, 3]
+
+
+class TestReadAll:
+    def test_multiple_expressions(self, machine):
+        exprs = read_all(machine, "(define x 1) (+ x 2)")
+        assert len(exprs) == 2
+        assert to_python(machine, exprs[0]) == ["define", "x", 1]
+
+    def test_empty_program(self, machine):
+        assert read_all(machine, "  ; nothing\n") == []
+
+
+class TestErrors:
+    def test_unterminated_list(self, machine):
+        with pytest.raises(ReaderError):
+            read(machine, "(1 2")
+
+    def test_stray_close(self, machine):
+        with pytest.raises(ReaderError):
+            read(machine, ")")
+
+    def test_unterminated_string(self, machine):
+        with pytest.raises(ReaderError):
+            read(machine, '"abc')
+
+    def test_trailing_tokens(self, machine):
+        with pytest.raises(ReaderError):
+            read(machine, "1 2")
+
+    def test_malformed_dot(self, machine):
+        with pytest.raises(ReaderError):
+            read(machine, "(1 . 2 3)")

@@ -1,0 +1,81 @@
+"""Tests for runtime value representations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.machine import Machine
+from repro.runtime.values import (
+    Fixnum,
+    fx,
+    word_size_of_string,
+    word_size_of_vector,
+)
+from repro.trace.collector import TracingCollector
+
+
+class TestFixnum:
+    def test_equality_and_hash(self):
+        assert Fixnum(5) == Fixnum(5)
+        assert Fixnum(5) != Fixnum(6)
+        assert hash(Fixnum(5)) == hash(Fixnum(5))
+
+    def test_small_values_cached(self):
+        assert Fixnum(7) is Fixnum(7)
+        assert fx(-3) is fx(-3)
+
+    def test_large_values_equal_but_not_cached(self):
+        a, b = Fixnum(10**9), Fixnum(10**9)
+        assert a == b
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Fixnum(1.5)
+        with pytest.raises(TypeError):
+            Fixnum(True)  # bools are a distinct immediate
+
+    def test_not_equal_to_raw_int(self):
+        assert Fixnum(5) != 5
+
+    def test_repr(self):
+        assert repr(Fixnum(3)) == "Fixnum(3)"
+
+
+class TestRef:
+    def test_equality_by_object_identity(self):
+        machine = Machine(TracingCollector)
+        a = machine.cons(None, None)
+        b = machine.cons(None, None)
+        a_again = machine.car(machine.cons(a, None))
+        assert a == a_again
+        assert a != b
+        assert hash(a) == hash(a_again)
+
+    def test_kind_predicates(self):
+        machine = Machine(TracingCollector)
+        assert machine.cons(None, None).is_pair()
+        assert machine.make_vector(1).is_vector()
+        assert machine.make_string("x").is_string()
+        assert machine.make_flonum(0.0).is_flonum()
+        assert machine.intern("s").is_symbol()
+
+    def test_repr_shows_kind(self):
+        machine = Machine(TracingCollector)
+        assert "pair" in repr(machine.cons(None, None))
+
+
+class TestSizes:
+    def test_vector_sizes(self):
+        assert word_size_of_vector(0) == 1
+        assert word_size_of_vector(4) == 5
+        with pytest.raises(ValueError):
+            word_size_of_vector(-1)
+
+    def test_string_sizes(self):
+        # Header plus 4 packed chars per word.
+        assert word_size_of_string(0) == 1
+        assert word_size_of_string(1) == 2
+        assert word_size_of_string(4) == 2
+        assert word_size_of_string(5) == 3
+        with pytest.raises(ValueError):
+            word_size_of_string(-1)

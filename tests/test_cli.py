@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_rejects_unknown_collector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "lattice", "--collector", "x"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "nboyer" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--g", "0.25", "--load", "3.5"]) == 0
+        out = capsys.readouterr().out
+        assert "mark/cons" in out
+        assert "0.1888" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "lattice" in out
+
+    def test_bench_lattice(self, capsys):
+        assert main(
+            ["bench", "lattice", "--collector", "mark-sweep", "--scale", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mark/cons" in out
+        assert "collections" in out
+
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(["experiment", "table2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["_type"] == "Table2Result"
+        assert len(data["rows"]) == 6
+
+    def test_trace_record_and_analyze(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["trace", "record", "lattice", "-o", path, "--scale", "0"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "survival", path]) == 0
+        out = capsys.readouterr().out
+        assert "words old" in out
+        assert main(["trace", "profile", path]) == 0
+        out = capsys.readouterr().out
+        assert "peak" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "paper claims verified" in out
+        assert "FAIL" not in out
+
+    def test_all_selective_with_output(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["all", "--only", "table2", "--output", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert (out_dir / "table2.txt").exists()
+        data = json.loads((out_dir / "table2.json").read_text())
+        assert data["_type"] == "Table2Result"
+
+    def test_all_rejects_unknown_only(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["all", "--only", "table99"])
+
+    def test_list_shows_extras(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcbench" in out
+        assert "validate" not in out  # only experiments and benchmarks

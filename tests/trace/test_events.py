@@ -1,0 +1,61 @@
+"""Tests for lifetime trace records."""
+
+from __future__ import annotations
+
+from repro.trace.events import LifetimeTrace, ObjectRecord
+
+
+class TestObjectRecord:
+    def test_alive_interval(self):
+        record = ObjectRecord(obj_id=1, size=4, birth=100, death=200)
+        assert not record.alive_at(99)
+        assert record.alive_at(100)
+        assert record.alive_at(199)
+        assert not record.alive_at(200)
+
+    def test_immortal_object(self):
+        record = ObjectRecord(obj_id=1, size=4, birth=100)
+        assert record.alive_at(10**9)
+        assert record.lifetime() is None
+
+    def test_lifetime(self):
+        record = ObjectRecord(obj_id=1, size=4, birth=100, death=350)
+        assert record.lifetime() == 250
+
+
+class TestLifetimeTrace:
+    def _trace(self) -> LifetimeTrace:
+        return LifetimeTrace(
+            records=[
+                ObjectRecord(0, 10, birth=0, death=50),
+                ObjectRecord(1, 20, birth=10, death=100),
+                ObjectRecord(2, 5, birth=60),  # immortal
+            ],
+            start_clock=0,
+            end_clock=120,
+        )
+
+    def test_words_allocated(self):
+        assert self._trace().words_allocated == 35
+
+    def test_live_words_at(self):
+        trace = self._trace()
+        assert trace.live_words_at(0) == 10
+        assert trace.live_words_at(20) == 30
+        assert trace.live_words_at(70) == 25
+        assert trace.live_words_at(110) == 5
+
+    def test_peak(self):
+        assert self._trace().peak_live_words(10) == 30
+
+    def test_immortal_words(self):
+        assert self._trace().immortal_words() == 5
+
+    def test_iter_dead(self):
+        dead = list(self._trace().iter_dead())
+        assert [record.obj_id for record in dead] == [0, 1]
+
+    def test_empty_trace(self):
+        trace = LifetimeTrace()
+        assert trace.words_allocated == 0
+        assert trace.peak_live_words(10) == 0

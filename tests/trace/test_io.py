@@ -1,0 +1,92 @@
+"""Tests for trace persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import LifetimeTrace, ObjectRecord
+from repro.trace.io import TraceFormatError, load_trace, save_trace
+from repro.trace.profile import storage_profile
+from repro.trace.survival import survival_table
+
+
+def sample_trace() -> LifetimeTrace:
+    return LifetimeTrace(
+        records=[
+            ObjectRecord(0, 2, birth=0, death=150, kind="pair"),
+            ObjectRecord(1, 4, birth=30, kind="flonum"),
+            ObjectRecord(2, 5, birth=70, death=400, kind="vector"),
+        ],
+        start_clock=0,
+        end_clock=500,
+    )
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.start_clock == original.start_clock
+        assert loaded.end_clock == original.end_clock
+        assert loaded.records == original.records
+
+    def test_analyses_identical_after_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = sample_trace()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert survival_table(loaded, 100).rates() == survival_table(
+            original, 100
+        ).rates()
+        assert (
+            storage_profile(loaded, 100).totals()
+            == storage_profile(original, 100).totals()
+        )
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(LifetimeTrace(start_clock=5, end_clock=5), path)
+        loaded = load_trace(path)
+        assert loaded.records == []
+        assert loaded.start_clock == 5
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "wrong"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "version"
+        path.write_text(
+            '{"format": "repro-lifetime-trace", "version": 99, '
+            '"start_clock": 0, "end_clock": 0, "records": 0}\n'
+        )
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_corrupt_record(self, tmp_path):
+        path = tmp_path / "corrupt"
+        save_trace(sample_trace(), path)
+        with open(path, "a") as handle:
+            handle.write("not json\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_record_count_mismatch(self, tmp_path):
+        path = tmp_path / "mismatch"
+        save_trace(sample_trace(), path)
+        text = path.read_text().splitlines()
+        path.write_text("\n".join(text[:-1]) + "\n")  # drop one record
+        with pytest.raises(TraceFormatError):
+            load_trace(path)

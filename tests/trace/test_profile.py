@@ -1,0 +1,86 @@
+"""Tests for live-storage profiles (the Figures 2-4 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import LifetimeTrace, ObjectRecord
+from repro.trace.profile import storage_profile
+
+
+def trace_of(records, end_clock) -> LifetimeTrace:
+    return LifetimeTrace(records=records, start_clock=0, end_clock=end_clock)
+
+
+class TestStorageProfile:
+    def test_totals_match_live_words(self):
+        records = [
+            ObjectRecord(0, 10, birth=0, death=250),
+            ObjectRecord(1, 20, birth=120, death=380),
+            ObjectRecord(2, 5, birth=210),
+        ]
+        trace = trace_of(records, 400)
+        profile = storage_profile(trace, epoch_words=100)
+        for clock, total in zip(profile.sample_clocks, profile.totals()):
+            assert total == trace.live_words_at(clock)
+
+    def test_bands_attribute_by_birth_epoch(self):
+        records = [
+            ObjectRecord(0, 10, birth=0),
+            ObjectRecord(1, 20, birth=150),
+        ]
+        profile = storage_profile(trace_of(records, 300), epoch_words=100)
+        # At the 200-word sample: object 0 in epoch 0, object 1 in
+        # epoch 1.
+        index = profile.sample_clocks.index(200)
+        assert profile.bands[index][0] == 10
+        assert profile.bands[index][1] == 20
+
+    def test_old_band_threshold(self):
+        records = [ObjectRecord(0, 10, birth=0)]
+        profile = storage_profile(
+            trace_of(records, 1_000), epoch_words=50, old_threshold=200
+        )
+        for clock, band, old in zip(
+            profile.sample_clocks, profile.bands, profile.old_band
+        ):
+            if clock - 0 > 200:
+                assert old == 10 and sum(band) == 0
+            else:
+                assert old == 0 and sum(band) == 10
+
+    def test_default_threshold_is_ten_epochs(self):
+        records = [ObjectRecord(0, 1, birth=0)]
+        profile = storage_profile(trace_of(records, 100), epoch_words=10)
+        assert profile.old_threshold == 100
+
+    def test_peak(self):
+        records = [
+            ObjectRecord(0, 10, birth=0, death=150),
+            ObjectRecord(1, 30, birth=90, death=160),
+        ]
+        profile = storage_profile(trace_of(records, 300), epoch_words=50)
+        assert profile.peak_live_words == 40
+
+    def test_dead_objects_leave_the_bands(self):
+        records = [ObjectRecord(0, 10, birth=0, death=150)]
+        profile = storage_profile(trace_of(records, 300), epoch_words=50)
+        index = profile.sample_clocks.index(200)
+        assert profile.totals()[index] == 0
+
+    def test_text_rendering(self):
+        records = [ObjectRecord(0, 10, birth=0)]
+        profile = storage_profile(trace_of(records, 200), epoch_words=50)
+        text = profile.to_text()
+        assert "peak" in text
+        assert "|" in text
+
+    def test_empty_profile_renders(self):
+        profile = storage_profile(trace_of([], 100), epoch_words=50)
+        assert profile.to_text() == "(no live storage)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            storage_profile(trace_of([], 100), epoch_words=0)
+        with pytest.raises(ValueError):
+            storage_profile(trace_of([], 100), epoch_words=10, sample_every=0)

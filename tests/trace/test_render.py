@@ -1,0 +1,50 @@
+"""Tests for text rendering utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.render import TextTable, render_series
+
+
+class TestTextTable:
+    def test_renders_aligned_columns(self):
+        table = TextTable(["name", "value"])
+        table.add_row("alpha", 1_000)
+        table.add_row("b", 2)
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1,000" in text
+        assert len({len(line) for line in lines[:2]}) == 1  # header rule
+
+    def test_float_formatting(self):
+        table = TextTable(["x"])
+        table.add_row(0.123456)
+        assert "0.123" in table.to_text()
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_bools_not_comma_grouped(self):
+        table = TextTable(["flag"])
+        table.add_row(True)
+        assert "True" in table.to_text()
+
+
+class TestRenderSeries:
+    def test_plots_points(self):
+        points = [(x / 10, x * x / 100.0) for x in range(1, 11)]
+        text = render_series(points, x_label="g", y_label="overhead")
+        assert "*" in text
+        assert "g:" in text
+        assert "overhead" in text
+
+    def test_empty_series(self):
+        assert render_series([]) == "(empty series)"
+
+    def test_constant_series_does_not_crash(self):
+        text = render_series([(0.0, 1.0), (1.0, 1.0)])
+        assert "*" in text

@@ -1,0 +1,133 @@
+"""Tests for survival-rate tables (the Tables 4-7 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import LifetimeTrace, ObjectRecord
+from repro.trace.survival import survival_table
+
+
+def trace_of(records, end_clock) -> LifetimeTrace:
+    return LifetimeTrace(records=records, start_clock=0, end_clock=end_clock)
+
+
+class TestSurvivalTable:
+    def test_immortal_objects_survive_every_bracket(self):
+        records = [ObjectRecord(0, 10, birth=0)]
+        table = survival_table(
+            trace_of(records, 1_000), age_step=100, bracket_count=3
+        )
+        for row in table.rows:
+            if row.alive_words:
+                assert row.rate == 1.0
+
+    def test_objects_dying_at_fixed_age(self):
+        # Objects living exactly 350 words, sampled at ages spread
+        # across each bracket: bracket 1 (ages 100..199) always
+        # survives the 100-word horizon, bracket 2 (200..299) survives
+        # only below age 250, bracket 3 (300..399) never does.
+        records = [
+            ObjectRecord(i, 1, birth=i * 10, death=i * 10 + 350)
+            for i in range(100)
+        ]
+        table = survival_table(
+            trace_of(records, 2_500), age_step=100, bracket_count=3
+        )
+        bracket1, bracket2, bracket3 = table.rows[:3]
+        assert bracket1.rate == 1.0
+        assert bracket2.rate == pytest.approx(0.5, abs=0.1)
+        assert bracket3.rate == 0.0
+
+    def test_rates_match_hand_computation(self):
+        # One object: birth 0, death 250.  Samples at 100, 200 (age
+        # 100, 200).  At age 100 it survives to 200 (< 250): yes.  At
+        # age 200 it must survive to 300 (> 250): no.
+        records = [ObjectRecord(0, 4, birth=0, death=250)]
+        table = survival_table(
+            trace_of(records, 400), age_step=100, bracket_count=3
+        )
+        assert table.rows[0].alive_words == 4
+        assert table.rows[0].surviving_words == 4
+        assert table.rows[1].alive_words == 4
+        assert table.rows[1].surviving_words == 0
+
+    def test_censoring_excludes_unknowable_samples(self):
+        # The trace ends at 150: with horizon 100, only the sample at
+        # t=0..50 can be judged — ages beyond that are censored.
+        records = [ObjectRecord(0, 1, birth=0)]
+        table = survival_table(
+            trace_of(records, 150), age_step=100, bracket_count=2
+        )
+        assert all(row.alive_words == 0 for row in table.rows)
+
+    def test_open_bracket_accumulates_old_ages(self):
+        records = [ObjectRecord(0, 1, birth=0)]
+        table = survival_table(
+            trace_of(records, 10_000), age_step=100, bracket_count=2
+        )
+        open_row = table.rows[-1]
+        assert open_row.hi_age is None
+        assert open_row.alive_words > 50
+
+    def test_bracket_labels(self):
+        records = [ObjectRecord(0, 1, birth=0)]
+        table = survival_table(
+            trace_of(records, 1_000), age_step=100, bracket_count=2
+        )
+        assert table.rows[0].label() == "100 to 200 words old"
+        assert table.rows[-1].label() == "More than 300 words old"
+
+    def test_empty_bracket_has_none_rate(self):
+        records = [ObjectRecord(0, 1, birth=0, death=50)]
+        table = survival_table(
+            trace_of(records, 1_000), age_step=100, bracket_count=2
+        )
+        assert all(row.rate is None for row in table.rows)
+
+    def test_to_text_renders_percentages(self):
+        records = [ObjectRecord(0, 1, birth=0)]
+        table = survival_table(
+            trace_of(records, 1_000), age_step=100, bracket_count=2
+        )
+        text = table.to_text()
+        assert "100%" in text
+        assert "More than" in text
+
+    def test_validation(self):
+        records = [ObjectRecord(0, 1, birth=0)]
+        with pytest.raises(ValueError):
+            survival_table(trace_of(records, 100), age_step=0)
+        with pytest.raises(ValueError):
+            survival_table(
+                trace_of(records, 100), age_step=10, bracket_count=0
+            )
+        with pytest.raises(ValueError):
+            # Horizon longer than the whole trace.
+            survival_table(
+                trace_of(records, 100), age_step=10, horizon=500
+            )
+
+    def test_memoryless_input_gives_flat_rates(self):
+        # Deterministic halving cohorts (the decay model's idealized
+        # form) produce the same survival rate in every bracket.
+        import random
+
+        rng = random.Random(0)
+        records = []
+        clock = 0
+        for index in range(30_000):
+            lifetime = 1
+            while rng.random() < 0.5 and lifetime < 4_000:
+                lifetime += 250  # halving per 250 words
+            records.append(
+                ObjectRecord(index, 1, birth=clock, death=clock + lifetime)
+            )
+            clock += 1
+        table = survival_table(
+            trace_of(records, clock), age_step=250, bracket_count=4
+        )
+        rates = [row.rate for row in table.rows[:-1] if row.alive_words > 500]
+        assert rates, "expected populated brackets"
+        for rate in rates:
+            assert rate == pytest.approx(0.5, abs=0.08)
