@@ -11,7 +11,10 @@ Subcommands:
 * ``analyze`` — print Section 5 quantities for a given (g, L);
 * ``trace record|survival|profile`` — record a benchmark's lifetime
   trace to a file and re-analyze it offline;
-* ``validate`` — run the reproduction self-check.
+* ``validate`` — run the reproduction self-check;
+* ``verify`` — differential GC testing: replay one deterministic
+  mutator script under every collector and require identical live
+  graphs (shrinking any counterexample).
 """
 
 from __future__ import annotations
@@ -161,6 +164,48 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import generate_script, run_differential, shrink_script
+
+    kinds = tuple(args.collectors)
+    try:
+        script = generate_script(
+            args.ops, args.seed, max_live_words=args.max_live
+        )
+    except ValueError as exc:
+        print(f"repro-gc verify: error: {exc}", file=sys.stderr)
+        return 2
+    checked = not args.unchecked
+    report = run_differential(script, kinds, checked=checked)
+    if report.ok:
+        print(f"[PASS] {report.summary()}")
+        for kind in kinds:
+            result = report.results[kind]
+            assert result is not None
+            print(
+                f"       {kind:<14} collections={result.collections:<4} "
+                f"checkpoints={len(result.checkpoints)}"
+            )
+        return 0
+    print(f"[FAIL] {report.summary()}")
+    if not args.no_shrink:
+        print()
+        print("shrinking the counterexample ...")
+
+        def fails(candidate) -> bool:
+            return not run_differential(
+                candidate, kinds, checked=checked
+            ).ok
+
+        small = shrink_script(script, fails)
+        print(f"minimal failing script ({len(small.ops)} ops):")
+        print(small.to_text())
+        final = run_differential(small, kinds, checked=checked)
+        print()
+        print(final.summary())
+    return 1
+
+
 def _cmd_validate(_: argparse.Namespace) -> int:
     results = run_validation()
     failures = 0
@@ -287,6 +332,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick self-check: verify the paper's claims end to end",
     )
     sub.set_defaults(func=_cmd_validate)
+
+    sub = subparsers.add_parser(
+        "verify",
+        help=(
+            "differential GC check: replay one random mutator script "
+            "under every collector and compare live graphs"
+        ),
+    )
+    sub.add_argument(
+        "--ops", type=int, default=2000, help="script length in ops"
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--collectors",
+        nargs="+",
+        choices=_COLLECTORS,
+        default=list(_COLLECTORS),
+        help="collectors to compare (first is the reference)",
+    )
+    sub.add_argument(
+        "--max-live",
+        type=int,
+        default=40,
+        help="live-storage budget the generated script stays under",
+    )
+    sub.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="on failure, skip minimizing the counterexample",
+    )
+    sub.add_argument(
+        "--unchecked",
+        action="store_true",
+        help="skip the per-collection heap-invariant audit",
+    )
+    sub.set_defaults(func=_cmd_verify)
 
     sub = subparsers.add_parser(
         "analyze", help="print Section 5 quantities for (g, L)"

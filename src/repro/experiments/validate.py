@@ -107,6 +107,26 @@ def _check_antiprediction() -> CheckResult:
     )
 
 
+def _check_differential() -> CheckResult:
+    from repro.verify import generate_script, run_differential
+
+    script = generate_script(600, 3, max_live_words=60)
+    report = run_differential(script)
+    passed = report.ok
+    if passed:
+        detail = (
+            f"{len(report.results)} collectors agree over "
+            f"{len(script.ops)} ops (checked mode)"
+        )
+    else:
+        detail = report.divergences[0].summary()
+    return CheckResult(
+        name="Differential oracle: five collectors, identical live graphs",
+        passed=passed,
+        detail=detail,
+    )
+
+
 def _check_remset() -> CheckResult:
     result = run_remset_growth()
     passed = (
@@ -133,6 +153,7 @@ VALIDATIONS: tuple[Callable[[], CheckResult], ...] = (
     _check_theorem4,
     _check_antiprediction,
     _check_remset,
+    _check_differential,
 )
 
 

@@ -20,7 +20,7 @@ only by the measurement layer in :mod:`repro.trace`.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.gc.stats import GcStats
 from repro.heap.heap import SimulatedHeap
@@ -28,7 +28,10 @@ from repro.heap.object_model import HeapObject
 from repro.heap.roots import RootSet
 from repro.heap.space import Space
 
-__all__ = ["Collector", "HeapExhausted"]
+__all__ = ["Collector", "HeapExhausted", "PostCollectionHook"]
+
+#: Signature of the optional post-collection hook (checked mode).
+PostCollectionHook = Callable[["Collector"], None]
 
 
 class HeapExhausted(Exception):
@@ -58,6 +61,10 @@ class Collector(abc.ABC):
         self.heap = heap
         self.roots = roots
         self.stats = GcStats()
+        #: Optional checked-mode hook, invoked after every completed
+        #: collection (see :mod:`repro.verify.audit`).  ``None`` keeps
+        #: collections hook-free, which is the production default.
+        self.post_collection_hook: PostCollectionHook | None = None
 
     # ------------------------------------------------------------------
     # Mutator interface
@@ -95,9 +102,25 @@ class Collector(abc.ABC):
         override this to empty them.
         """
 
+    def managed_spaces(self) -> frozenset[Space] | None:
+        """The spaces this collector allocates into and collects.
+
+        The heap auditor (:mod:`repro.verify.audit`) uses this to scope
+        its space-membership and stats-conservation checks.  ``None``
+        means the collector cannot enumerate its spaces (or shares the
+        heap with other allocators), which disables those checks.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+
+    def _finish_collection(self) -> None:
+        """Run the checked-mode hook; collectors call this at the end of
+        every collection, after all stats and structural updates."""
+        if self.post_collection_hook is not None:
+            self.post_collection_hook(self)
 
     def _record_allocation(self, obj: HeapObject) -> None:
         self.stats.words_allocated += obj.size

@@ -140,6 +140,9 @@ class GenerationalCollector(Collector):
             return None
         return self._generation_of.get(obj.space.name)
 
+    def managed_spaces(self) -> frozenset[Space]:
+        return frozenset(self.spaces)
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
@@ -284,6 +287,7 @@ class GenerationalCollector(Collector):
             minimum = int(live * self.oldest_load_factor)
             if (self.oldest.capacity or 0) < minimum:
                 self.oldest.capacity = minimum
+        self._finish_collection()
 
     def on_static_promotion(self) -> None:
         for remset in self.remsets:

@@ -134,6 +134,9 @@ class HybridCollector(Collector):
     def in_nursery(self, obj: HeapObject) -> bool:
         return obj.space is self.nursery
 
+    def managed_spaces(self) -> frozenset[Space]:
+        return frozenset((self.nursery, *self.steps))
+
     def step_used(self) -> list[int]:
         return [space.used for space in self.steps]
 
@@ -296,6 +299,28 @@ class HybridCollector(Collector):
             self.stats.words_copied += obj.size
             self.stats.words_promoted += obj.size
 
+        # A remembered dynamic-to-nursery slot whose source is protected
+        # and whose target was just promoted past the j boundary is now
+        # a protected-to-collectable pointer (the promotion-entered case
+        # of §8.4); migrate it to the steps remembered set before the
+        # nursery entries are discarded.
+        for obj_id, slot in list(self.remset_young.entries()):
+            if not self.heap.contains_id(obj_id):
+                continue
+            src = self.heap.get(obj_id)
+            src_step = self.step_number(src)
+            if src_step is None or src_step > self.j:
+                continue
+            if slot >= len(src.fields):
+                continue
+            ref = src.fields[slot]
+            if type(ref) is not int or not self.heap.contains_id(ref):
+                continue
+            dst = self.step_number(self.heap.get(ref))
+            if dst is not None and dst > self.j:
+                self.remset_steps.record_promotion(obj_id, slot)
+                self.stats.remset_entries_created += 1
+
         # The nursery is empty, so no dynamic-to-nursery pointers exist.
         self.remset_young.clear()
 
@@ -309,6 +334,7 @@ class HybridCollector(Collector):
             reclaimed=reclaimed,
             live=survivor_words,
         )
+        self._finish_collection()
 
     def _promote_into_collectable(self, survivors: list[HeapObject]) -> None:
         """Pack survivors into the highest-numbered free steps.
@@ -455,6 +481,7 @@ class HybridCollector(Collector):
             live=live,
         )
         self.j = self.policy.choose_j(self._snapshot())
+        self._finish_collection()
 
     def on_static_promotion(self) -> None:
         self.remset_steps.clear()

@@ -59,6 +59,9 @@ class MarkSweepCollector(Collector):
         self.auto_expand = auto_expand
         self.load_factor = load_factor
 
+    def managed_spaces(self) -> frozenset:
+        return frozenset((self.space,))
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
@@ -121,6 +124,7 @@ class MarkSweepCollector(Collector):
             minimum = int(live * self.load_factor)
             if (self.space.capacity or 0) < minimum:
                 self.space.capacity = minimum
+        self._finish_collection()
 
     def describe(self) -> str:
         return (

@@ -154,6 +154,9 @@ class NonPredictiveCollector(Collector):
         """Words used per step, youngest first (Table 1's columns)."""
         return [space.used for space in self.steps]
 
+    def managed_spaces(self) -> frozenset[Space]:
+        return frozenset(self.steps)
+
     def protected_spaces(self) -> set[Space]:
         return set(self.steps[: self.j])
 
@@ -317,6 +320,7 @@ class NonPredictiveCollector(Collector):
 
         self.j = self.policy.choose_j(self._snapshot())
         self._alloc_index = self._highest_free_index()
+        self._finish_collection()
 
     def on_static_promotion(self) -> None:
         self.remset.clear()

@@ -88,6 +88,9 @@ class StopAndCopyCollector(Collector):
     def semispace_words(self) -> int:
         return self.tospace.capacity or 0
 
+    def managed_spaces(self) -> frozenset:
+        return frozenset(self._semispaces)
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
@@ -179,6 +182,7 @@ class StopAndCopyCollector(Collector):
             minimum = int(live * self.load_factor)
             if (self.tospace.capacity or 0) < minimum:
                 self._set_semispace_capacity(minimum)
+        self._finish_collection()
 
     def describe(self) -> str:
         return (

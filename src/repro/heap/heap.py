@@ -150,6 +150,18 @@ class SimulatedHeap:
     def all_objects(self) -> Iterator[HeapObject]:
         return iter(self._objects.values())
 
+    def resident_words(self, spaces: Iterable[Space]) -> int:
+        """Total words occupied across the given spaces."""
+        return sum(space.used for space in spaces)
+
+    def dangling_ids(self, ids: Iterable[int]) -> list[int]:
+        """The subset of ``ids`` that do not resolve to a live object.
+
+        Used by the heap auditor to report dangling roots precisely
+        instead of crashing on the first :meth:`get`.
+        """
+        return [obj_id for obj_id in ids if obj_id not in self._objects]
+
     # ------------------------------------------------------------------
     # Fields
     # ------------------------------------------------------------------

@@ -27,6 +27,12 @@ class DecaySchedule:
 
     def __init__(self, half_life: float, *, seed: int = 0) -> None:
         self.model = RadioactiveDecayModel(half_life)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Restart the lifetime stream deterministically from ``seed``."""
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def lifetime_for(self, clock: int, index: int) -> int:

@@ -71,6 +71,12 @@ class PhasedSchedule:
                 f"churn lifetime must be positive, got {churn_lifetime!r}"
             )
         self.carryover_fraction = carryover_fraction
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Restart the lifetime stream deterministically from ``seed``."""
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def phase_of(self, clock: int) -> int:

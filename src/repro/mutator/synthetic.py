@@ -52,6 +52,12 @@ class UniformLifetimeSchedule:
             raise ValueError(f"need 0 < lo < hi, got lo={lo!r}, hi={hi!r}")
         self.lo = lo
         self.hi = hi
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Restart the lifetime stream deterministically from ``seed``."""
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def lifetime_for(self, clock: int, index: int) -> int:
@@ -76,6 +82,12 @@ class WeibullSchedule:
             )
         self.scale = scale
         self.shape = shape
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Restart the lifetime stream deterministically from ``seed``."""
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def lifetime_for(self, clock: int, index: int) -> int:
@@ -109,6 +121,12 @@ class BimodalSchedule:
         self.young_fraction = young_fraction
         self.young_lifetime = young_lifetime
         self.old_half_life = old_half_life
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Restart the lifetime stream deterministically from ``seed``."""
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def lifetime_for(self, clock: int, index: int) -> int:

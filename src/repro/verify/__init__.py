@@ -1,0 +1,64 @@
+"""Verification subsystem: heap-invariant audits and differential testing.
+
+Two independent oracles over the collectors in :mod:`repro.gc`:
+
+* :mod:`repro.verify.audit` — structural invariants checked against a
+  single collector ("checked mode", installable as a post-collection
+  hook);
+* :mod:`repro.verify.differential` — replay one deterministic mutator
+  script (:mod:`repro.verify.replay`) under all five collectors and
+  require identical live graphs at every checkpoint, with
+  :mod:`repro.verify.shrink` minimizing any counterexample.
+
+The CLI front end is ``repro-gc verify``.
+"""
+
+from repro.verify.audit import (
+    AuditError,
+    AuditReport,
+    assert_heap_invariants,
+    audit_collector,
+    disable_checked_mode,
+    enable_checked_mode,
+)
+from repro.verify.differential import (
+    DEFAULT_COLLECTORS,
+    VERIFY_GEOMETRY,
+    DifferentialReport,
+    Divergence,
+    run_differential,
+)
+from repro.verify.replay import (
+    Checkpoint,
+    MutatorScript,
+    ReplayCrash,
+    ReplayError,
+    ReplayResult,
+    generate_script,
+    normalize_ops,
+    replay,
+)
+from repro.verify.shrink import shrink_script
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "Checkpoint",
+    "DEFAULT_COLLECTORS",
+    "DifferentialReport",
+    "Divergence",
+    "MutatorScript",
+    "ReplayCrash",
+    "ReplayError",
+    "ReplayResult",
+    "VERIFY_GEOMETRY",
+    "assert_heap_invariants",
+    "audit_collector",
+    "disable_checked_mode",
+    "enable_checked_mode",
+    "generate_script",
+    "normalize_ops",
+    "replay",
+    "run_differential",
+    "shrink_script",
+]

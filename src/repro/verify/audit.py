@@ -1,0 +1,316 @@
+"""The heap-invariant auditor: "checked mode" for collectors.
+
+:func:`audit_collector` inspects a collector and its heap after (or
+between) collections and checks the structural invariants that every
+correct collector in this reproduction must maintain:
+
+* **heap integrity** — space membership is consistent and no reference
+  slot dangles (delegates to
+  :meth:`repro.heap.heap.SimulatedHeap.check_integrity`);
+* **root resolution / reachability closure** — every root id resolves
+  to a live object, and the transitive closure from the roots can be
+  traced without hitting a freed object (a collector that reclaims a
+  live object fails here);
+* **space registration** — every space the collector claims to manage
+  (:meth:`~repro.gc.collector.Collector.managed_spaces`) is registered
+  with the heap;
+* **stats conservation** — every word allocated through the collector
+  is either still resident in a managed space or accounted as
+  reclaimed: ``words_allocated == resident + words_reclaimed``;
+* **remembered-set completeness** — per collector family, every
+  pointer that a partial collection would need to treat as a root has
+  a slot-precise remembered-set entry (§8.4's situations 3, 5 and 6);
+* **non-predictive structure** — the step renumbering bookkeeping is
+  self-consistent and, in stop-and-copy mode, objects allocated since
+  the last collection sit in non-increasing step order (allocation
+  fills the steps from the top down).
+
+The auditor is wired into collectors through the optional
+``post_collection_hook``: :func:`enable_checked_mode` installs
+:func:`assert_heap_invariants` so that every completed collection is
+audited, which is how the differential oracle and the fuzz tests run.
+Production runs leave the hook unset and pay nothing.
+
+Conservation assumes the managed spaces exchange objects only through
+the collector itself.  A full promotion to the static area
+(:meth:`repro.runtime.machine.Machine.full_collect_to_static`) moves
+words out from under the collector; disable checked mode around such
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gc.collector import Collector
+from repro.gc.generational import GenerationalCollector
+from repro.gc.hybrid import HybridCollector
+from repro.gc.nonpredictive import NonPredictiveCollector
+from repro.heap.heap import HeapError
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "assert_heap_invariants",
+    "audit_collector",
+    "disable_checked_mode",
+    "enable_checked_mode",
+]
+
+
+class AuditError(AssertionError):
+    """A collector violated a heap invariant in checked mode."""
+
+    def __init__(self, report: "AuditReport") -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The outcome of one audit pass.
+
+    Attributes:
+        collector: the audited collector's ``name``.
+        checks: names of the checks that ran (skipped checks absent).
+        violations: human-readable descriptions of every violation.
+    """
+
+    collector: str
+    checks: tuple[str, ...]
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.collector}: {len(self.checks)} checks passed"
+            )
+        lines = "\n".join(f"  - {line}" for line in self.violations)
+        return (
+            f"{self.collector}: {len(self.violations)} invariant "
+            f"violation(s):\n{lines}"
+        )
+
+
+def audit_collector(collector: Collector) -> AuditReport:
+    """Run every applicable invariant check; never raises."""
+    checks: list[str] = []
+    violations: list[str] = []
+
+    _check_heap_integrity(collector, checks, violations)
+    _check_reachability(collector, checks, violations)
+    _check_managed_spaces(collector, checks, violations)
+
+    if isinstance(collector, GenerationalCollector):
+        checks.append("remset-completeness")
+        _check_generational_remsets(collector, violations)
+    elif isinstance(collector, NonPredictiveCollector):
+        checks.append("np-step-structure")
+        _check_np_structure(collector, violations)
+        if collector.use_remset:
+            checks.append("remset-completeness")
+            _check_np_remsets(collector, violations)
+    elif isinstance(collector, HybridCollector):
+        checks.append("remset-completeness")
+        _check_hybrid_remsets(collector, violations)
+
+    return AuditReport(
+        collector=collector.name,
+        checks=tuple(checks),
+        violations=tuple(violations),
+    )
+
+
+def assert_heap_invariants(collector: Collector) -> None:
+    """Audit the collector and raise :class:`AuditError` on violation.
+
+    This is the function :func:`enable_checked_mode` installs as the
+    post-collection hook.
+    """
+    report = audit_collector(collector)
+    if not report.ok:
+        raise AuditError(report)
+
+
+def enable_checked_mode(collector: Collector) -> None:
+    """Audit after every completed collection (testing/debugging)."""
+    collector.post_collection_hook = assert_heap_invariants
+
+
+def disable_checked_mode(collector: Collector) -> None:
+    collector.post_collection_hook = None
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+
+
+def _check_heap_integrity(
+    collector: Collector, checks: list[str], violations: list[str]
+) -> None:
+    checks.append("heap-integrity")
+    try:
+        collector.heap.check_integrity()
+    except HeapError as exc:
+        violations.append(f"heap integrity: {exc}")
+
+
+def _check_reachability(
+    collector: Collector, checks: list[str], violations: list[str]
+) -> None:
+    heap = collector.heap
+    checks.append("root-resolution")
+    dangling = heap.dangling_ids(collector.roots.ids())
+    if dangling:
+        violations.append(
+            f"roots point at freed objects: {sorted(set(dangling))}"
+        )
+        return
+    checks.append("reachability-closure")
+    try:
+        heap.reachable_from(collector.roots.ids())
+    except HeapError as exc:
+        violations.append(f"reachability closure: {exc}")
+
+
+def _check_managed_spaces(
+    collector: Collector, checks: list[str], violations: list[str]
+) -> None:
+    managed = collector.managed_spaces()
+    if managed is None:
+        return
+    heap = collector.heap
+    checks.append("space-registration")
+    registered = set(heap.spaces())
+    for space in managed:
+        if space not in registered:
+            violations.append(
+                f"managed space {space.name!r} is not registered with "
+                f"the heap"
+            )
+    checks.append("stats-conservation")
+    stats = collector.stats
+    resident = heap.resident_words(managed)
+    balance = resident + stats.words_reclaimed
+    if balance != stats.words_allocated:
+        violations.append(
+            f"stats conservation: allocated {stats.words_allocated} "
+            f"words but resident ({resident}) + reclaimed "
+            f"({stats.words_reclaimed}) = {balance}"
+        )
+
+
+def _check_generational_remsets(
+    collector: GenerationalCollector, violations: list[str]
+) -> None:
+    """Every old-to-young pointer must have a remembered slot."""
+    heap = collector.heap
+    for src_gen, space in enumerate(collector.spaces):
+        if src_gen == 0:
+            continue  # nursery sources are always traced
+        for obj in space.objects():
+            for slot, ref in enumerate(obj.fields):
+                if type(ref) is not int or not heap.contains_id(ref):
+                    continue
+                dst_gen = collector.generation_index(heap.get(ref))
+                if dst_gen is None or dst_gen >= src_gen:
+                    continue
+                if (obj.obj_id, slot) not in collector.remsets[src_gen]:
+                    violations.append(
+                        f"remset incomplete: gen-{src_gen} object "
+                        f"{obj.obj_id} slot {slot} points at gen-"
+                        f"{dst_gen} object {ref} without an entry"
+                    )
+
+
+def _check_np_remsets(
+    collector: NonPredictiveCollector, violations: list[str]
+) -> None:
+    """Every protected-to-collectable pointer must be remembered."""
+    heap = collector.heap
+    j = collector.j
+    for space in collector.steps[:j]:
+        for obj in space.objects():
+            for slot, ref in enumerate(obj.fields):
+                if type(ref) is not int or not heap.contains_id(ref):
+                    continue
+                dst = collector.step_number(heap.get(ref))
+                if dst is None or dst <= j:
+                    continue
+                if (obj.obj_id, slot) not in collector.remset:
+                    violations.append(
+                        f"remset incomplete: protected object "
+                        f"{obj.obj_id} slot {slot} points at step-{dst} "
+                        f"object {ref} without an entry"
+                    )
+
+
+def _check_np_structure(
+    collector: NonPredictiveCollector, violations: list[str]
+) -> None:
+    try:
+        collector.check_step_invariants()
+    except AssertionError as exc:
+        violations.append(f"step structure: {exc or 'assertion failed'}")
+        return
+    if collector.algorithm != "stop-and-copy":
+        return
+    # Stop-and-copy allocation fills the steps from the top down, so
+    # objects allocated since the last pause must sit in non-increasing
+    # step order as the allocation clock advances.
+    pauses = collector.stats.pauses
+    threshold = pauses[-1].clock if pauses else 0
+    fresh: list[tuple[int, int]] = []
+    for index, space in enumerate(collector.steps):
+        for obj in space.objects():
+            if obj.birth >= threshold:
+                fresh.append((obj.birth, index))
+    fresh.sort()
+    for (birth_a, step_a), (birth_b, step_b) in zip(fresh, fresh[1:]):
+        if step_b > step_a:
+            violations.append(
+                f"allocation order: object born at clock {birth_b} sits "
+                f"in step {step_b + 1} above the step {step_a + 1} of an "
+                f"older object born at clock {birth_a}"
+            )
+            return
+
+
+def _check_hybrid_remsets(
+    collector: HybridCollector, violations: list[str]
+) -> None:
+    """Situations 3, 5 and 6: dynamic-to-nursery pointers must be in
+    ``remset_young``; protected-to-collectable pointers in
+    ``remset_steps``."""
+    heap = collector.heap
+    j = collector.j
+    for index, space in enumerate(collector.steps):
+        src_step = index + 1
+        for obj in space.objects():
+            for slot, ref in enumerate(obj.fields):
+                if type(ref) is not int or not heap.contains_id(ref):
+                    continue
+                target = heap.get(ref)
+                if collector.in_nursery(target):
+                    if (obj.obj_id, slot) not in collector.remset_young:
+                        violations.append(
+                            f"remset incomplete: step-{src_step} object "
+                            f"{obj.obj_id} slot {slot} points at nursery "
+                            f"object {ref} without a remset_young entry"
+                        )
+                    continue
+                dst_step = collector.step_number(target)
+                if dst_step is None or not src_step <= j < dst_step:
+                    continue
+                if (obj.obj_id, slot) not in collector.remset_steps:
+                    violations.append(
+                        f"remset incomplete: protected step-{src_step} "
+                        f"object {obj.obj_id} slot {slot} points at "
+                        f"step-{dst_step} object {ref} without a "
+                        f"remset_steps entry"
+                    )

@@ -1,0 +1,272 @@
+"""The differential oracle: one script, five collectors, equal graphs.
+
+All five collectors implement the same abstract service — keep exactly
+the reachable objects alive — while disagreeing wildly about *when*
+and *where* objects move.  Replaying one deterministic mutator script
+(:mod:`repro.verify.replay`) under each of them must therefore produce
+
+* the same number of checkpoints,
+* an isomorphic (here: *identical*, since object ids coincide across
+  replays) live graph at every checkpoint, and
+* the same total allocation volume,
+
+regardless of collector policy.  Any disagreement is a bug in one of
+the collectors (or in the write-barrier plumbing), and the earliest
+diverging checkpoint localizes it.  :func:`run_differential` performs
+the comparison; the first collector in ``kinds`` serves as the
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.experiments.harness import GcGeometry, collector_factory
+from repro.verify.replay import (
+    CollectorFactory,
+    MutatorScript,
+    ReplayCrash,
+    ReplayResult,
+    replay,
+)
+
+__all__ = [
+    "DEFAULT_COLLECTORS",
+    "VERIFY_GEOMETRY",
+    "DifferentialReport",
+    "Divergence",
+    "run_differential",
+]
+
+#: Canonical collector names, in comparison order (first = reference).
+DEFAULT_COLLECTORS: tuple[str, ...] = (
+    "mark-sweep",
+    "stop-and-copy",
+    "generational",
+    "non-predictive",
+    "hybrid",
+)
+
+#: Small heap geometry sized for verification scripts: big enough that
+#: a script honouring the generator's default live budget never
+#: exhausts any collector, small enough that every collector collects
+#: naturally (nursery fills, promotions, step renumberings) many times
+#: over a few hundred ops.
+VERIFY_GEOMETRY = GcGeometry(
+    nursery_words=64,
+    semispace_words=96,
+    step_words=24,
+    step_count=8,
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between two replays.
+
+    Attributes:
+        kind: "crash", "checkpoint-count", "live-graph", or
+            "allocation-volume".
+        collector: the diverging collector's kind name.
+        reference: the reference collector's kind name.
+        checkpoint_index: index of the earliest diverging checkpoint
+            (None for crashes and count mismatches).
+        op_index: script position associated with the divergence.
+        detail: human-readable description.
+    """
+
+    kind: str
+    collector: str
+    reference: str
+    checkpoint_index: int | None
+    op_index: int | None
+    detail: str
+
+    def summary(self) -> str:
+        where = ""
+        if self.op_index is not None:
+            where = f" at op {self.op_index}"
+        return f"[{self.kind}] {self.collector}{where}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """The outcome of one differential run."""
+
+    script: MutatorScript
+    results: Mapping[str, ReplayResult | None]
+    divergences: tuple[Divergence, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        if self.ok:
+            names = ", ".join(self.results)
+            noun = "collector" if len(self.results) == 1 else "collectors"
+            verb = "replays clean" if len(self.results) == 1 else "agree"
+            return (
+                f"{len(self.results)} {noun} {verb} over "
+                f"{len(self.script.ops)} ops ({names})"
+            )
+        lines = "\n".join(
+            f"  - {divergence.summary()}" for divergence in self.divergences
+        )
+        return f"{len(self.divergences)} divergence(s):\n{lines}"
+
+
+def run_differential(
+    script: MutatorScript,
+    kinds: Sequence[str] = DEFAULT_COLLECTORS,
+    *,
+    geometry: GcGeometry | None = None,
+    factories: Mapping[str, CollectorFactory] | None = None,
+    checked: bool = True,
+) -> DifferentialReport:
+    """Replay ``script`` under every collector and compare checkpoints.
+
+    Args:
+        script: a valid mutator script.
+        kinds: collector kind names, compared against ``kinds[0]``.
+        geometry: heap geometry for the stock factories (defaults to
+            :data:`VERIFY_GEOMETRY`).
+        factories: overrides mapping a kind name to a custom factory —
+            how tests inject deliberately broken collectors.
+        checked: audit heap invariants after every collection during
+            each replay (crashes surface as "crash" divergences).
+    """
+    if not kinds:
+        raise ValueError("need at least one collector kind")
+    geometry = geometry if geometry is not None else VERIFY_GEOMETRY
+    factories = dict(factories or {})
+
+    results: dict[str, ReplayResult | None] = {}
+    crashes: dict[str, ReplayCrash] = {}
+    for kind in kinds:
+        factory = factories.get(kind) or collector_factory(kind, geometry)
+        try:
+            results[kind] = replay(script, factory, checked=checked, name=kind)
+        except ReplayCrash as crash:
+            results[kind] = None
+            crashes[kind] = crash
+
+    reference = kinds[0]
+    divergences: list[Divergence] = []
+    for kind in kinds:
+        crash = crashes.get(kind)
+        if crash is not None:
+            divergences.append(
+                Divergence(
+                    kind="crash",
+                    collector=kind,
+                    reference=reference,
+                    checkpoint_index=None,
+                    op_index=crash.op_index,
+                    detail=str(crash),
+                )
+            )
+
+    base = results.get(reference)
+    if base is not None:
+        for kind in kinds[1:]:
+            candidate = results.get(kind)
+            if candidate is None:
+                continue  # already reported as a crash
+            divergence = _compare(base, candidate, reference, kind)
+            if divergence is not None:
+                divergences.append(divergence)
+
+    return DifferentialReport(
+        script=script,
+        results=results,
+        divergences=tuple(divergences),
+    )
+
+
+def _compare(
+    base: ReplayResult,
+    candidate: ReplayResult,
+    reference: str,
+    kind: str,
+) -> Divergence | None:
+    """The earliest disagreement between two replays, if any."""
+    if len(base.checkpoints) != len(candidate.checkpoints):
+        return Divergence(
+            kind="checkpoint-count",
+            collector=kind,
+            reference=reference,
+            checkpoint_index=None,
+            op_index=None,
+            detail=(
+                f"{kind} took {len(candidate.checkpoints)} checkpoints, "
+                f"{reference} took {len(base.checkpoints)}"
+            ),
+        )
+    for index, (expected, actual) in enumerate(
+        zip(base.checkpoints, candidate.checkpoints)
+    ):
+        if expected.graph != actual.graph:
+            return Divergence(
+                kind="live-graph",
+                collector=kind,
+                reference=reference,
+                checkpoint_index=index,
+                op_index=actual.op_index,
+                detail=_graph_difference(expected, actual, reference, kind),
+            )
+        if expected.clock != actual.clock:
+            return Divergence(
+                kind="allocation-volume",
+                collector=kind,
+                reference=reference,
+                checkpoint_index=index,
+                op_index=actual.op_index,
+                detail=(
+                    f"clock {actual.clock} != {reference}'s "
+                    f"{expected.clock} at checkpoint {index}"
+                ),
+            )
+    if base.words_allocated != candidate.words_allocated:
+        return Divergence(
+            kind="allocation-volume",
+            collector=kind,
+            reference=reference,
+            checkpoint_index=None,
+            op_index=None,
+            detail=(
+                f"allocated {candidate.words_allocated} words, "
+                f"{reference} allocated {base.words_allocated}"
+            ),
+        )
+    return None
+
+
+def _graph_difference(
+    expected, actual, reference: str, kind: str
+) -> str:
+    """Describe the first differing object between two fingerprints."""
+    expected_by_id = {entry[0]: entry for entry in expected.graph}
+    actual_by_id = {entry[0]: entry for entry in actual.graph}
+    only_expected = sorted(set(expected_by_id) - set(actual_by_id))
+    only_actual = sorted(set(actual_by_id) - set(expected_by_id))
+    parts = [
+        f"live graphs differ ({len(expected.graph)} vs "
+        f"{len(actual.graph)} objects)"
+    ]
+    if only_expected:
+        parts.append(
+            f"{reference} alone reaches ids {only_expected[:5]}"
+        )
+    if only_actual:
+        parts.append(f"{kind} alone reaches ids {only_actual[:5]}")
+    if not only_expected and not only_actual:
+        for obj_id in sorted(expected_by_id):
+            if expected_by_id[obj_id] != actual_by_id[obj_id]:
+                parts.append(
+                    f"object {obj_id} differs: "
+                    f"{expected_by_id[obj_id]} vs {actual_by_id[obj_id]}"
+                )
+                break
+    return "; ".join(parts)

@@ -1,0 +1,456 @@
+"""Deterministic mutator scripts: generate, normalize, replay.
+
+A :class:`MutatorScript` is a flat list of mutator operations over
+*script-level* object handles (uids), independent of any collector:
+
+* ``("alloc", uid, size, field_count)`` — allocate and root a new
+  object under ``uid``;
+* ``("store", src_uid, slot, dst_uid_or_None)`` — write a reference
+  slot through the write barrier;
+* ``("drop", uid)`` — remove ``uid``'s root (the object may stay
+  reachable through other objects' fields);
+* ``("collect",)`` — request a full collection;
+* ``("check",)`` — take a checkpoint: fingerprint the live graph.
+
+Because the simulated heap assigns object ids sequentially and
+collectors never allocate objects of their own, replaying one script
+under different collectors produces *identical object ids*, so the
+live-graph fingerprints taken at ``check`` ops are directly comparable
+across collectors — the foundation of the differential oracle in
+:mod:`repro.verify.differential`.
+
+Scripts are *valid* when every ``store`` names uids that are reachable
+from the surviving roots at that point (a correct collector can then
+never have freed them) and every ``drop`` names a uid that was
+allocated.  :func:`generate_script` only emits valid scripts, and
+:func:`normalize_ops` repairs an edited op list (as the shrinker's
+chunk deletion produces) back to validity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+from repro.gc.collector import Collector
+from repro.heap.barrier import WriteBarrier
+from repro.heap.heap import SimulatedHeap
+from repro.heap.roots import RootSet
+from repro.verify.audit import enable_checked_mode
+
+__all__ = [
+    "Checkpoint",
+    "MutatorScript",
+    "ReplayCrash",
+    "ReplayError",
+    "ReplayResult",
+    "generate_script",
+    "normalize_ops",
+    "replay",
+]
+
+#: One script operation, e.g. ``("alloc", 3, 2, 1)``.
+Op = tuple
+
+#: Builds a collector over a fresh heap and root set.
+CollectorFactory = Callable[[SimulatedHeap, RootSet], Collector]
+
+
+class ReplayError(Exception):
+    """A script could not be replayed (malformed or invalid op)."""
+
+
+class ReplayCrash(ReplayError):
+    """An op raised inside the collector or heap during replay.
+
+    In a differential run a crash is itself a verdict: a correct
+    collector replays any valid script without raising.
+    """
+
+    def __init__(self, op_index: int, op: Op, cause: BaseException) -> None:
+        super().__init__(
+            f"op {op_index} {op!r} crashed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.op_index = op_index
+        self.op = op
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class MutatorScript:
+    """A deterministic mutator schedule (see module docstring)."""
+
+    ops: tuple[Op, ...]
+    seed: int | None = None
+    note: str = ""
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def normalized(self) -> "MutatorScript":
+        """This script with unreplayable ops removed."""
+        return replace(self, ops=normalize_ops(self.ops))
+
+    def to_text(self) -> str:
+        """A printable rendering, one op per line."""
+        header = f"# seed={self.seed} ops={len(self.ops)}"
+        if self.note:
+            header += f" note={self.note}"
+        lines = [header]
+        for index, op in enumerate(self.ops):
+            lines.append(f"{index:4d}: {' '.join(str(part) for part in op)}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """The live-graph fingerprint taken at one ``check`` op.
+
+    Attributes:
+        op_index: position of the check in the script (``len(ops)``
+            for the implicit final checkpoint).
+        clock: heap allocation clock at the checkpoint.
+        live_words: words reachable from the surviving roots.
+        graph: canonical live graph — a sorted tuple of
+            ``(obj_id, size, fields)`` triples over reachable objects,
+            with reference fields as object ids.
+    """
+
+    op_index: int
+    clock: int
+    live_words: int
+    graph: tuple
+
+    def brief(self) -> str:
+        return (
+            f"op {self.op_index}: clock={self.clock} "
+            f"live={self.live_words}w objects={len(self.graph)}"
+        )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """One collector's replay of one script."""
+
+    collector: str
+    checkpoints: tuple[Checkpoint, ...]
+    words_allocated: int
+    collections: int
+
+
+# ----------------------------------------------------------------------
+# Script model (shared by the generator and the normalizer)
+# ----------------------------------------------------------------------
+
+
+class _ScriptModel:
+    """Collector-independent shadow of a script's object graph.
+
+    Tracks, per uid: field contents and rootedness, and answers exact
+    reachability queries so the generator (and the shrinker's
+    normalizer) only ever reference uids a correct collector is
+    guaranteed to keep alive.
+    """
+
+    def __init__(self) -> None:
+        self.sizes: dict[int, int] = {}
+        self.fields: dict[int, list[int | None]] = {}
+        self.rooted: set[int] = set()
+        self._reachable: set[int] = set()
+        self._dirty = False
+
+    def alloc(self, uid: int, size: int, field_count: int) -> None:
+        self.sizes[uid] = size
+        self.fields[uid] = [None] * field_count
+        self.rooted.add(uid)
+        if not self._dirty:
+            self._reachable.add(uid)
+
+    def store(self, src: int, slot: int, dst: int | None) -> None:
+        old = self.fields[src][slot]
+        self.fields[src][slot] = dst
+        # Overwriting a reference can only shrink reachability; adding
+        # an edge between two already-reachable uids cannot grow it.
+        if old is not None and old != dst:
+            self._dirty = True
+
+    def drop(self, uid: int) -> None:
+        self.rooted.discard(uid)
+        self._dirty = True
+
+    def reachable(self) -> set[int]:
+        if self._dirty:
+            reached: set[int] = set()
+            stack = [uid for uid in self.rooted]
+            while stack:
+                uid = stack.pop()
+                if uid in reached:
+                    continue
+                reached.add(uid)
+                for ref in self.fields[uid]:
+                    if ref is not None and ref not in reached:
+                        stack.append(ref)
+            self._reachable = reached
+            self._dirty = False
+        return self._reachable
+
+    def live_words(self) -> int:
+        return sum(self.sizes[uid] for uid in self.reachable())
+
+
+def normalize_ops(ops: Iterable[Op]) -> tuple[Op, ...]:
+    """Drop ops an edited script can no longer replay validly.
+
+    A ``store`` survives only if both ends were allocated by a kept
+    ``alloc`` *and* are still reachable at that point (a correct
+    collector may legitimately have freed an unreachable object, and
+    which collectors have done so by then differs — mutating such an
+    object would make replays diverge for uninteresting reasons).  A
+    ``drop`` survives only if its uid was allocated and is currently
+    rooted.  ``alloc``/``collect``/``check`` always survive.
+    """
+    model = _ScriptModel()
+    kept: list[Op] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "alloc":
+            _, uid, size, field_count = op
+            model.alloc(uid, size, field_count)
+            kept.append(op)
+        elif kind == "store":
+            _, src, slot, dst = op
+            if src not in model.sizes:
+                continue
+            if dst is not None and dst not in model.sizes:
+                continue
+            if slot >= len(model.fields[src]):
+                continue
+            reachable = model.reachable()
+            if src not in reachable:
+                continue
+            if dst is not None and dst not in reachable:
+                continue
+            model.store(src, slot, dst)
+            kept.append(op)
+        elif kind == "drop":
+            _, uid = op
+            if uid not in model.rooted:
+                continue
+            model.drop(uid)
+            kept.append(op)
+        elif kind in ("collect", "check"):
+            kept.append(op)
+        else:
+            raise ReplayError(f"unknown op kind {kind!r}")
+    return tuple(kept)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+
+def generate_script(
+    op_count: int,
+    seed: int,
+    *,
+    max_live_words: int = 40,
+    max_object_words: int = 4,
+    max_fields: int = 3,
+    check_interval: int = 64,
+) -> MutatorScript:
+    """Generate a deterministic, valid mutator script.
+
+    The mix is allocation-heavy (roughly half the ops) with stores,
+    root drops and explicit collections interleaved, and a ``check``
+    op every ``check_interval`` ops plus one at the end.  Live storage
+    is kept at or below ``max_live_words`` by force-dropping roots
+    before an allocation that would exceed it, so the script replays
+    without exhausting any reasonably sized heap.
+    """
+    if op_count < 1:
+        raise ValueError(f"op count must be positive, got {op_count!r}")
+    if max_live_words < max_object_words:
+        raise ValueError(
+            f"live budget {max_live_words} cannot fit even one object "
+            f"of {max_object_words} words"
+        )
+    rng = random.Random(seed)
+    model = _ScriptModel()
+    ops: list[Op] = []
+    next_uid = 0
+
+    def emit_alloc() -> None:
+        nonlocal next_uid
+        size = rng.randint(1, max_object_words)
+        # An object's reference slots fit inside its size (model.py's
+        # field_count <= size constraint).
+        field_count = rng.randint(0, min(size, max_fields))
+        # Stay under the live budget: drop roots until the allocation
+        # fits (dropping every root always frees everything).
+        while model.rooted and model.live_words() + size > max_live_words:
+            victim = rng.choice(sorted(model.rooted))
+            model.drop(victim)
+            ops.append(("drop", victim))
+        uid = next_uid
+        next_uid += 1
+        model.alloc(uid, size, field_count)
+        ops.append(("alloc", uid, size, field_count))
+
+    def emit_store() -> bool:
+        reachable = sorted(model.reachable())
+        sources = [uid for uid in reachable if model.fields[uid]]
+        if not sources:
+            return False
+        src = rng.choice(sources)
+        slot = rng.randrange(len(model.fields[src]))
+        if rng.random() < 0.15:
+            dst: int | None = None
+        else:
+            dst = rng.choice(reachable)
+        model.store(src, slot, dst)
+        ops.append(("store", src, slot, dst))
+        return True
+
+    def emit_drop() -> bool:
+        if not model.rooted:
+            return False
+        victim = rng.choice(sorted(model.rooted))
+        model.drop(victim)
+        ops.append(("drop", victim))
+        return True
+
+    while len(ops) < op_count:
+        if check_interval and len(ops) and len(ops) % check_interval == 0:
+            ops.append(("check",))
+            continue
+        roll = rng.random()
+        if roll < 0.50:
+            emit_alloc()
+        elif roll < 0.78:
+            if not emit_store():
+                emit_alloc()
+        elif roll < 0.98:
+            if not emit_drop():
+                emit_alloc()
+        else:
+            # Explicit full collections are rare so that most
+            # collections are the natural, allocation-triggered kind
+            # (minor/promoting paths included).
+            ops.append(("collect",))
+    if ops[-1] != ("check",):
+        ops.append(("check",))
+    return MutatorScript(
+        ops=tuple(ops), seed=seed, note=f"generated op_count={op_count}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+def replay(
+    script: MutatorScript,
+    factory: CollectorFactory,
+    *,
+    checked: bool = False,
+    name: str = "",
+) -> ReplayResult:
+    """Replay a script under a freshly built collector.
+
+    Args:
+        script: the script to replay (must be valid; see module doc).
+        factory: builds the collector over a fresh heap and root set.
+        checked: install the heap auditor as a post-collection hook,
+            so every collection is audited as it completes.
+        name: label for the result (defaults to the collector's name).
+
+    Raises:
+        ReplayCrash: an op raised inside the collector or heap —
+            including :class:`~repro.verify.audit.AuditError` from
+            checked mode.
+        ReplayError: the script itself is malformed.
+    """
+    heap = SimulatedHeap()
+    roots = RootSet()
+    collector = factory(heap, roots)
+    if checked:
+        enable_checked_mode(collector)
+    barrier = WriteBarrier(collector.remember_store)
+
+    uid_to_id: dict[int, int] = {}
+    checkpoints: list[Checkpoint] = []
+
+    def take_checkpoint(op_index: int) -> None:
+        root_ids = list(roots.ids())
+        reached = heap.reachable_from(root_ids)
+        graph = tuple(
+            sorted(
+                (obj_id, heap.get(obj_id).size, tuple(heap.get(obj_id).fields))
+                for obj_id in reached
+            )
+        )
+        live = sum(entry[1] for entry in graph)
+        checkpoints.append(
+            Checkpoint(
+                op_index=op_index,
+                clock=heap.clock,
+                live_words=live,
+                graph=graph,
+            )
+        )
+
+    for op_index, op in enumerate(script.ops):
+        kind = op[0]
+        try:
+            if kind == "alloc":
+                _, uid, size, field_count = op
+                obj = collector.allocate(size, field_count)
+                uid_to_id[uid] = obj.obj_id
+                roots.set_global(f"u{uid}", obj)
+            elif kind == "store":
+                _, src_uid, slot, dst_uid = op
+                src = heap.get(_resolve(uid_to_id, src_uid))
+                if dst_uid is None:
+                    barrier.on_store(src, slot, None)
+                    heap.write_field(src, slot, None)
+                else:
+                    target = heap.get(_resolve(uid_to_id, dst_uid))
+                    barrier.on_store(src, slot, target)
+                    heap.write_field(src, slot, target)
+            elif kind == "drop":
+                roots.remove_global(f"u{op[1]}")
+            elif kind == "collect":
+                collector.collect()
+            elif kind == "check":
+                take_checkpoint(op_index)
+            else:
+                raise ReplayError(f"unknown op kind {kind!r}")
+        except ReplayError:
+            raise
+        except Exception as exc:
+            raise ReplayCrash(op_index, op, exc) from exc
+
+    # A final fingerprint so even check-free scripts are comparable.
+    try:
+        take_checkpoint(len(script.ops))
+    except Exception as exc:
+        raise ReplayCrash(len(script.ops), ("check",), exc) from exc
+    return ReplayResult(
+        collector=name or collector.name,
+        checkpoints=tuple(checkpoints),
+        words_allocated=collector.stats.words_allocated,
+        collections=collector.stats.collections,
+    )
+
+
+def _resolve(uid_to_id: dict[int, int], uid: int) -> int:
+    try:
+        return uid_to_id[uid]
+    except KeyError:
+        raise ReplayError(
+            f"script references uid {uid} before its alloc"
+        ) from None

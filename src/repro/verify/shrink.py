@@ -1,0 +1,96 @@
+"""Greedy delta-debugging shrinker for failing mutator scripts.
+
+When the differential oracle (or checked mode) rejects a script, the
+raw counterexample is usually hundreds of ops long.  `shrink_script`
+reduces it with the classic ddmin strategy: repeatedly delete chunks
+of ops, re-normalize the remainder so it stays a valid script (see
+:func:`repro.verify.replay.normalize_ops`), and keep any deletion
+after which the script still fails.  Chunk sizes halve until
+single-op deletions stop making progress.
+
+The failure predicate is caller-supplied, so the same shrinker serves
+the differential oracle ("some divergence remains"), checked-mode
+crashes ("the audit still raises"), or any ad-hoc property a test
+cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.verify.replay import MutatorScript, normalize_ops
+
+__all__ = ["shrink_script"]
+
+#: Returns True when the (still failing) script reproduces the bug.
+FailurePredicate = Callable[[MutatorScript], bool]
+
+
+def shrink_script(
+    script: MutatorScript,
+    fails: FailurePredicate,
+    *,
+    max_attempts: int = 800,
+) -> MutatorScript:
+    """Minimize a failing script while preserving the failure.
+
+    Args:
+        script: the original failing script.
+        fails: predicate that replays a candidate and reports whether
+            the bug still reproduces.  It must be deterministic.
+        max_attempts: budget of candidate evaluations; shrinking stops
+            (returning the best script so far) when it runs out.
+
+    Returns:
+        A 1-minimal-ish script: no single remaining op can be deleted
+        without losing the failure (unless the attempt budget ran out
+        first).
+
+    Raises:
+        ValueError: if ``script`` does not fail to begin with.
+    """
+    current = replace(script, ops=normalize_ops(script.ops))
+    if not fails(current):
+        if fails(script):
+            # Normalization alone lost the failure; shrink the raw ops.
+            current = script
+        else:
+            raise ValueError(
+                "shrink_script needs a failing script to start from"
+            )
+
+    attempts = 0
+    chunk = max(1, len(current.ops) // 2)
+    while chunk >= 1:
+        start = 0
+        progressed = False
+        while start < len(current.ops):
+            if attempts >= max_attempts:
+                return _annotate(current, script)
+            candidate_ops = normalize_ops(
+                current.ops[:start] + current.ops[start + chunk :]
+            )
+            attempts += 1
+            if len(candidate_ops) < len(current.ops) and fails(
+                replace(current, ops=candidate_ops)
+            ):
+                current = replace(current, ops=candidate_ops)
+                progressed = True
+                # Deletion shifted everything left; retry at the same
+                # position rather than skipping ops.
+                continue
+            start += chunk
+        if chunk == 1:
+            if not progressed:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+    return _annotate(current, script)
+
+
+def _annotate(current: MutatorScript, original: MutatorScript) -> MutatorScript:
+    note = f"shrunk from {len(original.ops)} ops"
+    if original.note:
+        note = f"{note}; {original.note}"
+    return replace(current, note=note)

@@ -1,0 +1,90 @@
+"""Seed discipline: all randomness flows through explicit seeds.
+
+Two kinds of guarantee:
+
+* a source scan asserting no module in ``src/repro`` calls the
+  module-level ``random.*`` functions (which draw from the shared,
+  implicitly-seeded global generator), and
+* behavioral tests that every stochastic lifetime schedule replays the
+  identical stream after ``reseed(seed)``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.mutator.decay_mutator import DecaySchedule
+from repro.mutator.phased import PhasedSchedule
+from repro.mutator.synthetic import (
+    BimodalSchedule,
+    UniformLifetimeSchedule,
+    WeibullSchedule,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Module-level random functions that would read the global RNG.
+#: ``random.Random(...)`` instantiation is fine; ``random.random()``,
+#: ``random.randint(...)`` etc. are not.
+GLOBAL_RANDOM = re.compile(
+    r"\brandom\.(random|randint|randrange|choice|choices|shuffle|sample|"
+    r"uniform|gauss|expovariate|seed|betavariate|normalvariate|"
+    r"weibullvariate|triangular)\s*\("
+)
+
+
+def test_no_global_random_calls_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            if GLOBAL_RANDOM.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "module-level random.* calls found (use random.Random(seed)):\n"
+        + "\n".join(offenders)
+    )
+
+
+SCHEDULES = [
+    pytest.param(lambda: DecaySchedule(32.0, seed=5), id="decay"),
+    pytest.param(lambda: UniformLifetimeSchedule(4, 64, seed=5), id="uniform"),
+    pytest.param(lambda: WeibullSchedule(40.0, 1.7, seed=5), id="weibull"),
+    pytest.param(
+        lambda: BimodalSchedule(0.8, 8, 200.0, seed=5), id="bimodal"
+    ),
+    pytest.param(
+        lambda: PhasedSchedule(500, churn_fraction=0.3, seed=5), id="phased"
+    ),
+]
+
+
+def stream(schedule, n=200):
+    return [schedule.lifetime_for(clock, clock) for clock in range(n)]
+
+
+@pytest.mark.parametrize("make", SCHEDULES)
+def test_reseed_replays_identical_stream(make):
+    schedule = make()
+    first = stream(schedule)
+    schedule.reseed(5)
+    assert stream(schedule) == first
+    assert schedule.seed == 5
+
+
+@pytest.mark.parametrize("make", SCHEDULES)
+def test_reseed_with_new_seed_changes_stream(make):
+    schedule = make()
+    first = stream(schedule)
+    schedule.reseed(99)
+    assert schedule.seed == 99
+    assert stream(schedule) != first
+
+
+@pytest.mark.parametrize("make", SCHEDULES)
+def test_same_seed_means_same_schedule(make):
+    assert stream(make()) == stream(make())

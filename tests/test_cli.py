@@ -95,3 +95,69 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "gcbench" in out
         assert "validate" not in out  # only experiments and benchmarks
+
+
+class TestTraceFlags:
+    @pytest.fixture()
+    def trace_path(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["trace", "record", "lattice", "-o", path,
+             "--scale", "0", "--epochs", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        return path
+
+    def test_survival_custom_binning(self, capsys, trace_path):
+        assert main(
+            ["trace", "survival", trace_path,
+             "--age-step", "500", "--brackets", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "words old" in out
+
+    def test_profile_custom_epoch(self, capsys, trace_path):
+        assert main(["trace", "profile", trace_path, "--epoch", "700"]) == 0
+        out = capsys.readouterr().out
+        assert "peak" in out
+
+    def test_record_requires_known_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "record", "nonesuch", "-o", "/tmp/x.jsonl"])
+
+
+class TestVerifyCommand:
+    def test_verify_passes_on_all_collectors(self, capsys):
+        assert main(["verify", "--ops", "150", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "mark-sweep" in out
+        assert "hybrid" in out
+
+    def test_verify_collector_subset(self, capsys):
+        assert main(
+            ["verify", "--ops", "100", "--seed", "2",
+             "--collectors", "mark-sweep", "generational"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "non-predictive" not in out
+
+    def test_verify_unchecked_mode(self, capsys):
+        assert main(
+            ["verify", "--ops", "100", "--seed", "3", "--unchecked"]
+        ) == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_verify_rejects_unknown_collector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify", "--collectors", "warp-speed"]
+            )
+
+    def test_verify_rejects_bad_ops_cleanly(self, capsys):
+        assert main(["verify", "--ops", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "op count must be positive" in err
+        assert "Traceback" not in err
