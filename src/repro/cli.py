@@ -5,7 +5,14 @@ Subcommands:
 * ``list`` — show the available experiments and benchmarks;
 * ``experiment NAME`` — regenerate one paper artifact (table1,
   figure1, table3, ...) and print it;
-* ``all`` — regenerate every artifact in order;
+* ``all [--jobs N] [--no-cache]`` — regenerate every artifact in
+  order, fanning independent experiments across worker processes,
+  serving unchanged artifacts from the ``.repro_cache/`` artifact
+  cache, and printing a per-experiment wall-clock table;
+* ``bench`` — the performance suite: allocation throughput and
+  full-collection latency per collector, persisted to
+  ``BENCH_perf.json`` (``--quick`` for the CI smoke variant, which
+  fails on a >30% throughput regression vs the committed record);
 * ``bench NAME --collector KIND`` — run one of the six benchmarks
   under a chosen collector and print its GC statistics;
 * ``analyze`` — print Section 5 quantities for a given (g, L);
@@ -71,7 +78,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
+    import time
     from pathlib import Path
+
+    from repro.experiments.runner import run_experiments
+    from repro.perf.bench import BENCH_FILENAME, record_all_run
+    from repro.perf.cache import ArtifactCache
+    from repro.perf.parallel import default_jobs
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be at least 1, got {jobs}")
 
     selected = EXPERIMENTS
     if args.only:
@@ -87,25 +104,64 @@ def _cmd_all(args: argparse.Namespace) -> int:
     output = Path(args.output) if args.output else None
     if output is not None:
         output.mkdir(parents=True, exist_ok=True)
+    cache = None if args.no_cache else ArtifactCache.default()
+    start = time.perf_counter()
+    records = run_experiments(
+        [experiment.name for experiment in selected],
+        jobs=jobs,
+        cache=cache,
+    )
+    wall_seconds = time.perf_counter() - start
+    by_name = {record.name: record for record in records}
     for experiment in selected:
+        record = by_name[experiment.name]
         print(f"=== {experiment.name}: {experiment.paper_artifact} ===")
-        result, text = run_experiment(experiment.name)
-        print(text)
+        print(record.text)
         print()
         if output is not None:
             (output / f"{experiment.name}.txt").write_text(
-                text + "\n", encoding="utf-8"
+                record.text + "\n", encoding="utf-8"
             )
             (output / f"{experiment.name}.json").write_text(
-                json.dumps(to_jsonable(result), indent=2) + "\n",
+                json.dumps(record.payload, indent=2) + "\n",
                 encoding="utf-8",
             )
     if output is not None:
         print(f"artifacts written to {output}/")
+        print()
+    cache_hits = sum(1 for record in records if record.cached)
+    print("=== timing ===")
+    print(f"{'experiment':<16} {'seconds':>8}  source")
+    for record in records:
+        source = "cache" if record.cached else "run"
+        print(f"{record.name:<16} {record.seconds:>8.2f}  {source}")
+    print(
+        f"{'TOTAL (wall)':<16} {wall_seconds:>8.2f}  "
+        f"jobs={jobs}, cache hits {cache_hits}/{len(records)}"
+    )
+    # The full regeneration's wall clock is part of the repo's perf
+    # trajectory; partial runs (--only) would not be comparable.
+    if len(selected) == len(EXPERIMENTS):
+        entry = record_all_run(
+            Path.cwd() / BENCH_FILENAME,
+            jobs=jobs,
+            seconds=wall_seconds,
+            experiments=len(records),
+            cache_hits=cache_hits,
+        )
+        speedup = entry.get("speedup_vs_serial_baseline")
+        suffix = (
+            f" ({speedup}x vs serial seed baseline)"
+            if speedup is not None
+            else ""
+        )
+        print(f"recorded in {BENCH_FILENAME}{suffix}")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.name is None:
+        return _cmd_bench_suite(args)
     benchmark = get_benchmark(args.name)
     outcome = run_benchmark_under(
         benchmark, args.collector, scale=args.scale
@@ -121,6 +177,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"collections: {outcome.collections} "
         f"({outcome.minor_collections} minor)"
     )
+    return 0
+
+
+def _cmd_bench_suite(args: argparse.Namespace) -> int:
+    """Bare ``repro-gc bench``: the perf suite + BENCH_perf.json."""
+    from pathlib import Path
+
+    from repro.perf.bench import (
+        BENCH_FILENAME,
+        build_report,
+        compare_to_baseline,
+        load_report,
+        run_perf_suite,
+        write_report,
+    )
+
+    path = Path.cwd() / BENCH_FILENAME
+    baseline = load_report(path)
+    mode = "quick" if args.quick else "full"
+    print(f"perf suite ({mode}): allocation throughput and "
+          f"full-collection latency per collector")
+    results = run_perf_suite(quick=args.quick)
+    print(
+        f"{'collector':<16} {'words/sec':>12} {'collections':>12} "
+        f"{'collect mean':>13} {'collect max':>12}"
+    )
+    for bench in results:
+        print(
+            f"{bench.collector:<16} {bench.alloc_words_per_sec:>12,.0f} "
+            f"{bench.collections_during_alloc:>12} "
+            f"{bench.full_collect_seconds_mean * 1000:>11.2f}ms "
+            f"{bench.full_collect_seconds_max * 1000:>10.2f}ms"
+        )
+    report = build_report(results, quick=args.quick, previous=baseline)
+    write_report(path, report)
+    print(f"written to {path.name}")
+    if args.no_baseline_check or baseline is None:
+        return 0
+    regressions = compare_to_baseline(
+        report, baseline, tolerance=args.tolerance
+    )
+    if regressions:
+        print()
+        print(
+            f"[FAIL] throughput regressed beyond "
+            f"{100 * args.tolerance:.0f}% of the previous "
+            f"{BENCH_FILENAME}:"
+        )
+        for message in regressions:
+            print(f"  - {message}")
+        return 1
+    print(f"[PASS] no throughput regression vs previous {BENCH_FILENAME}")
     return 0
 
 
@@ -286,16 +394,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated experiment names to regenerate",
     )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for independent experiments "
+            "(default: REPRO_JOBS or 1)"
+        ),
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the artifact cache (.repro_cache/)",
+    )
     sub.set_defaults(func=_cmd_all)
 
     sub = subparsers.add_parser(
-        "bench", help="run a benchmark under a collector"
+        "bench",
+        help=(
+            "no name: the perf suite (throughput/latency per collector, "
+            "written to BENCH_perf.json); with a name: run that "
+            "benchmark under one collector"
+        ),
     )
-    sub.add_argument("name", choices=benchmark_names())
+    sub.add_argument("name", nargs="?", default=None, choices=benchmark_names())
     sub.add_argument(
         "--collector", choices=_COLLECTORS, default="stop-and-copy"
     )
     sub.add_argument("--scale", type=int, default=1, choices=(0, 1, 2))
+    sub.add_argument(
+        "--quick",
+        action="store_true",
+        help="perf suite only: ~8x smaller workloads (CI smoke mode)",
+    )
+    sub.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help=(
+            "perf suite only: allowed fractional throughput drop vs "
+            "the previous BENCH_perf.json (default 0.30)"
+        ),
+    )
+    sub.add_argument(
+        "--no-baseline-check",
+        action="store_true",
+        help="perf suite only: skip the regression comparison",
+    )
     sub.set_defaults(func=_cmd_bench)
 
     sub = subparsers.add_parser(

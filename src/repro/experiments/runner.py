@@ -45,7 +45,13 @@ from repro.experiments.weak_hypothesis import (
     run_weak_hypothesis,
 )
 
-__all__ = ["EXPERIMENTS", "Experiment", "experiment_names", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment_names",
+    "run_experiment",
+    "run_experiments",
+]
 
 
 @dataclass(frozen=True)
@@ -180,3 +186,27 @@ def run_experiment(name: str) -> tuple[object, str]:
     raise KeyError(
         f"unknown experiment {name!r}; available: {experiment_names()}"
     )
+
+
+def run_experiments(names=None, *, jobs=1, cache=None):
+    """Regenerate several artifacts, optionally in parallel and cached.
+
+    A thin front door over
+    :func:`repro.perf.parallel.run_experiment_records` (imported
+    lazily; the perf layer imports this module from its workers).
+    Defaults to the full registry in registry order; returns
+    :class:`~repro.perf.parallel.ExperimentRecord` objects, which carry
+    the rendered text and the JSON-able payload rather than live result
+    objects — see that module for why.
+    """
+    from repro.perf.parallel import run_experiment_records
+
+    if names is None:
+        names = experiment_names()
+    unknown = set(names) - set(experiment_names())
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {sorted(unknown)}; "
+            f"available: {experiment_names()}"
+        )
+    return run_experiment_records(list(names), jobs=jobs, cache=cache)

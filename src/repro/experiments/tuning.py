@@ -97,6 +97,12 @@ def _run_policy(
     )
 
 
+def _policy_task(spec: tuple[str, TuningPolicy, dict]) -> TuningRow:
+    """One ablation point; module-level so worker processes can run it."""
+    name, policy, kwargs = spec
+    return _run_policy(name, policy, **kwargs)
+
+
 def run_tuning(
     *,
     half_life: float = 2_000.0,
@@ -104,8 +110,17 @@ def run_tuning(
     step_count: int = 16,
     cycles: int = 25,
     seed: int = 9,
+    jobs: int = 1,
 ) -> TuningResult:
-    """Run the policy ablation."""
+    """Run the policy ablation.
+
+    The six policy runs are independent (each builds its own heap and
+    draws lifetimes from its own seeded stream), so ``jobs > 1`` fans
+    them out through :func:`repro.perf.parallel.parallel_map`; rows
+    come back in the fixed ablation order either way.
+    """
+    from repro.perf.parallel import parallel_map
+
     shared = dict(
         half_life=half_life,
         load_factor=load_factor,
@@ -113,19 +128,19 @@ def run_tuning(
         cycles=cycles,
         seed=seed,
     )
-    rows = [
-        _run_policy("j=0 (non-generational)", FixedJPolicy(0), **shared),
-        _run_policy("fixed g=1/8", FixedFractionPolicy(0.125), **shared),
-        _run_policy("fixed g=1/4", FixedFractionPolicy(0.25), **shared),
-        _run_policy("fixed g=3/8", FixedFractionPolicy(0.375), **shared),
-        _run_policy("half-empty (paper §8.1)", HalfEmptyPolicy(), **shared),
-        _run_policy(
+    specs: list[tuple[str, TuningPolicy, dict]] = [
+        ("j=0 (non-generational)", FixedJPolicy(0), shared),
+        ("fixed g=1/8", FixedFractionPolicy(0.125), shared),
+        ("fixed g=1/4", FixedFractionPolicy(0.25), shared),
+        ("fixed g=3/8", FixedFractionPolicy(0.375), shared),
+        ("half-empty (paper §8.1)", HalfEmptyPolicy(), shared),
+        (
             "half-empty, scan-protected (§8.6 alternative)",
             HalfEmptyPolicy(),
-            use_remset=False,
-            **shared,
+            {**shared, "use_remset": False},
         ),
     ]
+    rows = parallel_map(_policy_task, specs, jobs=jobs)
     return TuningResult(
         half_life=half_life, load_factor=load_factor, rows=tuple(rows)
     )

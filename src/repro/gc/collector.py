@@ -23,7 +23,7 @@ import abc
 from typing import Callable, Iterable
 
 from repro.gc.stats import GcStats
-from repro.heap.heap import SimulatedHeap
+from repro.heap.heap import HeapError, SimulatedHeap
 from repro.heap.object_model import HeapObject
 from repro.heap.roots import RootSet
 from repro.heap.space import Space
@@ -145,25 +145,33 @@ class Collector(abc.ABC):
         is true, each marked object's size is added to
         ``stats.words_marked``.
         """
-        heap = self.heap
+        objects = self.heap._objects
         marked: set[int] = set()
+        mark = marked.add
         stack: list[int] = []
-        for obj_id in seed_ids:
-            obj = heap.get(obj_id)
-            if obj.space in region and obj_id not in marked:
-                marked.add(obj_id)
-                stack.append(obj_id)
-        while stack:
-            obj = heap.get(stack.pop())
-            if count_work:
-                self.stats.words_marked += obj.size
-            for ref in obj.fields:
-                if type(ref) is not int or ref in marked:
-                    continue
-                target = heap.get(ref)
-                if target.space in region:
-                    marked.add(ref)
-                    stack.append(ref)
+        push = stack.append
+        pop = stack.pop
+        words_marked = 0
+        try:
+            for obj_id in seed_ids:
+                if obj_id not in marked and objects[obj_id].space in region:
+                    mark(obj_id)
+                    push(obj_id)
+            while stack:
+                obj = objects[pop()]
+                words_marked += obj.size
+                for ref in obj.fields:
+                    if (
+                        type(ref) is int
+                        and ref not in marked
+                        and objects[ref].space in region
+                    ):
+                        mark(ref)
+                        push(ref)
+        except KeyError as exc:
+            raise HeapError(f"dangling object id {exc.args[0]}") from None
+        if count_work:
+            self.stats.words_marked += words_marked
         return marked
 
     def _root_ids(self) -> list[int]:

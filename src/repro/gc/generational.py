@@ -150,12 +150,21 @@ class GenerationalCollector(Collector):
     def allocate(
         self, size: int, field_count: int = 0, kind: str = "data"
     ) -> HeapObject:
-        if not self.nursery.fits(size):
+        # Hot path: hoist the nursery property and inline Space.fits /
+        # _record_allocation.
+        nursery = self.spaces[0]
+        capacity = nursery.capacity
+        if capacity is not None and nursery.used + size > capacity:
             self._collect_for(size)
-            if not self.nursery.fits(size):
+            if (
+                nursery.capacity is not None
+                and nursery.used + size > nursery.capacity
+            ):
                 raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, self.nursery, kind)
-        self._record_allocation(obj)
+        obj = self.heap.allocate(size, field_count, nursery, kind)
+        stats = self.stats
+        stats.words_allocated += size
+        stats.objects_allocated += 1
         return obj
 
     def _collect_for(self, pending: int) -> None:
@@ -167,10 +176,12 @@ class GenerationalCollector(Collector):
         (conservatively, everything currently resident in 0..i); if no
         prefix qualifies, a full collection runs.
         """
-        last = self.generation_count - 1
+        spaces = self.spaces
+        last = len(spaces) - 1
+        worst_case = 0
         for i in range(last):
-            worst_case = sum(space.used for space in self.spaces[: i + 1])
-            if self.spaces[i + 1].free >= worst_case:
+            worst_case += spaces[i].used
+            if spaces[i + 1].free >= worst_case:
                 self.collect_generations(i)
                 return
         self.collect_generations(last)
@@ -223,16 +234,30 @@ class GenerationalCollector(Collector):
 
         # Free the dead first so a full collection makes room in the
         # oldest generation before younger survivors move into it.
+        # Classification runs over the live space dict; the batch free
+        # afterwards avoids snapshotting every space with list().
+        objects = heap._objects
+        survival_counts = self._survival_counts
         survivors: list[HeapObject] = []
         reclaimed = 0
         for space in region:
-            for obj in list(space.objects()):
+            space_objects = space._objects
+            dead: list[HeapObject] = []
+            for obj in space_objects.values():
                 if obj.obj_id in marked:
                     survivors.append(obj)
                 else:
-                    reclaimed += obj.size
-                    self._survival_counts.pop(obj.obj_id, None)
-                    heap.free(obj)
+                    dead.append(obj)
+            dead_words = 0
+            for obj in dead:
+                obj_id = obj.obj_id
+                dead_words += obj.size
+                survival_counts.pop(obj_id, None)
+                del objects[obj_id]
+                del space_objects[obj_id]
+                obj.space = None
+            space.used -= dead_words
+            reclaimed += dead_words
 
         # Survivors are promoted (copied) to generation upto+1; the
         # oldest generation's survivors are "copied" in place.  Either
@@ -252,14 +277,21 @@ class GenerationalCollector(Collector):
                 )
             else:
                 raise HeapExhausted(self, incoming)
-        live = 0
-        for obj in survivors:
-            live += obj.size
-            self.stats.words_copied += obj.size
+        live = sum(obj.size for obj in survivors)
+        self.stats.words_copied += live
+        target_objects = target._objects
+        moved_words = 0
         for obj in movers:
-            heap.move(obj, target)
-            self._survival_counts.pop(obj.obj_id, None)
-            self.stats.words_promoted += obj.size
+            obj_id = obj.obj_id
+            from_space = obj.space
+            del from_space._objects[obj_id]
+            from_space.used -= obj.size
+            target_objects[obj_id] = obj
+            obj.space = target
+            moved_words += obj.size
+            survival_counts.pop(obj_id, None)
+        target.used += moved_words
+        self.stats.words_promoted += moved_words
 
         if full:
             # §8.4: a full collection empties the remembered set; every
@@ -387,28 +419,27 @@ class GenerationalCollector(Collector):
         is pruned.
         """
         seeds: list[int] = []
+        objects = self.heap._objects
         for index in range(upto + 1, self.generation_count):
             remset = self.remsets[index]
-
-            def slot_target_in_region(entry: tuple[int, int]) -> bool:
-                obj_id, slot = entry
-                if not self.heap.contains_id(obj_id):
-                    return False
-                obj = self.heap.get(obj_id)
-                if slot >= len(obj.fields):
-                    return False
-                ref = obj.fields[slot]
-                if type(ref) is not int or not self.heap.contains_id(ref):
-                    return False
-                return self.heap.get(ref).space in region
-
-            for obj_id, slot in list(remset.entries()):
+            if not len(remset):
+                continue
+            keep: set[tuple[int, int]] = set()
+            for entry in list(remset.entries()):
                 self.stats.roots_traced += 1
-                if slot_target_in_region((obj_id, slot)):
-                    ref = self.heap.get(obj_id).fields[slot]
-                    assert ref is not None
-                    seeds.append(ref)
-            pruned = remset.prune(slot_target_in_region)
+                obj_id, slot = entry
+                obj = objects.get(obj_id)
+                if obj is None or slot >= len(obj.fields):
+                    continue
+                ref = obj.fields[slot]
+                if type(ref) is not int:
+                    continue
+                target = objects.get(ref)
+                if target is None or target.space not in region:
+                    continue
+                seeds.append(ref)
+                keep.add(entry)
+            pruned = remset.prune(keep.__contains__)
             self.stats.remset_entries_pruned += pruned
         return seeds
 

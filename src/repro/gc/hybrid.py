@@ -104,6 +104,7 @@ class HybridCollector(Collector):
         ]
         self.step_words = step_words
         self.policy = policy if policy is not None else HalfEmptyPolicy()
+        self._j = 0
         self.j = initial_j
         self.max_remset = max_remset
         self.allow_promotion_into_protected = allow_promotion_into_protected
@@ -113,8 +114,10 @@ class HybridCollector(Collector):
         #: Protected-step slots that may point into collectable steps
         #: (§8.4 situations 5 and 6).
         self.remset_steps = RememberedSet("hybrid-steps")
-        self._step_index_of: dict[str, int] = {
-            space.name: index for index, space in enumerate(self.steps)
+        # Step lookup keyed by space identity (hit on every barrier
+        # store); rebuilt only when the steps are renumbered.
+        self._step_index_of: dict[Space, int] = {
+            space: index for index, space in enumerate(self.steps)
         }
 
     # ------------------------------------------------------------------
@@ -125,10 +128,29 @@ class HybridCollector(Collector):
     def step_count(self) -> int:
         return len(self.steps)
 
+    @property
+    def j(self) -> int:
+        """The tuning parameter: steps 1..j are protected."""
+        return self._j
+
+    @j.setter
+    def j(self, value: int) -> None:
+        self._j = value
+        self._refresh_partition()
+
+    def _refresh_partition(self) -> None:
+        """Rebuild the cached protected/collectable split; invalidated
+        whenever ``j`` changes or the steps are renumbered."""
+        j = self._j
+        self._protected_list = self.steps[:j]
+        self._collectable_list = self.steps[j:]
+        self._protected_set = set(self._protected_list)
+
     def step_number(self, obj: HeapObject) -> int | None:
-        if obj.space is None:
+        space = obj.space
+        if space is None:
             return None
-        index = self._step_index_of.get(obj.space.name)
+        index = self._step_index_of.get(space)
         return None if index is None else index + 1
 
     def in_nursery(self, obj: HeapObject) -> bool:
@@ -144,10 +166,10 @@ class HybridCollector(Collector):
         return sum(space.free for space in self.steps)
 
     def _protected_free(self) -> int:
-        return sum(space.free for space in self.steps[: self.j])
+        return sum(space.free for space in self._protected_list)
 
     def _collectable_free(self) -> int:
-        return sum(space.free for space in self.steps[self.j :])
+        return sum(space.free for space in self._collectable_list)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -156,17 +178,26 @@ class HybridCollector(Collector):
     def allocate(
         self, size: int, field_count: int = 0, kind: str = "data"
     ) -> HeapObject:
-        if size > (self.nursery.capacity or 0):
+        # Hot path: hoist the nursery attribute and inline Space.fits /
+        # _record_allocation.
+        nursery = self.nursery
+        capacity = nursery.capacity
+        if size > (capacity or 0):
             raise ValueError(
                 f"object of {size} words exceeds the nursery size "
-                f"{self.nursery.capacity}"
+                f"{capacity}"
             )
-        if not self.nursery.fits(size):
+        if capacity is not None and nursery.used + size > capacity:
             self.collect_nursery()
-            if not self.nursery.fits(size):
+            if (
+                nursery.capacity is not None
+                and nursery.used + size > nursery.capacity
+            ):
                 raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, self.nursery, kind)
-        self._record_allocation(obj)
+        obj = self.heap.allocate(size, field_count, nursery, kind)
+        stats = self.stats
+        stats.words_allocated += size
+        stats.objects_allocated += 1
         return obj
 
     # ------------------------------------------------------------------
@@ -176,16 +207,22 @@ class HybridCollector(Collector):
     def remember_store(
         self, obj: HeapObject, slot: int, target: HeapObject
     ) -> None:
-        src_step = self.step_number(obj)
-        if src_step is None:
+        src_space = obj.space
+        if src_space is None:
+            return
+        index_of = self._step_index_of
+        src = index_of.get(src_space)
+        if src is None:
             return  # nursery (or unmanaged) sources are always traced
-        if self.in_nursery(target):
+        if target.space is self.nursery:
             # Situation 3: dynamic-area object now points at the nursery.
             self.remset_young.record_barrier(obj.obj_id, slot)
             self.stats.remset_entries_created += 1
             return
-        dst_step = self.step_number(target)
-        if dst_step is not None and src_step <= self.j < dst_step:
+        dst_space = target.space
+        dst = None if dst_space is None else index_of.get(dst_space)
+        # 0-based equivalent of "src <= j < dst" on 1-based step numbers.
+        if dst is not None and src < self._j <= dst:
             # Situation 6: protected step points into a collectable step.
             self.remset_steps.record_barrier(obj.obj_id, slot)
             self.stats.remset_entries_created += 1
@@ -251,21 +288,30 @@ class HybridCollector(Collector):
         seeds.extend(self._young_remset_seeds())
         marked = self._trace_region(region, seeds, count_work=False)
 
+        objects = heap._objects
+        index_of = self._step_index_of
+        nursery_objects = self.nursery._objects
         survivors: list[HeapObject] = []
+        dead: list[HeapObject] = []
         outbound_pointers = 0
-        reclaimed = 0
-        for obj in list(self.nursery.objects()):
+        for obj in nursery_objects.values():
             if obj.obj_id in marked:
                 survivors.append(obj)
                 # §8.3: count pointers leaving the ephemeral area; the
                 # collector must recognize them anyway, and the count
                 # estimates the remembered-set growth of the promotion.
-                for ref in obj.references():
-                    if self.step_number(heap.get(ref)) is not None:
+                for ref in obj.fields:
+                    if type(ref) is int and objects[ref].space in index_of:
                         outbound_pointers += 1
             else:
-                reclaimed += obj.size
-                heap.free(obj)
+                dead.append(obj)
+        reclaimed = 0
+        for obj in dead:
+            reclaimed += obj.size
+            del objects[obj.obj_id]
+            del nursery_objects[obj.obj_id]
+            obj.space = None
+        self.nursery.used -= reclaimed
 
         survivor_words = sum(obj.size for obj in survivors)
 
@@ -295,29 +341,34 @@ class HybridCollector(Collector):
         else:
             self._promote_into_collectable(survivors)
 
-        for obj in survivors:
-            self.stats.words_copied += obj.size
-            self.stats.words_promoted += obj.size
+        self.stats.words_copied += survivor_words
+        self.stats.words_promoted += survivor_words
 
         # A remembered dynamic-to-nursery slot whose source is protected
         # and whose target was just promoted past the j boundary is now
         # a protected-to-collectable pointer (the promotion-entered case
         # of §8.4); migrate it to the steps remembered set before the
-        # nursery entries are discarded.
+        # nursery entries are discarded.  (j may have been reduced by
+        # the valve or a spill above, so reread it.)
+        j = self._j
         for obj_id, slot in list(self.remset_young.entries()):
-            if not self.heap.contains_id(obj_id):
+            src = objects.get(obj_id)
+            if src is None:
                 continue
-            src = self.heap.get(obj_id)
-            src_step = self.step_number(src)
-            if src_step is None or src_step > self.j:
+            src_space = src.space
+            src_index = None if src_space is None else index_of.get(src_space)
+            if src_index is None or src_index >= j:
                 continue
             if slot >= len(src.fields):
                 continue
             ref = src.fields[slot]
-            if type(ref) is not int or not self.heap.contains_id(ref):
+            if type(ref) is not int:
                 continue
-            dst = self.step_number(self.heap.get(ref))
-            if dst is not None and dst > self.j:
+            target = objects.get(ref)
+            if target is None or target.space is None:
+                continue
+            dst_index = index_of.get(target.space)
+            if dst_index is not None and dst_index >= j:
                 self.remset_steps.record_promotion(obj_id, slot)
                 self.stats.remset_entries_created += 1
 
@@ -394,17 +445,18 @@ class HybridCollector(Collector):
     def _young_remset_seeds(self) -> list[int]:
         """Seeds from dynamic-area slots that still point into the nursery."""
         seeds: list[int] = []
+        objects = self.heap._objects
+        nursery = self.nursery
         for obj_id, slot in list(self.remset_young.entries()):
             self.stats.roots_traced += 1
-            if not self.heap.contains_id(obj_id):
-                continue
-            obj = self.heap.get(obj_id)
-            if slot >= len(obj.fields):
+            obj = objects.get(obj_id)
+            if obj is None or slot >= len(obj.fields):
                 continue
             ref = obj.fields[slot]
-            if type(ref) is not int or not self.heap.contains_id(ref):
+            if type(ref) is not int:
                 continue
-            if self.in_nursery(self.heap.get(ref)):
+            target = objects.get(ref)
+            if target is not None and target.space is nursery:
                 seeds.append(ref)
         return seeds
 
@@ -415,10 +467,10 @@ class HybridCollector(Collector):
     def collect(self) -> None:
         """Collect steps j+1..k together with the ephemeral area."""
         heap = self.heap
-        j = self.j
+        objects = heap._objects
         k = self.step_count
-        protected = self.steps[:j]
-        collectable = self.steps[j:]
+        protected = self._protected_list
+        collectable = self._collectable_list
         region = set(collectable)
         region.add(self.nursery)
 
@@ -429,13 +481,17 @@ class HybridCollector(Collector):
         survivors: list[HeapObject] = []
         reclaimed = 0
         for space in [self.nursery, *collectable]:
-            for obj in list(space.objects()):
+            space_objects = space._objects
+            for obj in space_objects.values():
                 if obj.obj_id in marked:
-                    space.remove(obj)
+                    obj.space = None
                     survivors.append(obj)
                 else:
                     reclaimed += obj.size
-                    heap.free(obj)
+                    del objects[obj.obj_id]
+                    obj.space = None
+            space_objects.clear()
+            space.used = 0
 
         survivor_words = sum(obj.size for obj in survivors)
         free_after = sum(space.free for space in self.steps)
@@ -443,27 +499,36 @@ class HybridCollector(Collector):
             raise HeapExhausted(self, survivor_words)
 
         # Renumber: old j+1..k become 1..k-j, old 1..j become k-j+1..k.
-        self.steps = collectable + protected
+        steps = collectable + protected
+        self.steps = steps
         self._step_index_of = {
-            space.name: index for index, space in enumerate(self.steps)
+            space: index for index, space in enumerate(steps)
         }
+        self._refresh_partition()
 
         # Survivors go "to the highest-numbered step that contains free
         # space" — which after renumbering may be an old protected step
         # with room left (the nursery's survivors can exceed the
-        # collectable capacity they came from).
+        # collectable capacity they came from).  Steps are bounded, so
+        # the inlined placement checks capacity directly.
         cursor = k - 1
         live = 0
         for obj in survivors:
+            size = obj.size
             index = cursor
-            while index >= 0 and not self.steps[index].fits(obj.size):
+            while index >= 0:
+                space = steps[index]
+                if space.used + size <= space.capacity:
+                    break
                 index -= 1
             if index < 0:
-                raise HeapExhausted(self, obj.size)
-            self.steps[index].add(obj)
+                raise HeapExhausted(self, size)
+            space._objects[obj.obj_id] = obj
+            space.used += size
+            obj.space = space
             cursor = index
-            live += obj.size
-            self.stats.words_copied += obj.size
+            live += size
+        self.stats.words_copied += live
 
         # Protected steps are empty after renumbering + policy choice,
         # the nursery is empty, so both remembered sets start afresh.
@@ -497,21 +562,21 @@ class HybridCollector(Collector):
         part of the region for a non-predictive collection).
         """
         seeds: list[int] = []
-        protected = set(self.steps[: self.j])
+        objects = self.heap._objects
+        protected = self._protected_set
         for remset in (self.remset_steps, self.remset_young):
             for obj_id, slot in list(remset.entries()):
                 self.stats.roots_traced += 1
-                if not self.heap.contains_id(obj_id):
-                    continue
-                obj = self.heap.get(obj_id)
-                if obj.space not in protected:
+                obj = objects.get(obj_id)
+                if obj is None or obj.space not in protected:
                     continue
                 if slot >= len(obj.fields):
                     continue
                 ref = obj.fields[slot]
-                if type(ref) is not int or not self.heap.contains_id(ref):
+                if type(ref) is not int:
                     continue
-                if self.heap.get(ref).space in region:
+                target = objects.get(ref)
+                if target is not None and target.space in region:
                     seeds.append(ref)
         return seeds
 

@@ -69,15 +69,23 @@ class MarkSweepCollector(Collector):
     def allocate(
         self, size: int, field_count: int = 0, kind: str = "data"
     ) -> HeapObject:
-        if not self.space.fits(size):
+        # Hot path: inline Space.fits / _record_allocation.
+        space = self.space
+        capacity = space.capacity
+        if capacity is not None and space.used + size > capacity:
             self.collect()
-            if not self.space.fits(size):
+            if (
+                space.capacity is not None
+                and space.used + size > space.capacity
+            ):
                 if self.auto_expand:
                     self._expand(size)
                 else:
                     raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, self.space, kind)
-        self._record_allocation(obj)
+        obj = self.heap.allocate(size, field_count, space, kind)
+        stats = self.stats
+        stats.words_allocated += size
+        stats.objects_allocated += 1
         return obj
 
     def _expand(self, pending: int) -> None:
@@ -100,15 +108,20 @@ class MarkSweepCollector(Collector):
         # account separately from marking (sweeping is cheap per word
         # but not free; the mark/cons ratio deliberately excludes it,
         # as in the paper).
-        reclaimed = 0
-        live = 0
         self.stats.words_swept += self.space.used
-        for obj in list(self.space.objects()):
-            if obj.obj_id in marked:
-                live += obj.size
-            else:
-                reclaimed += obj.size
-                self.heap.free(obj)
+        objects = self.heap._objects
+        space_objects = self.space._objects
+        dead = [
+            obj for obj in space_objects.values() if obj.obj_id not in marked
+        ]
+        reclaimed = 0
+        for obj in dead:
+            reclaimed += obj.size
+            del objects[obj.obj_id]
+            del space_objects[obj.obj_id]
+            obj.space = None
+        self.space.used -= reclaimed
+        live = self.space.used
 
         self.stats.words_reclaimed += reclaimed
         self.stats.collections += 1

@@ -117,6 +117,7 @@ class NonPredictiveCollector(Collector):
         ]
         self.step_words = step_words
         self.policy = policy if policy is not None else HalfEmptyPolicy()
+        self._j = 0
         self.j = initial_j
         self.use_remset = use_remset
         self.algorithm = algorithm
@@ -131,8 +132,12 @@ class NonPredictiveCollector(Collector):
         # Allocation proceeds from the highest-numbered step downward;
         # steps above the cursor are closed until the next collection.
         self._alloc_index = step_count - 1
-        self._step_index_of: dict[str, int] = {
-            space.name: index for index, space in enumerate(self.steps)
+        # Step lookup keyed by space identity: consulted on every
+        # barrier store, rebuilt only at renumbering time.  (Keying by
+        # name would pay a string hash per store for a map that cannot
+        # change between renumberings.)
+        self._step_index_of: dict[Space, int] = {
+            space: index for index, space in enumerate(self.steps)
         }
 
     # ------------------------------------------------------------------
@@ -143,11 +148,35 @@ class NonPredictiveCollector(Collector):
     def step_count(self) -> int:
         return len(self.steps)
 
+    @property
+    def j(self) -> int:
+        """The tuning parameter: steps 1..j are protected."""
+        return self._j
+
+    @j.setter
+    def j(self, value: int) -> None:
+        self._j = value
+        self._refresh_partition()
+
+    def _refresh_partition(self) -> None:
+        """Rebuild the cached protected/collectable split.
+
+        Invalidated whenever ``j`` changes or the steps are renumbered;
+        between those events the partition is immutable, so per-
+        collection consumers read the cache instead of re-slicing and
+        re-summing the step list.
+        """
+        j = self._j
+        self._protected_list = self.steps[:j]
+        self._collectable_list = self.steps[j:]
+        self._protected_set = set(self._protected_list)
+
     def step_number(self, obj: HeapObject) -> int | None:
         """The 1-based step number an object resides in, or None."""
-        if obj.space is None:
+        space = obj.space
+        if space is None:
             return None
-        index = self._step_index_of.get(obj.space.name)
+        index = self._step_index_of.get(space)
         return None if index is None else index + 1
 
     def step_used(self) -> list[int]:
@@ -158,10 +187,10 @@ class NonPredictiveCollector(Collector):
         return frozenset(self.steps)
 
     def protected_spaces(self) -> set[Space]:
-        return set(self.steps[: self.j])
+        return set(self._protected_list)
 
     def collectable_spaces(self) -> set[Space]:
-        return set(self.steps[self.j :])
+        return set(self._collectable_list)
 
     # ------------------------------------------------------------------
     # Tuning
@@ -214,14 +243,31 @@ class NonPredictiveCollector(Collector):
                 f"object of {size} words exceeds the step size "
                 f"{self.step_words}"
             )
-        space = self._allocation_step(size)
+        # Hot path: the stop-and-copy bump cursor from _allocation_step,
+        # inlined with Space.fits expanded (steps always have a
+        # capacity).  The mark-sweep by-number search stays out of line.
+        space = None
+        if self.algorithm == "mark-sweep":
+            space = self._allocation_step(size)
+        else:
+            steps = self.steps
+            alloc_index = self._alloc_index
+            while alloc_index >= 0:
+                candidate = steps[alloc_index]
+                if candidate.used + size <= candidate.capacity:
+                    space = candidate
+                    break
+                alloc_index -= 1
+            self._alloc_index = alloc_index
         if space is None:
             self.collect()
             space = self._allocation_step(size)
             if space is None:
                 raise HeapExhausted(self, size)
         obj = self.heap.allocate(size, field_count, space, kind)
-        self._record_allocation(obj)
+        stats = self.stats
+        stats.words_allocated += size
+        stats.objects_allocated += 1
         return obj
 
     def _allocation_step(self, size: int) -> Space | None:
@@ -261,11 +307,17 @@ class NonPredictiveCollector(Collector):
         """
         if not self.use_remset:
             return
-        src = self.step_number(obj)
-        dst = self.step_number(target)
+        index_of = self._step_index_of
+        src_space = obj.space
+        dst_space = target.space
+        if src_space is None or dst_space is None:
+            return
+        src = index_of.get(src_space)
+        dst = index_of.get(dst_space)
         if src is None or dst is None:
             return
-        if src <= self.j < dst:
+        # 0-based equivalent of "src <= j < dst" on 1-based step numbers.
+        if src < self.j <= dst:
             self.remset.record_barrier(obj.obj_id, slot)
             self.stats.remset_entries_created += 1
 
@@ -280,8 +332,8 @@ class NonPredictiveCollector(Collector):
         k = self.step_count
         if j >= k:
             raise RuntimeError("tuning parameter j leaves nothing to collect")
-        protected = self.steps[:j]
-        collectable = self.steps[j:]
+        protected = self._protected_list
+        collectable = self._collectable_list
         region = set(collectable)
         used_before = sum(space.used for space in region)
 
@@ -335,18 +387,23 @@ class NonPredictiveCollector(Collector):
     ) -> tuple[int, int]:
         """Stop-and-copy survivor phase: detach, renumber, repack."""
         heap = self.heap
+        objects = heap._objects
         k = self.step_count
         j = len(protected)
         survivors: list[HeapObject] = []
         reclaimed = 0
         for space in collectable:
-            for obj in list(space.objects()):
+            space_objects = space._objects
+            for obj in space_objects.values():
                 if obj.obj_id in marked:
-                    space.remove(obj)
+                    obj.space = None
                     survivors.append(obj)
                 else:
                     reclaimed += obj.size
-                    heap.free(obj)
+                    del objects[obj.obj_id]
+                    obj.space = None
+            space_objects.clear()
+            space.used = 0
 
         # Renumber: old steps j+1..k become 1..k-j; old 1..j become
         # k-j+1..k (they are exchanged, not collected — Table 1's "*").
@@ -354,31 +411,40 @@ class NonPredictiveCollector(Collector):
 
         # Pack survivors into the highest-numbered renumbered steps
         # with free space (they all fit: survivors occupy at most the
-        # collectable capacity they came from).
+        # collectable capacity they came from).  Steps are always
+        # bounded, so the inlined placement checks capacity directly.
         live = 0
+        steps = self.steps
         target_index = k - j - 1
         for obj in survivors:
-            while target_index >= 0 and not self.steps[target_index].fits(
-                obj.size
-            ):
+            size = obj.size
+            while target_index >= 0:
+                space = steps[target_index]
+                if space.used + size <= space.capacity:
+                    break
                 target_index -= 1
             if target_index >= 0:
-                self.steps[target_index].add(obj)
+                space._objects[obj.obj_id] = obj
+                space.used += size
+                obj.space = space
             else:
                 # Bump-pointer slivers can strand a large survivor even
                 # though total capacity suffices; fall back to first
                 # fit over the renumbered steps.
                 for index in range(k - j - 1, -1, -1):
-                    if self.steps[index].fits(obj.size):
-                        self.steps[index].add(obj)
+                    space = steps[index]
+                    if space.used + size <= space.capacity:
+                        space._objects[obj.obj_id] = obj
+                        space.used += size
+                        obj.space = space
                         break
                 else:
                     raise RuntimeError(
                         "survivors overflow the renumbered steps; "
                         "step accounting is corrupt"
                     )
-            live += obj.size
-            self.stats.words_copied += obj.size
+            live += size
+        self.stats.words_copied += live
         return live, reclaimed
 
     def _sweep_in_place(
@@ -396,17 +462,27 @@ class NonPredictiveCollector(Collector):
         steps (charged as copying).
         """
         heap = self.heap
+        objects = heap._objects
         live = 0
         reclaimed = 0
         for space in collectable:
             self.stats.words_swept += space.used
-            for obj in list(space.objects()):
-                if obj.obj_id in marked:
-                    live += obj.size
-                    self.stats.words_marked += obj.size
-                else:
-                    reclaimed += obj.size
-                    heap.free(obj)
+            space_objects = space._objects
+            dead = [
+                obj
+                for obj in space_objects.values()
+                if obj.obj_id not in marked
+            ]
+            dead_words = 0
+            for obj in dead:
+                dead_words += obj.size
+                del objects[obj.obj_id]
+                del space_objects[obj.obj_id]
+                obj.space = None
+            space.used -= dead_words
+            reclaimed += dead_words
+            live += space.used
+            self.stats.words_marked += space.used
 
         self._renumber(collectable + protected)
 
@@ -465,8 +541,9 @@ class NonPredictiveCollector(Collector):
     def _renumber(self, new_order: list[Space]) -> None:
         self.steps = new_order
         self._step_index_of = {
-            space.name: index for index, space in enumerate(self.steps)
+            space: index for index, space in enumerate(new_order)
         }
+        self._refresh_partition()
 
     def _highest_free_index(self) -> int:
         for index in range(self.step_count - 1, -1, -1):
@@ -483,20 +560,20 @@ class NonPredictiveCollector(Collector):
         skipped.
         """
         seeds: list[int] = []
-        protected = self.protected_spaces()
+        objects = self.heap._objects
+        protected = self._protected_set
         for obj_id, slot in list(self.remset.entries()):
             self.stats.roots_traced += 1
-            if not self.heap.contains_id(obj_id):
-                continue
-            obj = self.heap.get(obj_id)
-            if obj.space not in protected:
+            obj = objects.get(obj_id)
+            if obj is None or obj.space not in protected:
                 continue
             if slot >= len(obj.fields):
                 continue
             ref = obj.fields[slot]
-            if type(ref) is not int or not self.heap.contains_id(ref):
+            if type(ref) is not int:
                 continue
-            if self.heap.get(ref).space in region:
+            target = objects.get(ref)
+            if target is not None and target.space in region:
                 seeds.append(ref)
         return seeds
 
@@ -521,7 +598,7 @@ class NonPredictiveCollector(Collector):
         """Raise AssertionError if the step structure is inconsistent."""
         assert len(self.steps) == len(self._step_index_of)
         for index, space in enumerate(self.steps):
-            assert self._step_index_of[space.name] == index
+            assert self._step_index_of[space] == index
             assert space.capacity == self.step_words
             assert 0 <= space.used <= self.step_words
         assert 0 <= self.j <= self.step_count // 2

@@ -33,6 +33,8 @@ class WriteBarrier:
         pointer_stores: stores where the new value is a reference.
     """
 
+    __slots__ = ("_hook", "stores", "pointer_stores")
+
     def __init__(self, hook: RememberStoreHook | None = None) -> None:
         self._hook = hook
         self.stores = 0

@@ -32,14 +32,31 @@ class SimulatedHeap:
         clock: total words allocated so far — the reproduction's time
             axis.  Never decreases.
         objects_allocated: count of allocation events.
+        checked: when true, :meth:`write_slot` probes every stored
+            reference against the object table and rejects dangling
+            ids.  Off by default: the probe costs a dict lookup on
+            *every* pointer store, and a correct mutator never stores a
+            dangling id.  Checked mode (``repro-gc verify``, the heap
+            auditor) turns it on; ``check_integrity`` catches dangling
+            slots after the fact either way.
     """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "_objects",
+        "_spaces",
+        "_next_id",
+        "clock",
+        "objects_allocated",
+        "checked",
+    )
+
+    def __init__(self, *, checked: bool = False) -> None:
         self._objects: dict[int, HeapObject] = {}
         self._spaces: dict[str, Space] = {}
         self._next_id = 0
         self.clock = 0
         self.objects_allocated = 0
+        self.checked = checked
 
     # ------------------------------------------------------------------
     # Spaces
@@ -107,12 +124,16 @@ class SimulatedHeap:
                 advanced in that case, so a collector may retry after
                 collecting.
         """
-        if not space.fits(size):
+        capacity = space.capacity
+        if capacity is not None and space.used + size > capacity:
             raise SpaceFull(space, size)
-        obj = HeapObject(self._next_id, size, field_count, self.clock, kind)
-        self._next_id += 1
-        self._objects[obj.obj_id] = obj
-        space.add(obj)
+        obj_id = self._next_id
+        obj = HeapObject(obj_id, size, field_count, self.clock, kind)
+        self._next_id = obj_id + 1
+        self._objects[obj_id] = obj
+        space._objects[obj_id] = obj
+        space.used += size
+        obj.space = space
         if advance_clock:
             self.clock += size
             self.objects_allocated += 1
@@ -122,20 +143,30 @@ class SimulatedHeap:
         """Remove a dead object from the heap entirely."""
         if self._objects.pop(obj.obj_id, None) is None:
             raise HeapError(f"object {obj.obj_id} is not in the heap")
-        if obj.space is not None:
-            obj.space.remove(obj)
+        space = obj.space
+        if space is not None:
+            del space._objects[obj.obj_id]
+            space.used -= obj.size
+            obj.space = None
 
     def move(self, obj: HeapObject, to_space: Space) -> None:
         """Move an object between spaces (the simulator's "copy")."""
-        if obj.obj_id not in self._objects:
-            raise HeapError(f"object {obj.obj_id} is not in the heap")
-        if obj.space is to_space:
+        obj_id = obj.obj_id
+        if obj_id not in self._objects:
+            raise HeapError(f"object {obj_id} is not in the heap")
+        from_space = obj.space
+        if from_space is to_space:
             return
-        if not to_space.fits(obj.size):
-            raise SpaceFull(to_space, obj.size)
-        if obj.space is not None:
-            obj.space.remove(obj)
-        to_space.add(obj)
+        size = obj.size
+        capacity = to_space.capacity
+        if capacity is not None and to_space.used + size > capacity:
+            raise SpaceFull(to_space, size)
+        if from_space is not None:
+            del from_space._objects[obj_id]
+            from_space.used -= size
+        to_space._objects[obj_id] = obj
+        to_space.used += size
+        obj.space = to_space
 
     def get(self, obj_id: int) -> HeapObject:
         """Resolve an object id; dangling ids are a structural error."""
@@ -204,13 +235,23 @@ class SimulatedHeap:
         self.write_slot(obj, slot, None if target is None else target.obj_id)
 
     def write_slot(self, obj: HeapObject, slot: int, value: object) -> None:
-        """Write a slot's raw value: an id, None, or an immediate."""
+        """Write a slot's raw value: an id, None, or an immediate.
+
+        In :attr:`checked` mode, a stored reference is probed against
+        the object table so dangling stores fail at the store site;
+        otherwise they surface later via :meth:`check_integrity` or a
+        dangling :meth:`get`.
+        """
         if slot < 0 or slot >= len(obj.fields):
             raise HeapError(
                 f"object {obj.obj_id} has no slot {slot} "
                 f"(it has {len(obj.fields)})"
             )
-        if type(value) is int and value not in self._objects:
+        if (
+            self.checked
+            and type(value) is int
+            and value not in self._objects
+        ):
             raise HeapError(f"cannot store dangling object id {value}")
         obj.fields[slot] = value
 
@@ -236,20 +277,28 @@ class SimulatedHeap:
         Returns:
             The set of reached object ids.
         """
+        objects = self._objects
         reached: set[int] = set()
+        add = reached.add
         stack: list[int] = []
+        push = stack.append
+        pop = stack.pop
         for obj_id in root_ids:
             if obj_id not in reached:
-                reached.add(obj_id)
-                stack.append(obj_id)
+                add(obj_id)
+                push(obj_id)
         while stack:
-            obj = self.get(stack.pop())
+            obj_id = pop()
+            try:
+                obj = objects[obj_id]
+            except KeyError:
+                raise HeapError(f"dangling object id {obj_id}") from None
             if visit is not None:
                 visit(obj)
             for ref in obj.fields:
                 if type(ref) is int and ref not in reached:
-                    reached.add(ref)
-                    stack.append(ref)
+                    add(ref)
+                    push(ref)
         return reached
 
     def check_integrity(self) -> None:

@@ -32,6 +32,15 @@ SlotRef = tuple[int, int]
 class RememberedSet:
     """Slot-precise remembered set with barrier/promotion separation."""
 
+    __slots__ = (
+        "name",
+        "_barrier_entries",
+        "_promotion_entries",
+        "barrier_records",
+        "promotion_records",
+        "peak_size",
+    )
+
     def __init__(self, name: str = "remset") -> None:
         self.name = name
         self._barrier_entries: set[SlotRef] = set()

@@ -68,6 +68,8 @@ class RootSet:
     real runtime's register/stack map.
     """
 
+    __slots__ = ("_globals", "_stack", "_providers")
+
     def __init__(self) -> None:
         self._globals: dict[str, int | None] = {}
         self._stack: list[Frame] = []

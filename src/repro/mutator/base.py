@@ -95,31 +95,52 @@ class LifetimeDrivenMutator:
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Release due objects, then allocate one object."""
-        clock = self.collector.heap.clock
-        self._release_due(clock)
-        obj = self.collector.allocate(self.object_words)
-        slot = self._hold(obj.obj_id)
+        """Release due objects, then allocate one object.
+
+        This is the inner loop of every synthetic experiment, so
+        :meth:`_release_due` and :meth:`_hold` are inlined with direct
+        access to the frame's slot list.
+        """
+        collector = self.collector
+        clock = collector.heap.clock
+        deaths = self._deaths
+        slots = self._frame._slots
+        free_slots = self._free_slots
+        while deaths and deaths[0][0] <= clock:
+            _, slot = heapq.heappop(deaths)
+            slots[slot] = None
+            free_slots.append(slot)
+        words = self.object_words
+        obj = collector.allocate(words)
+        if free_slots:
+            slot = free_slots.pop()
+            slots[slot] = obj.obj_id
+        else:
+            slots.append(obj.obj_id)
+            slot = len(slots) - 1
         lifetime = self.schedule.lifetime_for(clock, self._allocated)
         if lifetime <= 0:
             raise ValueError(
                 f"schedule produced non-positive lifetime {lifetime!r}"
             )
-        heapq.heappush(self._deaths, (clock + self.object_words + lifetime, slot))
+        heapq.heappush(deaths, (clock + words + lifetime, slot))
         self._allocated += 1
         if self.on_step is not None:
-            self.on_step(self.collector.heap.clock)
+            self.on_step(collector.heap.clock)
 
     def run(self, words: int) -> None:
         """Allocate at least ``words`` words of objects."""
-        target = self.collector.heap.clock + words
-        while self.collector.heap.clock < target:
-            self.step()
+        heap = self.collector.heap
+        target = heap.clock + words
+        step = self.step
+        while heap.clock < target:
+            step()
 
     def run_objects(self, count: int) -> None:
         """Allocate exactly ``count`` objects."""
+        step = self.step
         for _ in range(count):
-            self.step()
+            step()
 
     def release_due(self) -> None:
         """Release objects whose death time has arrived (public form).

@@ -12,6 +12,7 @@ its worked example.
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.core.decay import RadioactiveDecayModel
@@ -29,6 +30,11 @@ class DecaySchedule:
         self.model = RadioactiveDecayModel(half_life)
         self.seed = seed
         self._rng = random.Random(seed)
+        # log of the survival ratio, hoisted out of the per-object
+        # sampling loop.  The division below matches
+        # RadioactiveDecayModel.sample_discrete_lifetime exactly, so the
+        # lifetime stream is bit-identical to the uncached form.
+        self._log_r = math.log(self.model.survival_ratio)
 
     def reseed(self, seed: int) -> None:
         """Restart the lifetime stream deterministically from ``seed``."""
@@ -36,7 +42,11 @@ class DecaySchedule:
         self._rng = random.Random(seed)
 
     def lifetime_for(self, clock: int, index: int) -> int:
-        return self.model.sample_discrete_lifetime(self._rng)
+        # Inlined RadioactiveDecayModel.sample_discrete_lifetime with
+        # the cached log term (see __init__).
+        u = self._rng.random()
+        lifetime = int(math.ceil(math.log(1.0 - u) / self._log_r))
+        return 1 if lifetime < 1 else lifetime
 
 
 class HalvingSchedule:

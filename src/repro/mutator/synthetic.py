@@ -84,6 +84,9 @@ class WeibullSchedule:
         self.shape = shape
         self.seed = seed
         self._rng = random.Random(seed)
+        # Hoisted out of the per-object sampling loop; same value, same
+        # power operation, so the lifetime stream is unchanged.
+        self._inv_shape = 1.0 / shape
 
     def reseed(self, seed: int) -> None:
         """Restart the lifetime stream deterministically from ``seed``."""
@@ -92,7 +95,7 @@ class WeibullSchedule:
 
     def lifetime_for(self, clock: int, index: int) -> int:
         u = self._rng.random()
-        sample = self.scale * (-math.log(1.0 - u)) ** (1.0 / self.shape)
+        sample = self.scale * (-math.log(1.0 - u)) ** self._inv_shape
         return max(1, int(math.ceil(sample)))
 
 

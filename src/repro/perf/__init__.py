@@ -1,0 +1,49 @@
+"""Performance layer: parallel experiment engine, benchmarks, caching.
+
+The reproduction's artifacts are pure functions of the source tree:
+every experiment takes only registry defaults and derives all
+randomness from fixed seeds.  That makes the whole artifact pipeline
+embarrassingly parallel and aggressively cacheable, which this package
+exploits:
+
+* :mod:`repro.perf.parallel` — deterministic fan-out of independent
+  experiment/sweep tasks over a process pool, results merged back in
+  registry order;
+* :mod:`repro.perf.cache` — an on-disk artifact cache keyed by
+  (experiment name, parameters, source digest), so ``repro-gc all``
+  skips artifacts the current source tree has already produced;
+* :mod:`repro.perf.bench` — the ``repro-gc bench`` performance suite:
+  allocation throughput and full-collection latency per collector,
+  persisted to ``BENCH_perf.json`` as the repo's perf trajectory.
+"""
+
+from repro.perf.bench import (
+    BENCH_FILENAME,
+    CollectorBench,
+    build_report,
+    compare_to_baseline,
+    run_perf_suite,
+)
+from repro.perf.cache import ArtifactCache, source_digest
+from repro.perf.parallel import (
+    ExperimentRecord,
+    default_jobs,
+    derive_seed,
+    parallel_map,
+    run_experiment_records,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "BENCH_FILENAME",
+    "CollectorBench",
+    "ExperimentRecord",
+    "build_report",
+    "compare_to_baseline",
+    "default_jobs",
+    "derive_seed",
+    "parallel_map",
+    "run_experiment_records",
+    "run_perf_suite",
+    "source_digest",
+]

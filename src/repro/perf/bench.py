@@ -1,0 +1,299 @@
+"""The ``repro-gc bench`` performance suite and its persistent record.
+
+Two microbenchmarks per collector, both driven by the radioactive
+decay workload (half-life 2000 words, the experiments' canonical
+regime) on the stock :class:`~repro.experiments.harness.GcGeometry`:
+
+* **allocation throughput** — sustained words/second through
+  :meth:`Collector.allocate`, collections included, measured over a
+  long mutator run at equilibrium;
+* **full-collection latency** — wall-clock seconds per call to
+  :meth:`Collector.collect` against the equilibrium live graph.
+
+Results are persisted to ``BENCH_perf.json`` at the repo root — the
+perf trajectory the CI smoke job regresses against.  The file also
+carries the serial seed baseline (the pre-optimisation wall-clock of
+``repro-gc all`` on the reference container) and a log of recent
+``repro-gc all`` runs, so speedups are recorded next to the numbers
+they are measured against.
+
+Schema (``"schema": 1``)::
+
+    {
+      "schema": 1,
+      "quick": bool,            # quick mode shrinks the workloads ~8x
+      "collectors": {
+        "<kind>": {
+          "alloc_words": int,
+          "alloc_seconds": float,
+          "alloc_words_per_sec": float,
+          "collections_during_alloc": int,
+          "full_collect_rounds": int,
+          "full_collect_seconds_mean": float,
+          "full_collect_seconds_max": float
+        }, ...
+      },
+      "serial_baseline": {      # preserved across rewrites
+        "total_seconds": float, # seed-tree `repro-gc all`, serial
+        "per_experiment_seconds": {"<name>": float, ...},
+        "note": str
+      },
+      "all_runs": [             # appended by `repro-gc all`, newest last
+        {"jobs": int, "seconds": float, "experiments": int,
+         "cache_hits": int, "speedup_vs_serial_baseline": float}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.harness import GcGeometry, collector_factory
+from repro.heap.heap import SimulatedHeap
+from repro.heap.roots import RootSet
+from repro.mutator.base import LifetimeDrivenMutator
+from repro.mutator.decay_mutator import DecaySchedule
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BENCH_COLLECTORS",
+    "CollectorBench",
+    "bench_collector",
+    "build_report",
+    "compare_to_baseline",
+    "load_report",
+    "record_all_run",
+    "run_perf_suite",
+    "write_report",
+]
+
+BENCH_FILENAME = "BENCH_perf.json"
+SCHEMA_VERSION = 1
+
+BENCH_COLLECTORS: tuple[str, ...] = (
+    "mark-sweep",
+    "stop-and-copy",
+    "generational",
+    "non-predictive",
+    "hybrid",
+)
+
+#: Decay half-life of the bench workload, in allocation words.
+BENCH_HALF_LIFE = 2_000.0
+#: Full-size workload: enough allocation for hundreds of collections.
+BENCH_ALLOC_WORDS = 400_000
+BENCH_COLLECT_ROUNDS = 20
+#: Quick mode (CI smoke): ~8x smaller, still past equilibrium.
+QUICK_ALLOC_WORDS = 50_000
+QUICK_COLLECT_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class CollectorBench:
+    """One collector's measurements for one suite run."""
+
+    collector: str
+    alloc_words: int
+    alloc_seconds: float
+    alloc_words_per_sec: float
+    collections_during_alloc: int
+    full_collect_rounds: int
+    full_collect_seconds_mean: float
+    full_collect_seconds_max: float
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "alloc_words": self.alloc_words,
+            "alloc_seconds": round(self.alloc_seconds, 6),
+            "alloc_words_per_sec": round(self.alloc_words_per_sec, 1),
+            "collections_during_alloc": self.collections_during_alloc,
+            "full_collect_rounds": self.full_collect_rounds,
+            "full_collect_seconds_mean": round(
+                self.full_collect_seconds_mean, 6
+            ),
+            "full_collect_seconds_max": round(
+                self.full_collect_seconds_max, 6
+            ),
+        }
+
+
+def bench_collector(
+    kind: str,
+    *,
+    alloc_words: int = BENCH_ALLOC_WORDS,
+    collect_rounds: int = BENCH_COLLECT_ROUNDS,
+    half_life: float = BENCH_HALF_LIFE,
+    seed: int = 0,
+    geometry: GcGeometry | None = None,
+) -> CollectorBench:
+    """Measure one collector.
+
+    Throughput is measured over the whole mutator run, collections
+    included — it is the sustained allocation rate a client of this
+    collector observes, not the pause-free peak.
+    """
+    heap = SimulatedHeap()
+    roots = RootSet()
+    collector = collector_factory(kind, geometry)(heap, roots)
+    mutator = LifetimeDrivenMutator(
+        collector, roots, DecaySchedule(half_life, seed=seed)
+    )
+    start = time.perf_counter()
+    mutator.run(alloc_words)
+    alloc_seconds = time.perf_counter() - start
+    collections_during_alloc = collector.stats.collections
+
+    timings: list[float] = []
+    for _ in range(collect_rounds):
+        start = time.perf_counter()
+        collector.collect()
+        timings.append(time.perf_counter() - start)
+    mutator.release_all()
+
+    return CollectorBench(
+        collector=kind,
+        alloc_words=alloc_words,
+        alloc_seconds=alloc_seconds,
+        alloc_words_per_sec=(
+            alloc_words / alloc_seconds if alloc_seconds > 0 else 0.0
+        ),
+        collections_during_alloc=collections_during_alloc,
+        full_collect_rounds=collect_rounds,
+        full_collect_seconds_mean=(
+            sum(timings) / len(timings) if timings else 0.0
+        ),
+        full_collect_seconds_max=max(timings, default=0.0),
+    )
+
+
+def run_perf_suite(
+    kinds: Sequence[str] = BENCH_COLLECTORS,
+    *,
+    quick: bool = False,
+    seed: int = 0,
+) -> list[CollectorBench]:
+    """Bench every collector kind; always serial (timing fidelity)."""
+    alloc_words = QUICK_ALLOC_WORDS if quick else BENCH_ALLOC_WORDS
+    rounds = QUICK_COLLECT_ROUNDS if quick else BENCH_COLLECT_ROUNDS
+    return [
+        bench_collector(
+            kind,
+            alloc_words=alloc_words,
+            collect_rounds=rounds,
+            seed=seed,
+        )
+        for kind in kinds
+    ]
+
+
+# ----------------------------------------------------------------------
+# The persistent BENCH_perf.json record
+# ----------------------------------------------------------------------
+
+
+def load_report(path: Path | str) -> dict[str, Any] | None:
+    try:
+        with Path(path).open(encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return report if isinstance(report, dict) else None
+
+
+def build_report(
+    results: Sequence[CollectorBench],
+    *,
+    quick: bool,
+    previous: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """A fresh report, carrying forward the baseline and run log."""
+    report: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "collectors": {
+            bench.collector: bench.to_jsonable() for bench in results
+        },
+    }
+    if previous:
+        for key in ("serial_baseline", "all_runs"):
+            if key in previous:
+                report[key] = previous[key]
+    return report
+
+
+def write_report(path: Path | str, report: Mapping[str, Any]) -> None:
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def record_all_run(
+    path: Path | str,
+    *,
+    jobs: int,
+    seconds: float,
+    experiments: int,
+    cache_hits: int,
+    keep: int = 20,
+) -> dict[str, Any]:
+    """Append one ``repro-gc all`` wall-clock entry to the run log.
+
+    The speedup is computed against ``serial_baseline.total_seconds``
+    when the report carries one.  Creates the file if absent.
+    """
+    report = load_report(path) or {"schema": SCHEMA_VERSION}
+    entry: dict[str, Any] = {
+        "jobs": jobs,
+        "seconds": round(seconds, 2),
+        "experiments": experiments,
+        "cache_hits": cache_hits,
+    }
+    baseline = report.get("serial_baseline", {})
+    total = baseline.get("total_seconds")
+    if isinstance(total, (int, float)) and seconds > 0:
+        entry["speedup_vs_serial_baseline"] = round(total / seconds, 2)
+    runs = report.setdefault("all_runs", [])
+    runs.append(entry)
+    del runs[:-keep]
+    write_report(path, report)
+    return entry
+
+
+def compare_to_baseline(
+    report: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    tolerance: float = 0.30,
+) -> list[str]:
+    """Throughput regressions beyond ``tolerance``, as messages.
+
+    Only slowdowns fail: a collector regresses when its current
+    ``alloc_words_per_sec`` drops below ``(1 - tolerance)`` of the
+    baseline's.  Collectors absent from either side are skipped, so a
+    fresh collector can land before its first baseline capture.
+    """
+    regressions: list[str] = []
+    current = report.get("collectors", {})
+    reference = baseline.get("collectors", {})
+    for kind, old in sorted(reference.items()):
+        new = current.get(kind)
+        if not isinstance(new, Mapping) or not isinstance(old, Mapping):
+            continue
+        old_rate = old.get("alloc_words_per_sec")
+        new_rate = new.get("alloc_words_per_sec")
+        if not old_rate or new_rate is None:
+            continue
+        floor = (1.0 - tolerance) * float(old_rate)
+        if float(new_rate) < floor:
+            regressions.append(
+                f"{kind}: {float(new_rate):,.0f} words/sec is below "
+                f"{floor:,.0f} ({100 * tolerance:.0f}% under the "
+                f"baseline {float(old_rate):,.0f})"
+            )
+    return regressions

@@ -1,0 +1,156 @@
+"""On-disk artifact cache keyed by the source tree's digest.
+
+Every experiment is a pure function of (its name, its parameters, the
+``repro`` package's source), so an artifact produced once is valid
+until the source changes.  The cache stores one JSON file per entry
+under ``.repro_cache/`` and bakes a key of
+
+    sha256(name, canonical-JSON(params), source digest)
+
+into both the filename and the entry body.  Any edit to any ``.py``
+file under ``src/repro/`` changes the digest, which changes every key,
+which makes every old entry unreachable — invalidation is automatic
+and conservative (there is no per-module dependency tracking; touching
+a docstring invalidates everything).
+
+Stale files from earlier digests are left on disk until
+:meth:`ArtifactCache.clear` removes them; they are small and harmless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["ArtifactCache", "CACHE_DIR_NAME", "source_digest"]
+
+#: Directory created next to wherever ``repro-gc all`` runs.
+CACHE_DIR_NAME = ".repro_cache"
+
+#: The default parameter marker: experiments run from the registry take
+#: only their defaults, so their parameter dict is empty.
+_DEFAULT_PARAMS: Mapping[str, Any] = {}
+
+
+def source_digest(package_root: Path | None = None) -> str:
+    """sha256 over every ``.py`` file of the ``repro`` package.
+
+    Files are folded in sorted relative-path order with NUL separators,
+    so renames, additions, deletions and edits all change the digest.
+    """
+    root = (
+        package_root
+        if package_root is not None
+        else Path(__file__).resolve().parents[1]
+    )
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """A content-addressed store of experiment artifacts.
+
+    Args:
+        directory: where entry files live; created lazily on first
+            :meth:`put`.
+        digest: the source digest to key under; computed from the
+            installed package when omitted (tests inject fixed digests
+            to exercise invalidation without editing files).
+    """
+
+    def __init__(
+        self, directory: Path | str, *, digest: str | None = None
+    ) -> None:
+        self.directory = Path(directory)
+        self.digest = digest if digest is not None else source_digest()
+
+    @classmethod
+    def default(cls) -> "ArtifactCache":
+        """The CLI's cache: ``.repro_cache/`` under the current directory."""
+        return cls(Path.cwd() / CACHE_DIR_NAME)
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+
+    def key(
+        self, name: str, params: Mapping[str, Any] | None = None
+    ) -> str:
+        blob = json.dumps(
+            {
+                "name": name,
+                "params": dict(params if params is not None else _DEFAULT_PARAMS),
+                "source": self.digest,
+            },
+            sort_keys=True,
+            default=str,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def entry_path(
+        self, name: str, params: Mapping[str, Any] | None = None
+    ) -> Path:
+        return self.directory / f"{name}-{self.key(name, params)[:16]}.json"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(
+        self, name: str, params: Mapping[str, Any] | None = None
+    ) -> Any | None:
+        """The cached value, or None on miss/corruption/stale digest."""
+        path = self.entry_path(name, params)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("key") != self.key(name, params):
+            return None  # truncated-key filename collision
+        return entry.get("value")
+
+    def put(
+        self,
+        name: str,
+        value: Any,
+        params: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Store a JSON-able value; atomic via write-then-rename."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.entry_path(name, params)
+        entry = {
+            "name": name,
+            "params": dict(params if params is not None else _DEFAULT_PARAMS),
+            "key": self.key(name, params),
+            "source": self.digest,
+            "created": time.time(),
+            "value": value,
+        }
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_text(
+            json.dumps(entry, sort_keys=True), encoding="utf-8"
+        )
+        scratch.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry file; returns how many were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,178 @@
+"""Deterministic parallel fan-out for experiments and sweeps.
+
+Every artifact in the registry is a pure function of the source tree:
+fixed seeds, no shared state, no wall-clock dependence.  Independent
+tasks can therefore run in worker processes and be merged back in
+registry order without changing a single output byte.  Three rules
+keep that guarantee:
+
+* **tasks are named, not numbered** — results are reassembled by task
+  identity (experiment name, seed), never by completion order;
+* **seeds are derived, not drawn** — a sweep's per-task seeds come
+  from :func:`derive_seed`, a pure hash of (base seed, index), so the
+  stream a task sees is independent of how many workers ran it;
+* **``jobs=1`` bypasses the pool entirely** — the serial path is the
+  reference semantics, and everything else must equal it.
+
+Workers are spawned by :class:`concurrent.futures.ProcessPoolExecutor`
+with the default start method; task callables must be module-level
+(picklable) functions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf.cache import ArtifactCache
+
+__all__ = [
+    "ExperimentRecord",
+    "default_jobs",
+    "derive_seed",
+    "parallel_map",
+    "run_experiment_records",
+]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def default_jobs() -> int:
+    """Worker count when the user does not pass ``--jobs``.
+
+    Honours the ``REPRO_JOBS`` environment variable; otherwise 1, so
+    library callers and tests stay serial (and deterministic profiling
+    stays trivial) unless parallelism is requested explicitly.
+    """
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return 1
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A 63-bit per-task seed, a pure function of (base seed, index).
+
+    Tasks must not share one RNG stream (the partitioning would depend
+    on worker scheduling), and ``base_seed + index`` collides across
+    sweeps.  Hashing keeps every task's stream fixed and distinct no
+    matter where or in what order it runs.
+    """
+    blob = f"{base_seed}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
+
+
+def parallel_map(
+    func: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    *,
+    jobs: int = 1,
+) -> list[_ResultT]:
+    """Map ``func`` over ``items``; results always in input order.
+
+    With ``jobs <= 1`` (or fewer than two items) this is a plain loop
+    in the current process — no pool, no pickling, byte-identical to
+    the pre-parallel code path.  Otherwise ``func`` must be a
+    module-level function and items/results must pickle.
+    """
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [func(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(func, work))
+
+
+# ----------------------------------------------------------------------
+# The experiment fan-out used by ``repro-gc all --jobs N``
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One experiment's artifact plus how it was produced.
+
+    ``payload`` is the JSON-able form of the experiment result (what
+    ``repro-gc all --output`` writes), not the live result object:
+    worker processes and the artifact cache both require a stable
+    serialized form.
+    """
+
+    name: str
+    text: str
+    payload: Any
+    seconds: float
+    cached: bool
+
+
+def _experiment_task(name: str) -> tuple[str, str, Any, float]:
+    # Imported lazily: this runs inside worker processes, and importing
+    # the runner at module scope would cycle (runner -> perf -> runner).
+    import sys
+
+    from repro.experiments.export import to_jsonable
+    from repro.experiments.runner import run_experiment
+
+    # The boyer-family experiments recurse deeply through the Scheme
+    # runtime; fresh worker processes start at the CPython default.
+    if sys.getrecursionlimit() < 200_000:
+        sys.setrecursionlimit(200_000)
+    start = time.perf_counter()
+    result, text = run_experiment(name)
+    seconds = time.perf_counter() - start
+    return name, text, to_jsonable(result), seconds
+
+
+def run_experiment_records(
+    names: Sequence[str],
+    *,
+    jobs: int = 1,
+    cache: "ArtifactCache | None" = None,
+) -> list[ExperimentRecord]:
+    """Regenerate the named artifacts, fanning cache misses out to
+    ``jobs`` workers; records come back in the order of ``names``.
+
+    When a cache is supplied, hits are served without running anything
+    and misses are stored after running, keyed by (name, default
+    parameters, source digest) — see :mod:`repro.perf.cache`.
+    """
+    records: dict[str, ExperimentRecord] = {}
+    missing: list[str] = []
+    for name in names:
+        entry = cache.get(name) if cache is not None else None
+        if entry is not None:
+            records[name] = ExperimentRecord(
+                name=name,
+                text=entry["text"],
+                payload=entry["payload"],
+                seconds=entry.get("seconds", 0.0),
+                cached=True,
+            )
+        else:
+            missing.append(name)
+    for name, text, payload, seconds in parallel_map(
+        _experiment_task, missing, jobs=jobs
+    ):
+        records[name] = ExperimentRecord(
+            name=name,
+            text=text,
+            payload=payload,
+            seconds=seconds,
+            cached=False,
+        )
+        if cache is not None:
+            cache.put(
+                name,
+                {"text": text, "payload": payload, "seconds": seconds},
+            )
+    return [records[name] for name in names]

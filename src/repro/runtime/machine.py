@@ -115,7 +115,12 @@ class Machine:
     def _decode(self, slot_value: object) -> SchemeValue:
         """Slot value -> program value (ids become fresh handles)."""
         if type(slot_value) is int:
-            return Ref(self, self.heap.get(slot_value))
+            try:
+                return Ref(self, self.heap._objects[slot_value])
+            except KeyError:
+                raise HeapError(
+                    f"dangling object id {slot_value}"
+                ) from None
         return slot_value
 
     # ------------------------------------------------------------------
@@ -124,15 +129,25 @@ class Machine:
 
     def _store(self, obj: HeapObject, slot: int, value: SchemeValue) -> None:
         self.operations += 1
-        encoded = self._encode(value)
-        target = self.heap.get(encoded) if type(encoded) is int else None
-        if obj.space is self.static and target is not None:
-            if target.space is not self.static:
+        barrier = self.barrier
+        if isinstance(value, Ref):
+            # A live handle pins its object, so the handle's HeapObject
+            # *is* the store target — no id round-trip needed.
+            target = value.obj
+            if obj.space is self.static and target.space is not self.static:
                 raise HeapError(
                     "static objects may only reference static objects"
                 )
-        self.barrier.on_store(obj, slot, target)
-        self.heap.write_slot(obj, slot, encoded)
+            barrier.stores += 1
+            barrier.pointer_stores += 1
+            hook = barrier._hook
+            if hook is not None:
+                hook(obj, slot, target)
+            self.heap.write_slot(obj, slot, target.obj_id)
+        else:
+            encoded = self._encode(value)
+            barrier.stores += 1
+            self.heap.write_slot(obj, slot, encoded)
 
     def _require(self, value: SchemeValue, kind: str) -> HeapObject:
         if not isinstance(value, Ref) or value.obj.kind != kind:
@@ -151,12 +166,39 @@ class Machine:
         self._allocation_hooks.append(hook)
 
     def cons(self, car: SchemeValue, cdr: SchemeValue) -> Ref:
-        """Allocate a pair (2 words)."""
+        """Allocate a pair (2 words).
+
+        The two initializing stores are inlined from :meth:`_store`: a
+        fresh pair is never in the static area (so the static-reference
+        check cannot fire) and slots 0/1 exist by construction (so the
+        bounds and dangling checks cannot fire either).  Barrier counts
+        and the remember-store hook are identical to ``_store``.
+        """
         obj = self.collector.allocate(PAIR_WORDS, 2, "pair")
         ref = Ref(self, obj)
-        self._store(obj, 0, car)
-        self._store(obj, 1, cdr)
-        self._notify(obj)
+        fields = obj.fields
+        barrier = self.barrier
+        hook = barrier._hook
+        self.operations += 2
+        barrier.stores += 2
+        if isinstance(car, Ref):
+            target = car.obj
+            barrier.pointer_stores += 1
+            if hook is not None:
+                hook(obj, 0, target)
+            fields[0] = target.obj_id
+        else:
+            fields[0] = self._encode(car)
+        if isinstance(cdr, Ref):
+            target = cdr.obj
+            barrier.pointer_stores += 1
+            if hook is not None:
+                hook(obj, 1, target)
+            fields[1] = target.obj_id
+        else:
+            fields[1] = self._encode(cdr)
+        if self._allocation_hooks:
+            self._notify(obj)
         return ref
 
     def make_vector(self, length: int, fill: SchemeValue = None) -> Ref:
@@ -223,11 +265,27 @@ class Machine:
 
     def car(self, pair: SchemeValue) -> SchemeValue:
         self.operations += 1
-        return self._decode(self._require(pair, "pair").fields[0])
+        if not isinstance(pair, Ref) or pair.obj.kind != "pair":
+            raise TypeError(f"expected a pair, got {pair!r}")
+        value = pair.obj.fields[0]
+        if type(value) is int:
+            try:
+                return Ref(self, self.heap._objects[value])
+            except KeyError:
+                raise HeapError(f"dangling object id {value}") from None
+        return value
 
     def cdr(self, pair: SchemeValue) -> SchemeValue:
         self.operations += 1
-        return self._decode(self._require(pair, "pair").fields[1])
+        if not isinstance(pair, Ref) or pair.obj.kind != "pair":
+            raise TypeError(f"expected a pair, got {pair!r}")
+        value = pair.obj.fields[1]
+        if type(value) is int:
+            try:
+                return Ref(self, self.heap._objects[value])
+            except KeyError:
+                raise HeapError(f"dangling object id {value}") from None
+        return value
 
     def set_car(self, pair: SchemeValue, value: SchemeValue) -> None:
         self._store(self._require(pair, "pair"), 0, value)
@@ -249,7 +307,13 @@ class Machine:
             raise IndexError(
                 f"vector index {index} out of range 0..{len(obj.fields) - 1}"
             )
-        return self._decode(obj.fields[index])
+        value = obj.fields[index]
+        if type(value) is int:
+            try:
+                return Ref(self, self.heap._objects[value])
+            except KeyError:
+                raise HeapError(f"dangling object id {value}") from None
+        return value
 
     def vector_set(
         self, vector: SchemeValue, index: int, value: SchemeValue

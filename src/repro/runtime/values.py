@@ -126,11 +126,26 @@ class Ref:
     def __init__(self, machine: "Machine", obj: HeapObject) -> None:
         self.machine = machine
         self.obj = obj
-        machine._retain(obj.obj_id)
+        # Inlined Machine._retain: handles are created on every heap
+        # read, so the extra method call is measurable on pointer-heavy
+        # workloads (boyer spends most of its time here).
+        handles = machine._handles
+        obj_id = obj.obj_id
+        count = handles.get(obj_id)
+        handles[obj_id] = 1 if count is None else count + 1
 
     def __del__(self) -> None:  # pragma: no cover - exercised implicitly
         try:
-            self.machine._release(self.obj.obj_id)
+            # Inlined Machine._release (see __init__).
+            handles = self.machine._handles
+            obj_id = self.obj.obj_id
+            count = handles.get(obj_id)
+            if count is None:
+                return
+            if count <= 1:
+                del handles[obj_id]
+            else:
+                handles[obj_id] = count - 1
         except Exception:
             # Interpreter shutdown can tear the machine down first;
             # losing a release then is harmless.

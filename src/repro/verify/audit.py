@@ -137,12 +137,19 @@ def assert_heap_invariants(collector: Collector) -> None:
 
 
 def enable_checked_mode(collector: Collector) -> None:
-    """Audit after every completed collection (testing/debugging)."""
+    """Audit after every completed collection (testing/debugging).
+
+    Also arms the heap's per-store dangling-id probe
+    (:attr:`repro.heap.heap.SimulatedHeap.checked`), so bad stores fail
+    at the store site instead of at the next audit.
+    """
     collector.post_collection_hook = assert_heap_invariants
+    collector.heap.checked = True
 
 
 def disable_checked_mode(collector: Collector) -> None:
     collector.post_collection_hook = None
+    collector.heap.checked = False
 
 
 # ----------------------------------------------------------------------

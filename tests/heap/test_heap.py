@@ -116,13 +116,28 @@ class TestFields:
         with pytest.raises(HeapError):
             heap.read_field(a, 0)  # typed read rejects immediates
 
-    def test_dangling_store_rejected(self, heap):
+    def test_dangling_store_rejected_in_checked_mode(self, heap):
+        heap.checked = True
         space = heap.add_space("s", 10)
         a = heap.allocate(2, 2, space)
         b = heap.allocate(2, 0, space)
         heap.free(b)
         with pytest.raises(HeapError):
             heap.write_slot(a, 0, b.obj_id)
+
+    def test_dangling_store_allowed_unchecked(self, heap):
+        # The per-store probe is off by default (it costs a dict lookup
+        # on every pointer write); the dangling slot surfaces later via
+        # check_integrity instead of at the store site.
+        assert heap.checked is False
+        space = heap.add_space("s", 10)
+        a = heap.allocate(2, 2, space)
+        b = heap.allocate(2, 0, space)
+        heap.free(b)
+        heap.write_slot(a, 0, b.obj_id)
+        assert heap.read_slot(a, 0) == b.obj_id
+        with pytest.raises(HeapError):
+            heap.check_integrity()
 
     def test_bad_slot_rejected(self, heap):
         space = heap.add_space("s", 10)

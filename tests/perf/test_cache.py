@@ -1,0 +1,80 @@
+"""The artifact cache: keying, invalidation, corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.cache import ArtifactCache, source_digest
+
+
+def test_miss_then_hit(tmp_path) -> None:
+    cache = ArtifactCache(tmp_path, digest="d1")
+    assert cache.get("table1") is None
+    cache.put("table1", {"rows": [1, 2, 3]})
+    assert cache.get("table1") == {"rows": [1, 2, 3]}
+
+
+def test_params_distinguish_entries(tmp_path) -> None:
+    cache = ArtifactCache(tmp_path, digest="d1")
+    cache.put("sweep", "defaults")
+    cache.put("sweep", "tuned", params={"cycles": 50})
+    assert cache.get("sweep") == "defaults"
+    assert cache.get("sweep", params={"cycles": 50}) == "tuned"
+    assert cache.get("sweep", params={"cycles": 51}) is None
+
+
+def test_source_digest_change_invalidates(tmp_path) -> None:
+    old = ArtifactCache(tmp_path, digest="before-edit")
+    old.put("table1", "stale artifact")
+    new = ArtifactCache(tmp_path, digest="after-edit")
+    assert new.get("table1") is None
+    # The old entry is unreachable, not corrupted: the old digest
+    # still finds it.
+    assert old.get("table1") == "stale artifact"
+
+
+def test_corrupt_entry_is_a_miss(tmp_path) -> None:
+    cache = ArtifactCache(tmp_path, digest="d1")
+    path = cache.put("table1", "good")
+    path.write_text("{ not json", encoding="utf-8")
+    assert cache.get("table1") is None
+
+
+def test_entry_with_foreign_key_is_a_miss(tmp_path) -> None:
+    # A truncated-filename collision must not serve a wrong value: the
+    # full key inside the entry is checked on read.
+    cache = ArtifactCache(tmp_path, digest="d1")
+    path = cache.entry_path("table1")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"key": "somebody-else", "value": "wrong"}),
+        encoding="utf-8",
+    )
+    assert cache.get("table1") is None
+
+
+def test_clear_removes_entries(tmp_path) -> None:
+    cache = ArtifactCache(tmp_path, digest="d1")
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.clear() == 2
+    assert cache.get("a") is None
+
+
+def test_source_digest_tracks_file_content(tmp_path) -> None:
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    before = source_digest(root)
+    assert before == source_digest(root)
+    (root / "mod.py").write_text("x = 2\n", encoding="utf-8")
+    assert source_digest(root) != before
+    # Adding a file changes it too.
+    (root / "new.py").write_text("", encoding="utf-8")
+    edited = source_digest(root)
+    assert edited != before
+    (root / "new.py").unlink()
+
+
+def test_real_source_digest_is_stable() -> None:
+    assert source_digest() == source_digest()

@@ -1,0 +1,120 @@
+"""Golden-fingerprint regression tests for the optimised hot paths.
+
+PR 2 introduced the differential oracle; this suite freezes its
+observable behaviour.  The goldens under ``tests/verify/`` were
+captured on the *unoptimised* seed tree, so any optimisation that
+perturbs collector decisions, live graphs, or statistics — even by a
+single word of accounting — fails here against a byte-level
+fingerprint rather than a loose invariant.
+
+* ``golden_replays.json`` — five deterministic mutator scripts (seeds
+  0, 7, 13, 29, 42; 400 ops each) replayed under all five collectors.
+  The sha256 over the full checkpoint stream ``(op_index, clock,
+  live_words, graph)`` must be byte-identical, along with allocation
+  volume, collection counts and the final live graph's shape.
+* ``golden_bench_stats.json`` — three Scheme benchmarks (gcbench,
+  mperm, deriv) at scale 0 under all five collectors; words allocated,
+  peak live storage, GC work, mark/cons ratio and collection counts
+  must match exactly.
+
+Regenerating the goldens is only legitimate when the *intended*
+semantics change (new collector decision rule, new accounting); the
+capture commands are embedded in each golden's test below.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import collector_factory, run_benchmark_under
+from repro.programs.registry import get_benchmark
+from repro.verify.differential import DEFAULT_COLLECTORS, VERIFY_GEOMETRY
+from repro.verify.replay import generate_script, replay
+
+GOLDEN_DIR = Path(__file__).parent
+
+with (GOLDEN_DIR / "golden_replays.json").open() as handle:
+    GOLDEN_REPLAYS = json.load(handle)
+
+with (GOLDEN_DIR / "golden_bench_stats.json").open() as handle:
+    GOLDEN_BENCH = json.load(handle)
+
+
+def checkpoint_fingerprint(result) -> str:
+    """sha256 over the canonical checkpoint stream of one replay."""
+    blob = repr(
+        [
+            (c.op_index, c.clock, c.live_words, c.graph)
+            for c in result.checkpoints
+        ]
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN_REPLAYS, key=int))
+def test_replay_fingerprints_match_golden(seed: str) -> None:
+    """Optimised replay paths reproduce the seed tree byte-for-byte.
+
+    Golden capture: ``generate_script(ops, seed, max_live_words=...)``
+    replayed with ``collector_factory(kind, VERIFY_GEOMETRY)`` and
+    ``checked=True``, fingerprinted by :func:`checkpoint_fingerprint`.
+    """
+    entry = GOLDEN_REPLAYS[seed]
+    script = generate_script(
+        entry["ops"], int(seed), max_live_words=entry["max_live_words"]
+    )
+    for kind, expected in sorted(entry["results"].items()):
+        result = replay(
+            script,
+            collector_factory(kind, VERIFY_GEOMETRY),
+            checked=True,
+            name=kind,
+        )
+        actual = {
+            "graph_sha256": checkpoint_fingerprint(result),
+            "checkpoints": len(result.checkpoints),
+            "words_allocated": result.words_allocated,
+            "collections": result.collections,
+            "final_live_words": result.checkpoints[-1].live_words,
+            "final_objects": len(result.checkpoints[-1].graph),
+        }
+        assert actual == expected, (
+            f"seed {seed} under {kind} diverged from the golden replay"
+        )
+
+
+def test_replay_goldens_cover_all_collectors() -> None:
+    for seed, entry in GOLDEN_REPLAYS.items():
+        assert sorted(entry["results"]) == sorted(DEFAULT_COLLECTORS), (
+            f"golden for seed {seed} does not cover every collector"
+        )
+
+
+@pytest.mark.parametrize("bench", sorted(GOLDEN_BENCH))
+def test_benchmark_stats_match_golden(bench: str) -> None:
+    """Benchmark GC statistics are unchanged by the optimisations.
+
+    Golden capture: ``run_benchmark_under(benchmark, kind, scale=0)``
+    for gcbench, mperm and deriv under all five collectors.
+    """
+    # deriv and gcbench recurse deeply through the Scheme runtime.
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 200000))
+    benchmark = get_benchmark(bench)
+    for kind, expected in sorted(GOLDEN_BENCH[bench].items()):
+        outcome = run_benchmark_under(benchmark, kind, scale=0)
+        actual = {
+            "words_allocated": outcome.words_allocated,
+            "peak_live_words": outcome.peak_live_words,
+            "gc_work": outcome.gc_work,
+            "mark_cons": round(outcome.mark_cons, 10),
+            "collections": outcome.collections,
+            "minor_collections": outcome.minor_collections,
+        }
+        assert actual == expected, (
+            f"{bench} under {kind} diverged from the golden statistics"
+        )
