@@ -5,10 +5,21 @@ Subcommands:
 * ``list`` — show the available experiments and benchmarks;
 * ``experiment NAME`` — regenerate one paper artifact (table1,
   figure1, table3, ...) and print it;
-* ``all [--jobs N] [--no-cache]`` — regenerate every artifact in
-  order, fanning independent experiments across worker processes,
-  serving unchanged artifacts from the ``.repro_cache/`` artifact
-  cache, and printing a per-experiment wall-clock table;
+* ``all [--jobs N] [--no-cache] [--resume]`` — regenerate every
+  artifact in order, fanning independent experiments across worker
+  processes, serving unchanged artifacts from the ``.repro_cache/``
+  artifact cache, and printing a per-experiment wall-clock table.
+  Every completion is journalled to ``.repro_cache/journal.json``;
+  ``--resume`` picks a killed sweep up where it stopped.  Per-task
+  timeouts and retry budgets come from ``--task-timeout``/``--retries``
+  (or the ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES`` environment
+  knobs); a task that exhausts its retries is quarantined and reported
+  without sinking the rest of the sweep;
+* ``chaos`` — fault-injection harness: corrupt live collector state
+  mid-replay (dangling slots, dropped remset entries, stale forwards,
+  skipped roots, mis-renumbered steps) and require the verify layer to
+  detect every corruption, printing the fault x collector detection
+  matrix (``--output`` exports it as JSON);
 * ``bench`` — the performance suite: allocation throughput and
   full-collection latency per collector, persisted to
   ``BENCH_perf.json`` (``--quick`` for the CI smoke variant, which
@@ -83,8 +94,10 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
     from repro.experiments.runner import run_experiments
     from repro.perf.bench import BENCH_FILENAME, record_all_run
-    from repro.perf.cache import ArtifactCache
+    from repro.perf.cache import CACHE_DIR_NAME, ArtifactCache, source_digest
     from repro.perf.parallel import default_jobs
+    from repro.resilience.atomic import atomic_write_json, atomic_write_text
+    from repro.resilience.journal import JOURNAL_FILENAME, SweepJournal
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
@@ -105,26 +118,48 @@ def _cmd_all(args: argparse.Namespace) -> int:
     if output is not None:
         output.mkdir(parents=True, exist_ok=True)
     cache = None if args.no_cache else ArtifactCache.default()
+
+    names = [experiment.name for experiment in selected]
+    digest = cache.digest if cache is not None else source_digest()
+    journal_path = Path.cwd() / CACHE_DIR_NAME / JOURNAL_FILENAME
+    if args.resume:
+        journal = SweepJournal.resume(journal_path, names, digest)
+        if journal.completed:
+            print(
+                f"resuming: {len(journal.completed)}/{len(names)} "
+                f"experiments already journalled"
+            )
+    else:
+        journal = SweepJournal.fresh(journal_path, names, digest)
+
+    failures: list = []
     start = time.perf_counter()
     records = run_experiments(
-        [experiment.name for experiment in selected],
+        names,
         jobs=jobs,
         cache=cache,
+        timeout=args.task_timeout,
+        retries=args.retries,
+        journal=journal,
+        failures=failures,
     )
     wall_seconds = time.perf_counter() - start
     by_name = {record.name: record for record in records}
     for experiment in selected:
-        record = by_name[experiment.name]
+        record = by_name.get(experiment.name)
         print(f"=== {experiment.name}: {experiment.paper_artifact} ===")
+        if record is None:
+            print("(quarantined — see the failure report below)")
+            print()
+            continue
         print(record.text)
         print()
         if output is not None:
-            (output / f"{experiment.name}.txt").write_text(
-                record.text + "\n", encoding="utf-8"
+            atomic_write_text(
+                output / f"{experiment.name}.txt", record.text + "\n"
             )
-            (output / f"{experiment.name}.json").write_text(
-                json.dumps(record.payload, indent=2) + "\n",
-                encoding="utf-8",
+            atomic_write_json(
+                output / f"{experiment.name}.json", record.payload
             )
     if output is not None:
         print(f"artifacts written to {output}/")
@@ -139,6 +174,18 @@ def _cmd_all(args: argparse.Namespace) -> int:
         f"{'TOTAL (wall)':<16} {wall_seconds:>8.2f}  "
         f"jobs={jobs}, cache hits {cache_hits}/{len(records)}"
     )
+    if failures:
+        print()
+        print(f"[FAIL] {len(failures)} experiment(s) quarantined:")
+        for failure in failures:
+            print(f"  - {failure.summary()}")
+        print(
+            "the journal keeps their quarantine record; rerun with "
+            "--resume to retry just them"
+        )
+        return 1
+    # A fully successful sweep needs no resume point.
+    journal.discard()
     # The full regeneration's wall clock is part of the repo's perf
     # trajectory; partial runs (--only) would not be comparable.
     if len(selected) == len(EXPERIMENTS):
@@ -156,6 +203,42 @@ def _cmd_all(args: argparse.Namespace) -> int:
             else ""
         )
         print(f"recorded in {BENCH_FILENAME}{suffix}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.resilience.atomic import atomic_write_json
+    from repro.resilience.chaos import run_chaos_matrix
+
+    try:
+        matrix = run_chaos_matrix(
+            seed=args.seed,
+            op_count=args.ops,
+            collectors=tuple(args.collectors),
+            quick=args.quick,
+        )
+    except ValueError as exc:
+        print(f"repro-gc chaos: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(matrix.to_json(), indent=2))
+    else:
+        print(matrix.render())
+    if args.output:
+        path = Path(args.output)
+        atomic_write_json(path, matrix.to_json())
+        print(f"detection matrix written to {path}")
+    if not matrix.ok:
+        print()
+        for outcome in matrix.failures():
+            print(
+                f"[FAIL] {outcome.fault} x {outcome.collector}: "
+                f"{outcome.status} — {outcome.detail}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -408,7 +491,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore and do not update the artifact cache (.repro_cache/)",
     )
+    sub.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "serve experiments already journalled in "
+            ".repro_cache/journal.json by a killed or quarantine-"
+            "shortened sweep of the same task set and source"
+        ),
+    )
+    sub.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-experiment wall-clock budget in seconds when running "
+            "with --jobs > 1 (default: REPRO_TASK_TIMEOUT or none)"
+        ),
+    )
+    sub.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "extra attempts before a failing experiment is "
+            "quarantined (default: REPRO_TASK_RETRIES or 1)"
+        ),
+    )
     sub.set_defaults(func=_cmd_all)
+
+    sub = subparsers.add_parser(
+        "chaos",
+        help=(
+            "fault-injection harness: corrupt live collector state "
+            "mid-replay and require the verify layer to notice"
+        ),
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--ops", type=int, default=400, help="mutator script length"
+    )
+    sub.add_argument(
+        "--quick",
+        action="store_true",
+        help="short script (CI smoke mode)",
+    )
+    sub.add_argument(
+        "--collectors",
+        nargs="+",
+        choices=_COLLECTORS,
+        default=list(_COLLECTORS),
+        help="collectors to target",
+    )
+    sub.add_argument(
+        "--output",
+        default=None,
+        help="also write the detection matrix as JSON to this path",
+    )
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="print the matrix as JSON instead of the rendered table",
+    )
+    sub.set_defaults(func=_cmd_chaos)
 
     sub = subparsers.add_parser(
         "bench",

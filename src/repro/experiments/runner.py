@@ -188,7 +188,16 @@ def run_experiment(name: str) -> tuple[object, str]:
     )
 
 
-def run_experiments(names=None, *, jobs=1, cache=None):
+def run_experiments(
+    names=None,
+    *,
+    jobs=1,
+    cache=None,
+    timeout=None,
+    retries=None,
+    journal=None,
+    failures=None,
+):
     """Regenerate several artifacts, optionally in parallel and cached.
 
     A thin front door over
@@ -197,7 +206,10 @@ def run_experiments(names=None, *, jobs=1, cache=None):
     Defaults to the full registry in registry order; returns
     :class:`~repro.perf.parallel.ExperimentRecord` objects, which carry
     the rendered text and the JSON-able payload rather than live result
-    objects — see that module for why.
+    objects — see that module for why.  The resilience knobs
+    (``timeout``, ``retries``, ``journal``, ``failures``) pass through
+    to the hardened engine untouched; a quarantined experiment's name
+    is absent from the returned records and described in ``failures``.
     """
     from repro.perf.parallel import run_experiment_records
 
@@ -209,4 +221,12 @@ def run_experiments(names=None, *, jobs=1, cache=None):
             f"unknown experiments {sorted(unknown)}; "
             f"available: {experiment_names()}"
         )
-    return run_experiment_records(list(names), jobs=jobs, cache=cache)
+    return run_experiment_records(
+        list(names),
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        journal=journal,
+        failures=failures,
+    )

@@ -35,15 +35,39 @@ PostCollectionHook = Callable[["Collector"], None]
 
 
 class HeapExhausted(Exception):
-    """Collection freed too little memory to satisfy an allocation."""
+    """Collection freed too little memory to satisfy an allocation.
 
-    def __init__(self, collector: "Collector", requested: int) -> None:
+    Raised only after the collector has exhausted its degradation
+    policy (emergency full collection, then any bounded expansion it
+    allows), so catching it is a *final* verdict, not a retryable one.
+    The exception carries a per-space occupancy snapshot
+    (:meth:`repro.heap.heap.SimulatedHeap.occupancy`) captured at
+    raise time, so experiment logs show exactly which space wedged and
+    how full every other one was.
+    """
+
+    def __init__(
+        self,
+        collector: "Collector",
+        requested: int,
+        *,
+        phase: str = "allocate",
+    ) -> None:
+        snapshot = collector.heap.occupancy()
+        spaces = ", ".join(
+            f"{entry['name']}={entry['used']}/{entry['capacity']}"
+            for entry in snapshot["spaces"]
+        )
         super().__init__(
-            f"{collector.name} cannot satisfy an allocation of "
-            f"{requested} words even after collecting"
+            f"{collector.name} cannot satisfy a request of "
+            f"{requested} words even after collecting "
+            f"(phase {phase}; occupancy: {spaces})"
         )
         self.collector = collector
         self.requested = requested
+        self.phase = phase
+        #: Per-space occupancy diagnostics, JSON-able.
+        self.snapshot = snapshot
 
 
 class Collector(abc.ABC):

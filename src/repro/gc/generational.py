@@ -155,21 +155,31 @@ class GenerationalCollector(Collector):
         nursery = self.spaces[0]
         capacity = nursery.capacity
         if capacity is not None and nursery.used + size > capacity:
-            self._collect_for(size)
+            upto = self._collect_for(size)
             if (
                 nursery.capacity is not None
                 and nursery.used + size > nursery.capacity
             ):
-                raise HeapExhausted(self, size)
+                # Emergency full collection: promote everything out of
+                # the nursery (tenuring stayers included) before giving
+                # up.  Skipped when the collection above already was
+                # full — repeating it cannot free more.
+                if upto < self.generation_count - 1:
+                    self.collect()
+                if (
+                    nursery.capacity is not None
+                    and nursery.used + size > nursery.capacity
+                ):
+                    raise HeapExhausted(self, size)
         obj = self.heap.allocate(size, field_count, nursery, kind)
         stats = self.stats
         stats.words_allocated += size
         stats.objects_allocated += 1
         return obj
 
-    def _collect_for(self, pending: int) -> None:
+    def _collect_for(self, pending: int) -> int:
         """Collect enough generations that the nursery can satisfy a
-        ``pending``-word allocation.
+        ``pending``-word allocation; returns the condemned prefix index.
 
         The condemned prefix 0..i is the smallest for which generation
         i+1 is guaranteed to have room for every possible survivor
@@ -183,8 +193,9 @@ class GenerationalCollector(Collector):
             worst_case += spaces[i].used
             if spaces[i + 1].free >= worst_case:
                 self.collect_generations(i)
-                return
+                return i
         self.collect_generations(last)
+        return last
 
     # ------------------------------------------------------------------
     # Write barrier
@@ -276,7 +287,7 @@ class GenerationalCollector(Collector):
                     incoming - target.free
                 )
             else:
-                raise HeapExhausted(self, incoming)
+                raise HeapExhausted(self, incoming, phase="promotion")
         live = sum(obj.size for obj in survivors)
         self.stats.words_copied += live
         target_objects = target._objects

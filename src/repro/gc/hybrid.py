@@ -193,7 +193,14 @@ class HybridCollector(Collector):
                 nursery.capacity is not None
                 and nursery.used + size > nursery.capacity
             ):
-                raise HeapExhausted(self, size)
+                # Emergency full collection: condemn the dynamic area
+                # as well before reporting exhaustion.
+                self.collect()
+                if (
+                    nursery.capacity is not None
+                    and nursery.used + size > nursery.capacity
+                ):
+                    raise HeapExhausted(self, size)
         obj = self.heap.allocate(size, field_count, nursery, kind)
         stats = self.stats
         stats.words_allocated += size
@@ -334,7 +341,7 @@ class HybridCollector(Collector):
             ):
                 into_protected = True
             elif survivor_words > self._dynamic_free():
-                raise HeapExhausted(self, survivor_words)
+                raise HeapExhausted(self, survivor_words, phase="promotion")
 
         if into_protected:
             self._promote_into_protected(survivors)
@@ -438,7 +445,7 @@ class HybridCollector(Collector):
                     index = alt
                     break
             else:
-                raise HeapExhausted(self, obj.size)
+                raise HeapExhausted(self, obj.size, phase="promotion")
         self.heap.move(obj, self.steps[index])
         return index
 
@@ -496,7 +503,7 @@ class HybridCollector(Collector):
         survivor_words = sum(obj.size for obj in survivors)
         free_after = sum(space.free for space in self.steps)
         if survivor_words > free_after:
-            raise HeapExhausted(self, survivor_words)
+            raise HeapExhausted(self, survivor_words, phase="collection")
 
         # Renumber: old j+1..k become 1..k-j, old 1..j become k-j+1..k.
         steps = collectable + protected
@@ -522,7 +529,7 @@ class HybridCollector(Collector):
                     break
                 index -= 1
             if index < 0:
-                raise HeapExhausted(self, size)
+                raise HeapExhausted(self, size, phase="collection")
             space._objects[obj.obj_id] = obj
             space.used += size
             obj.space = space
@@ -579,6 +586,21 @@ class HybridCollector(Collector):
                 if target is not None and target.space in region:
                     seeds.append(ref)
         return seeds
+
+    # ------------------------------------------------------------------
+    # Invariants (used by the heap auditor)
+    # ------------------------------------------------------------------
+
+    def check_step_invariants(self) -> None:
+        """Raise AssertionError if the step structure is inconsistent."""
+        assert len(self.steps) == len(self._step_index_of)
+        for index, space in enumerate(self.steps):
+            assert self._step_index_of[space] == index
+            assert space.capacity == self.step_words
+            assert 0 <= space.used <= self.step_words
+        assert 0 <= self.j <= self.step_count
+        assert self._protected_list == self.steps[: self.j]
+        assert self._collectable_list == self.steps[self.j:]
 
     def describe(self) -> str:
         return (

@@ -35,6 +35,11 @@ class MarkSweepCollector(Collector):
             ``load_factor``.
         load_factor: target inverse load factor ``L`` for auto
             expansion (heap size as a multiple of live storage).
+        max_heap_words: optional hard cap on expansion.  When growth
+            would exceed it the heap grows only up to the cap, and an
+            allocation that still does not fit raises a structured
+            :class:`~repro.gc.collector.HeapExhausted` instead of
+            expanding without bound.
     """
 
     name = "mark-sweep"
@@ -47,6 +52,7 @@ class MarkSweepCollector(Collector):
         *,
         auto_expand: bool = True,
         load_factor: float = 2.0,
+        max_heap_words: int | None = None,
     ) -> None:
         super().__init__(heap, roots)
         if heap_words <= 0:
@@ -55,9 +61,15 @@ class MarkSweepCollector(Collector):
             raise ValueError(
                 f"load factor must exceed 1, got {load_factor!r}"
             )
+        if max_heap_words is not None and max_heap_words < heap_words:
+            raise ValueError(
+                f"expansion cap {max_heap_words} is below the initial "
+                f"heap size {heap_words}"
+            )
         self.space = heap.add_space("ms-heap", heap_words)
         self.auto_expand = auto_expand
         self.load_factor = load_factor
+        self.max_heap_words = max_heap_words
 
     def managed_spaces(self) -> frozenset:
         return frozenset((self.space,))
@@ -78,9 +90,15 @@ class MarkSweepCollector(Collector):
                 space.capacity is not None
                 and space.used + size > space.capacity
             ):
+                # The collection above was the emergency step; what is
+                # left of the policy is bounded expansion, then a
+                # structured failure with occupancy diagnostics.
                 if self.auto_expand:
                     self._expand(size)
-                else:
+                if (
+                    space.capacity is not None
+                    and space.used + size > space.capacity
+                ):
                     raise HeapExhausted(self, size)
         obj = self.heap.allocate(size, field_count, space, kind)
         stats = self.stats
@@ -89,10 +107,18 @@ class MarkSweepCollector(Collector):
         return obj
 
     def _expand(self, pending: int) -> None:
-        """Grow the heap to restore the target inverse load factor."""
+        """Grow the heap to restore the target inverse load factor.
+
+        Growth never exceeds ``max_heap_words``; an allocation that
+        still cannot fit fails over to :class:`HeapExhausted` at the
+        call site.
+        """
         needed = self.space.used + pending
         target = max(int(needed * self.load_factor), self.space.capacity or 0)
-        self.space.capacity = target
+        if self.max_heap_words is not None:
+            target = min(target, self.max_heap_words)
+        if target > (self.space.capacity or 0):
+            self.space.capacity = target
 
     # ------------------------------------------------------------------
     # Collection
@@ -135,6 +161,8 @@ class MarkSweepCollector(Collector):
         )
         if self.auto_expand:
             minimum = int(live * self.load_factor)
+            if self.max_heap_words is not None:
+                minimum = min(minimum, self.max_heap_words)
             if (self.space.capacity or 0) < minimum:
                 self.space.capacity = minimum
         self._finish_collection()

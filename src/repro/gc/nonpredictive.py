@@ -262,6 +262,13 @@ class NonPredictiveCollector(Collector):
         if space is None:
             self.collect()
             space = self._allocation_step(size)
+            if space is None and self.j > 0:
+                # Emergency: protect nothing and collect every step —
+                # the most memory a non-predictive collection can ever
+                # free — before reporting exhaustion.
+                self.reduce_j(0)
+                self.collect()
+                space = self._allocation_step(size)
             if space is None:
                 raise HeapExhausted(self, size)
         obj = self.heap.allocate(size, field_count, space, kind)

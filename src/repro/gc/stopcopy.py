@@ -40,6 +40,10 @@ class StopAndCopyCollector(Collector):
         load_factor: target ratio of semispace size to live storage
             when auto-expanding.  Larceny's stop-and-copy collector
             sized its semiheaps this way for Table 3.
+        max_semispace_words: optional hard cap on each semispace's
+            expansion; when growth hits the cap an unsatisfiable
+            allocation raises a structured
+            :class:`~repro.gc.collector.HeapExhausted`.
     """
 
     name = "stop-and-copy"
@@ -52,6 +56,7 @@ class StopAndCopyCollector(Collector):
         *,
         auto_expand: bool = True,
         load_factor: float = 2.0,
+        max_semispace_words: int | None = None,
     ) -> None:
         super().__init__(heap, roots)
         if semispace_words <= 0:
@@ -60,6 +65,15 @@ class StopAndCopyCollector(Collector):
             )
         if load_factor <= 1.0:
             raise ValueError(f"load factor must exceed 1, got {load_factor!r}")
+        if (
+            max_semispace_words is not None
+            and max_semispace_words < semispace_words
+        ):
+            raise ValueError(
+                f"expansion cap {max_semispace_words} is below the "
+                f"initial semispace size {semispace_words}"
+            )
+        self.max_semispace_words = max_semispace_words
         self._semispaces = (
             heap.add_space("sc-semispace-A", semispace_words),
             heap.add_space("sc-semispace-B", semispace_words),
@@ -108,10 +122,13 @@ class StopAndCopyCollector(Collector):
             tospace = self._semispaces[self._active]
             capacity = tospace.capacity
             if capacity is not None and tospace.used + size > capacity:
+                # Post-collection policy: bounded expansion, then a
+                # structured failure with occupancy diagnostics.
                 if self.auto_expand:
                     self._expand(size)
                     tospace = self._semispaces[self._active]
-                else:
+                capacity = tospace.capacity
+                if capacity is not None and tospace.used + size > capacity:
                     raise HeapExhausted(self, size)
         obj = self.heap.allocate(size, field_count, tospace, kind)
         stats = self.stats
@@ -124,7 +141,10 @@ class StopAndCopyCollector(Collector):
         target = max(
             int(needed * self.load_factor), self.tospace.capacity or 0
         )
-        self._set_semispace_capacity(target)
+        if self.max_semispace_words is not None:
+            target = min(target, self.max_semispace_words)
+        if target > (self.tospace.capacity or 0):
+            self._set_semispace_capacity(target)
 
     def _set_semispace_capacity(self, words: int) -> None:
         for space in self._semispaces:
@@ -209,6 +229,8 @@ class StopAndCopyCollector(Collector):
         )
         if self.auto_expand:
             minimum = int(live * self.load_factor)
+            if self.max_semispace_words is not None:
+                minimum = min(minimum, self.max_semispace_words)
             if (self.tospace.capacity or 0) < minimum:
                 self._set_semispace_capacity(minimum)
         self._finish_collection()

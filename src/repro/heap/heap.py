@@ -193,6 +193,30 @@ class SimulatedHeap:
         """
         return [obj_id for obj_id in ids if obj_id not in self._objects]
 
+    def occupancy(self) -> dict:
+        """A JSON-able per-space occupancy snapshot for diagnostics.
+
+        :class:`~repro.gc.collector.HeapExhausted` attaches this so a
+        workload that dies near the ``n ≈ h/ln 2`` equilibrium reports
+        *where* the words went instead of just that they ran out.
+        """
+        return {
+            "clock": self.clock,
+            "objects_allocated": self.objects_allocated,
+            "object_count": len(self._objects),
+            "live_words": self.live_words,
+            "spaces": [
+                {
+                    "name": space.name,
+                    "used": space.used,
+                    "capacity": space.capacity,
+                    "free": None if space.capacity is None else space.free,
+                    "objects": space.object_count,
+                }
+                for space in self._spaces.values()
+            ],
+        }
+
     # ------------------------------------------------------------------
     # Fields
     # ------------------------------------------------------------------

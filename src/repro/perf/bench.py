@@ -227,10 +227,9 @@ def build_report(
 
 
 def write_report(path: Path | str, report: Mapping[str, Any]) -> None:
-    Path(path).write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    from repro.resilience.atomic import atomic_write_json
+
+    atomic_write_json(Path(path), report)
 
 
 def record_all_run(

@@ -124,8 +124,9 @@ class ArtifactCache:
         value: Any,
         params: Mapping[str, Any] | None = None,
     ) -> Path:
-        """Store a JSON-able value; atomic via write-then-rename."""
-        self.directory.mkdir(parents=True, exist_ok=True)
+        """Store a JSON-able value; atomic write-fsync-rename."""
+        from repro.resilience.atomic import atomic_write_text
+
         path = self.entry_path(name, params)
         entry = {
             "name": name,
@@ -135,12 +136,7 @@ class ArtifactCache:
             "created": time.time(),
             "value": value,
         }
-        scratch = path.with_name(path.name + ".tmp")
-        scratch.write_text(
-            json.dumps(entry, sort_keys=True), encoding="utf-8"
-        )
-        scratch.replace(path)
-        return path
+        return atomic_write_text(path, json.dumps(entry, sort_keys=True))
 
     def clear(self) -> int:
         """Delete every entry file; returns how many were removed."""

@@ -24,19 +24,30 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, TypeVar
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.perf.cache import ArtifactCache
+    from repro.resilience.journal import SweepJournal
 
 __all__ = [
     "ExperimentRecord",
+    "TaskFailure",
     "default_jobs",
     "derive_seed",
     "parallel_map",
+    "resilient_map",
     "run_experiment_records",
+    "task_retries",
+    "task_timeout",
 ]
 
 _ItemT = TypeVar("_ItemT")
@@ -61,16 +72,63 @@ def default_jobs() -> int:
     return 1
 
 
-def derive_seed(base_seed: int, index: int) -> int:
+def derive_seed(base_seed: int, index: int, attempt: int = 0) -> int:
     """A 63-bit per-task seed, a pure function of (base seed, index).
 
     Tasks must not share one RNG stream (the partitioning would depend
     on worker scheduling), and ``base_seed + index`` collides across
     sweeps.  Hashing keeps every task's stream fixed and distinct no
     matter where or in what order it runs.
+
+    ``attempt`` salts the seed on retry: attempt 0 hashes exactly the
+    historical ``"base:index"`` blob (so first-attempt results stay
+    byte-identical to every golden fingerprint), while a retried task
+    gets a fresh-but-deterministic stream — if attempt 1 hits the same
+    environmental failure, it will at least not be *because* it
+    replayed the identical schedule.
     """
-    blob = f"{base_seed}:{index}".encode()
+    if attempt:
+        blob = f"{base_seed}:{index}:retry{attempt}".encode()
+    else:
+        blob = f"{base_seed}:{index}".encode()
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
+
+
+def task_timeout() -> float | None:
+    """Per-task timeout in seconds, from ``REPRO_TASK_TIMEOUT``.
+
+    Unset, empty, or ``0`` means no timeout (the default: experiments
+    are deterministic, so a wedged task normally means a wedged
+    machine, not a wedged task).
+    """
+    env = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TASK_TIMEOUT must be a number of seconds, got {env!r}"
+        ) from None
+    return value if value > 0 else None
+
+
+def task_retries() -> int:
+    """How many times a failed task is re-attempted (default 1).
+
+    Reads ``REPRO_TASK_RETRIES``.  This bounds *additional* attempts:
+    with the default of 1, a task runs at most twice before it is
+    quarantined.
+    """
+    env = os.environ.get("REPRO_TASK_RETRIES", "").strip()
+    if not env:
+        return 1
+    try:
+        return max(0, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TASK_RETRIES must be an integer, got {env!r}"
+        ) from None
 
 
 def parallel_map(
@@ -91,6 +149,227 @@ def parallel_map(
         return [func(item) for item in work]
     with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
         return list(pool.map(func, work))
+
+
+# ----------------------------------------------------------------------
+# The hardened fan-out: timeouts, bounded retry, quarantine
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task that exhausted its retry budget (quarantined).
+
+    Attributes:
+        index: the task's position in the input sequence.
+        item: the input item (must be repr-able for reporting).
+        kind: ``"crash"`` (the task raised), ``"timeout"`` (exceeded
+            the per-task budget), or ``"worker-crash"`` (its worker
+            process died — OOM kill, signal, interpreter abort).
+        attempts: how many attempts were made in total.
+        error: the last failure's description.
+    """
+
+    index: int
+    item: Any
+    kind: str
+    attempts: int
+    error: str
+
+    def summary(self) -> str:
+        return (
+            f"{self.item!r}: {self.kind} after {self.attempts} "
+            f"attempt(s): {self.error}"
+        )
+
+
+def resilient_map(
+    func: Callable[[Any, int], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    """Like :func:`parallel_map`, but failures cannot sink the sweep.
+
+    ``func`` is called as ``func(item, attempt)`` — attempt 0 first,
+    incrementing on each retry so tasks can salt derived seeds
+    (:func:`derive_seed`).  Each slot of the returned list (input
+    order) holds either the task's result or a :class:`TaskFailure`
+    describing why it was quarantined after ``retries`` extra
+    attempts.
+
+    * A raising task is retried, then quarantined (``"crash"``).
+    * With ``jobs > 1``, a task running longer than ``timeout``
+      seconds has its (unkillable-politely) worker pool torn down and
+      rebuilt; innocent in-flight tasks are resubmitted at their same
+      attempt number, the offender at ``attempt + 1``
+      (``"timeout"``).  Timeouts are not enforced on the serial path —
+      there is no worker to kill.
+    * A dead worker process (:class:`BrokenProcessPool`) retires the
+      pool the same way; every in-flight task at the time of death is
+      charged one attempt, since the engine cannot know which of them
+      killed it (``"worker-crash"``).
+
+    ``timeout``/``retries`` default to the ``REPRO_TASK_TIMEOUT`` /
+    ``REPRO_TASK_RETRIES`` environment knobs.  ``on_result`` is
+    invoked in the parent process as each slot settles — the sweep
+    journal hangs off this to persist completions immediately.
+    """
+    work = list(items)
+    if timeout is None:
+        timeout = task_timeout()
+    if retries is None:
+        retries = task_retries()
+    results: list[Any] = [None] * len(work)
+
+    def settle(index: int, outcome: Any) -> None:
+        results[index] = outcome
+        if on_result is not None:
+            on_result(index, outcome)
+
+    if jobs <= 1 or len(work) <= 1:
+        for index, item in enumerate(work):
+            settle(index, _serial_attempts(func, item, index, retries))
+        return results
+
+    pending: deque[tuple[int, Any, int]] = deque(
+        (index, item, 0) for index, item in enumerate(work)
+    )
+    inflight: dict[Any, tuple[int, Any, int, float]] = {}
+
+    def retry_or_quarantine(
+        index: int, item: Any, attempt: int, kind: str, error: str
+    ) -> None:
+        if attempt < retries:
+            pending.append((index, item, attempt + 1))
+        else:
+            settle(
+                index,
+                TaskFailure(
+                    index=index,
+                    item=item,
+                    kind=kind,
+                    attempts=attempt + 1,
+                    error=error,
+                ),
+            )
+
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < jobs:
+                index, item, attempt = pending.popleft()
+                try:
+                    future = pool.submit(func, item, attempt)
+                except BrokenProcessPool:
+                    pool = _replace_pool(pool, jobs)
+                    future = pool.submit(func, item, attempt)
+                inflight[future] = (index, item, attempt, time.monotonic())
+
+            tick = 0.05 if timeout is not None else None
+            done, _ = wait(
+                set(inflight), timeout=tick, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for future in done:
+                index, item, attempt, _started = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    retry_or_quarantine(
+                        index,
+                        item,
+                        attempt,
+                        "worker-crash",
+                        str(exc) or type(exc).__name__,
+                    )
+                except Exception as exc:
+                    retry_or_quarantine(
+                        index,
+                        item,
+                        attempt,
+                        "crash",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    settle(index, value)
+            if broken:
+                # The pool is unusable; everything still in flight is
+                # doomed but innocent — resubmit at the same attempt.
+                for index, item, attempt, _started in inflight.values():
+                    pending.append((index, item, attempt))
+                inflight = {}
+                pool = _replace_pool(pool, jobs)
+                continue
+            if timeout is not None and inflight:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_i, _it, _a, started) in inflight.items()
+                    if now - started > timeout
+                ]
+                if expired:
+                    # A stuck worker cannot be cancelled politely;
+                    # tear the pool down and resubmit the innocent.
+                    for future in expired:
+                        index, item, attempt, started = inflight.pop(future)
+                        retry_or_quarantine(
+                            index,
+                            item,
+                            attempt,
+                            "timeout",
+                            f"exceeded {timeout}s "
+                            f"(ran {now - started:.1f}s)",
+                        )
+                    for index, item, attempt, _started in inflight.values():
+                        pending.append((index, item, attempt))
+                    inflight = {}
+                    pool = _replace_pool(pool, jobs)
+    finally:
+        _terminate_pool(pool)
+    return results
+
+
+def _serial_attempts(
+    func: Callable[[Any, int], Any], item: Any, index: int, retries: int
+) -> Any:
+    error = ""
+    for attempt in range(retries + 1):
+        try:
+            return func(item, attempt)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+    return TaskFailure(
+        index=index,
+        item=item,
+        kind="crash",
+        attempts=retries + 1,
+        error=error,
+    )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    # _processes is CPython's worker table; gone after shutdown, so
+    # snapshot it first.  Killing is the point: a wedged worker never
+    # honours a polite shutdown.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=2.0)
+
+
+def _replace_pool(
+    pool: ProcessPoolExecutor, jobs: int
+) -> ProcessPoolExecutor:
+    _terminate_pool(pool)
+    return ProcessPoolExecutor(max_workers=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +394,14 @@ class ExperimentRecord:
     cached: bool
 
 
-def _experiment_task(name: str) -> tuple[str, str, Any, float]:
+def _experiment_task(
+    name: str, attempt: int = 0
+) -> tuple[str, str, Any, float]:
+    # ``attempt`` is the resilient engine's retry counter; experiments
+    # run from the registry are pure functions of the source, so a
+    # retry recomputes the identical artifact and the counter is
+    # deliberately unused here (seeded *sweep* tasks salt with it).
+    del attempt
     # Imported lazily: this runs inside worker processes, and importing
     # the runner at module scope would cycle (runner -> perf -> runner).
     import sys
@@ -138,6 +424,10 @@ def run_experiment_records(
     *,
     jobs: int = 1,
     cache: "ArtifactCache | None" = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    journal: "SweepJournal | None" = None,
+    failures: "list[TaskFailure] | None" = None,
 ) -> list[ExperimentRecord]:
     """Regenerate the named artifacts, fanning cache misses out to
     ``jobs`` workers; records come back in the order of ``names``.
@@ -145,10 +435,29 @@ def run_experiment_records(
     When a cache is supplied, hits are served without running anything
     and misses are stored after running, keyed by (name, default
     parameters, source digest) — see :mod:`repro.perf.cache`.
+
+    The fan-out is the resilient engine (:func:`resilient_map`):
+    ``timeout``/``retries`` bound each task (defaulting to the
+    ``REPRO_TASK_TIMEOUT``/``REPRO_TASK_RETRIES`` knobs), quarantined
+    tasks are appended to ``failures`` instead of sinking the sweep
+    (their names are simply absent from the returned records), and a
+    ``journal`` — when given — has every completion persisted the
+    moment it happens, so a killed sweep resumes where it stopped.
     """
     records: dict[str, ExperimentRecord] = {}
     missing: list[str] = []
     for name in names:
+        if journal is not None:
+            entry = journal.completed.get(name)
+            if entry is not None:
+                records[name] = ExperimentRecord(
+                    name=name,
+                    text=entry["text"],
+                    payload=entry["payload"],
+                    seconds=entry.get("seconds", 0.0),
+                    cached=True,
+                )
+                continue
         entry = cache.get(name) if cache is not None else None
         if entry is not None:
             records[name] = ExperimentRecord(
@@ -158,11 +467,47 @@ def run_experiment_records(
                 seconds=entry.get("seconds", 0.0),
                 cached=True,
             )
+            if journal is not None:
+                journal.record_success(name, entry)
         else:
             missing.append(name)
-    for name, text, payload, seconds in parallel_map(
-        _experiment_task, missing, jobs=jobs
-    ):
+
+    def on_result(index: int, outcome: Any) -> None:
+        # Runs in the parent as each task settles: persist *now*, so a
+        # kill -9 one task later loses at most the task in flight.
+        name = missing[index]
+        if isinstance(outcome, TaskFailure):
+            if journal is not None:
+                journal.record_failure(
+                    name,
+                    {
+                        "kind": outcome.kind,
+                        "attempts": outcome.attempts,
+                        "error": outcome.error,
+                    },
+                )
+            return
+        _task_name, text, payload, seconds = outcome
+        entry = {"text": text, "payload": payload, "seconds": seconds}
+        if cache is not None:
+            cache.put(name, entry)
+        if journal is not None:
+            journal.record_success(name, entry)
+
+    outcomes = resilient_map(
+        _experiment_task,
+        missing,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        on_result=on_result,
+    )
+    for name, outcome in zip(missing, outcomes):
+        if isinstance(outcome, TaskFailure):
+            if failures is not None:
+                failures.append(outcome)
+            continue
+        _task_name, text, payload, seconds = outcome
         records[name] = ExperimentRecord(
             name=name,
             text=text,
@@ -170,9 +515,4 @@ def run_experiment_records(
             seconds=seconds,
             cached=False,
         )
-        if cache is not None:
-            cache.put(
-                name,
-                {"text": text, "payload": payload, "seconds": seconds},
-            )
-    return [records[name] for name in names]
+    return [records[name] for name in names if name in records]

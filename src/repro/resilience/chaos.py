@@ -1,0 +1,487 @@
+"""The chaos harness: inject faults, score the safety net.
+
+A chaos run answers one question about the verification subsystem
+itself: *if a collector silently corrupted its state, would we notice?*
+For every ``(fault kind, collector)`` pair it
+
+1. replays a deterministic mutator script cleanly under the collector
+   (checked mode on) to record reference checkpoints,
+2. replays the same script again, injecting the fault at a seeded
+   mutator-step boundary mid-script, and
+3. watches three independent detection channels:
+
+   * **audit** — :func:`repro.verify.audit.audit_collector` run
+     immediately after injection (and again at script end), with the
+     harness's own shadow root set as the ``expected_roots`` witness;
+   * **crash** — any exception out of the collector, heap, or the
+     per-collection checked-mode hook while the replay continues;
+   * **divergence** — a post-injection checkpoint fingerprint that
+     differs from the clean reference replay.
+
+Corruption-class faults (:data:`repro.resilience.faults
+.CORRUPTION_FAULTS`) must trip at least one channel; the benign
+control (``dup-remset``) must trip none.  :func:`run_chaos_matrix`
+aggregates the outcomes into a :class:`DetectionMatrix`, which the
+``repro-gc chaos`` command renders and exports; the matrix is *not ok*
+— and the command fails — if any injected corruption goes undetected
+or the benign control fires a false positive.
+
+Everything is seeded: the script, each injection site, and each
+injector's choices derive from ``(seed, fault kind, collector kind)``,
+so a failing cell replays exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.harness import GcGeometry, collector_factory
+from repro.heap.barrier import WriteBarrier
+from repro.heap.heap import SimulatedHeap
+from repro.heap.roots import RootSet
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjection,
+    fault_applies,
+    fault_expectation,
+    inject_fault,
+)
+from repro.verify.audit import audit_collector, enable_checked_mode
+from repro.verify.differential import DEFAULT_COLLECTORS, VERIFY_GEOMETRY
+from repro.verify.replay import (
+    MutatorScript,
+    ReplayResult,
+    generate_script,
+    replay,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosOutcome",
+    "DetectionMatrix",
+    "run_chaos_matrix",
+]
+
+#: Script length for a full chaos run / for ``--quick``.
+DEFAULT_OP_COUNT = 400
+QUICK_OP_COUNT = 160
+
+
+class ChaosError(RuntimeError):
+    """The harness itself misbehaved (clean replay crashed/diverged)."""
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One cell of the detection matrix.
+
+    Attributes:
+        fault: the fault kind.
+        collector: the collector kind name.
+        expectation: ``"corruption"`` or ``"benign"``.
+        status: ``"detected"`` (corruption caught), ``"missed"``
+            (corruption escaped every channel), ``"benign"`` (control
+            fault correctly ignored), ``"false-positive"`` (control
+            fault tripped a channel), or ``"n/a"`` (fault inapplicable
+            to this collector, or no injection target ever
+            materialised).
+        channel: which channel fired (``"audit"``, ``"crash"``,
+            ``"divergence"``) or ``None``.
+        op_index: mutator-step boundary where injection happened
+            (``None`` when nothing was injected).
+        detail: what was injected and/or what the channel reported.
+    """
+
+    fault: str
+    collector: str
+    expectation: str
+    status: str
+    channel: str | None
+    op_index: int | None
+    detail: str
+
+    @property
+    def injected(self) -> bool:
+        return self.op_index is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("detected", "benign", "n/a")
+
+    def to_json(self) -> dict:
+        return {
+            "fault": self.fault,
+            "collector": self.collector,
+            "expectation": self.expectation,
+            "status": self.status,
+            "channel": self.channel,
+            "op_index": self.op_index,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class DetectionMatrix:
+    """Fault kind x collector detection outcomes for one chaos run."""
+
+    seed: int
+    op_count: int
+    collectors: tuple[str, ...]
+    kinds: tuple[str, ...]
+    outcomes: tuple[ChaosOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def outcome(self, fault: str, collector: str) -> ChaosOutcome:
+        for outcome in self.outcomes:
+            if outcome.fault == fault and outcome.collector == collector:
+                return outcome
+        raise KeyError(f"no outcome for ({fault!r}, {collector!r})")
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    def failures(self) -> tuple[ChaosOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "op_count": self.op_count,
+            "collectors": list(self.collectors),
+            "kinds": list(self.kinds),
+            "ok": self.ok,
+            "counts": self.counts(),
+            "outcomes": [outcome.to_json() for outcome in self.outcomes],
+        }
+
+    def render(self) -> str:
+        """An aligned fault-kind x collector table plus a summary line."""
+
+        def cell(outcome: ChaosOutcome) -> str:
+            if outcome.status == "detected":
+                return f"det:{outcome.channel}"
+            if outcome.status == "false-positive":
+                return f"FALSE+:{outcome.channel}"
+            if outcome.status == "missed":
+                return "MISSED"
+            return outcome.status
+
+        header = ["fault \\ collector", *self.collectors]
+        rows = [header]
+        for fault in self.kinds:
+            row = [fault]
+            for collector in self.collectors:
+                row.append(cell(self.outcome(fault, collector)))
+            rows.append(row)
+        widths = [
+            max(len(row[col]) for row in rows)
+            for col in range(len(header))
+        ]
+        lines = []
+        for index, row in enumerate(rows):
+            lines.append(
+                "  ".join(
+                    text.ljust(width) for text, width in zip(row, widths)
+                ).rstrip()
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        tally = ", ".join(
+            f"{status}={count}" for status, count in sorted(self.counts().items())
+        )
+        verdict = "OK" if self.ok else "FAIL"
+        lines.append("")
+        lines.append(
+            f"{verdict}: seed={self.seed} ops={self.op_count} {tally}"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+
+
+def run_chaos_matrix(
+    *,
+    seed: int = 0,
+    op_count: int = DEFAULT_OP_COUNT,
+    collectors: Sequence[str] = DEFAULT_COLLECTORS,
+    kinds: Sequence[str] = FAULT_KINDS,
+    geometry: GcGeometry | None = None,
+    quick: bool = False,
+) -> DetectionMatrix:
+    """Run the full fault-kind x collector chaos sweep.
+
+    Args:
+        seed: seeds the script and every per-cell injection choice.
+        op_count: mutator script length (``quick`` overrides it down).
+        collectors: collector kind names to target.
+        kinds: fault kinds to inject.
+        geometry: heap geometry (defaults to the verify geometry).
+        quick: cap the script at :data:`QUICK_OP_COUNT` ops — the CI
+            smoke configuration.
+    """
+    if quick:
+        op_count = min(op_count, QUICK_OP_COUNT)
+    geometry = geometry if geometry is not None else VERIFY_GEOMETRY
+    script = generate_script(op_count, seed)
+
+    outcomes: list[ChaosOutcome] = []
+    for collector_kind in collectors:
+        factory = collector_factory(collector_kind, geometry)
+        reference = _clean_reference(script, factory, collector_kind)
+        for fault in kinds:
+            outcomes.append(
+                _run_cell(
+                    script,
+                    factory,
+                    collector_kind,
+                    fault,
+                    seed,
+                    reference,
+                )
+            )
+    return DetectionMatrix(
+        seed=seed,
+        op_count=op_count,
+        collectors=tuple(collectors),
+        kinds=tuple(kinds),
+        outcomes=tuple(outcomes),
+    )
+
+
+def _clean_reference(
+    script: MutatorScript, factory, collector_kind: str
+) -> ReplayResult:
+    try:
+        return replay(script, factory, checked=True, name=collector_kind)
+    except Exception as exc:
+        raise ChaosError(
+            f"clean reference replay failed under {collector_kind}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _cell_rng(seed: int, fault: str, collector_kind: str) -> random.Random:
+    blob = f"chaos:{seed}:{fault}:{collector_kind}".encode()
+    return random.Random(
+        int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    )
+
+
+def _run_cell(
+    script: MutatorScript,
+    factory,
+    collector_kind: str,
+    fault: str,
+    seed: int,
+    reference: ReplayResult,
+) -> ChaosOutcome:
+    expectation = fault_expectation(fault)
+
+    def outcome(
+        status: str,
+        *,
+        channel: str | None = None,
+        op_index: int | None = None,
+        detail: str = "",
+    ) -> ChaosOutcome:
+        return ChaosOutcome(
+            fault=fault,
+            collector=collector_kind,
+            expectation=expectation,
+            status=status,
+            channel=channel,
+            op_index=op_index,
+            detail=detail,
+        )
+
+    # Applicability is a property of the collector family; probe a
+    # fresh instance rather than special-casing kind names here.
+    probe = factory(SimulatedHeap(), RootSet())
+    if not fault_applies(fault, probe):
+        return outcome(
+            "n/a", detail=f"{fault} does not apply to {collector_kind}"
+        )
+
+    rng = _cell_rng(seed, fault, collector_kind)
+    ops = script.ops
+    inject_at = rng.randrange(len(ops) // 4, max(len(ops) // 4 + 1, (3 * len(ops)) // 4))
+
+    heap = SimulatedHeap()
+    roots = RootSet()
+    collector = factory(heap, roots)
+    enable_checked_mode(collector)
+    barrier = WriteBarrier(collector.remember_store)
+
+    uid_to_id: dict[int, int] = {}
+    rooted_uids: set[int] = set()
+    injection: FaultInjection | None = None
+    injected_at: int | None = None
+    check_cursor = 0
+
+    def witness() -> set[int]:
+        # What the *mutator* believes is rooted — independent of the
+        # collector's root set, so a silently skipped root still shows.
+        return {uid_to_id[uid] for uid in rooted_uids}
+
+    def fingerprint() -> tuple[int, tuple]:
+        reached = heap.reachable_from(list(roots.ids()))
+        graph = tuple(
+            sorted(
+                (obj_id, heap.get(obj_id).size, tuple(heap.get(obj_id).fields))
+                for obj_id in reached
+            )
+        )
+        return heap.clock, graph
+
+    def audit_now(where: str) -> ChaosOutcome | None:
+        report = audit_collector(collector, expected_roots=witness())
+        if report.ok:
+            return None
+        detected = expectation == "corruption"
+        return outcome(
+            "detected" if detected else "false-positive",
+            channel="audit",
+            op_index=injected_at,
+            detail=f"{injection.detail}; {where}: {report.violations[0]}",
+        )
+
+    def compare_checkpoint(cursor: int) -> ChaosOutcome | None:
+        clock, graph = fingerprint()
+        expected = reference.checkpoints[cursor]
+        if clock == expected.clock and graph == expected.graph:
+            return None
+        if injection is None:
+            raise ChaosError(
+                f"pre-injection checkpoint {cursor} diverged from the "
+                f"clean replay under {collector_kind} — the harness "
+                f"is nondeterministic"
+            )
+        detected = expectation == "corruption"
+        return outcome(
+            "detected" if detected else "false-positive",
+            channel="divergence",
+            op_index=injected_at,
+            detail=(
+                f"{injection.detail}; checkpoint {cursor} differs from "
+                f"the clean replay"
+            ),
+        )
+
+    for op_index, op in enumerate(ops):
+        if injection is None and op_index >= inject_at:
+            injection = inject_fault(fault, collector, rng)
+            if injection is not None:
+                injected_at = op_index
+                verdict = audit_now("post-injection audit")
+                if verdict is not None:
+                    return verdict
+        op_kind = op[0]
+        try:
+            if op_kind == "alloc":
+                _, uid, size, field_count = op
+                obj = collector.allocate(size, field_count)
+                uid_to_id[uid] = obj.obj_id
+                roots.set_global(f"u{uid}", obj)
+                rooted_uids.add(uid)
+            elif op_kind == "store":
+                _, src_uid, slot, dst_uid = op
+                src = heap.get(uid_to_id[src_uid])
+                if dst_uid is None:
+                    barrier.on_store(src, slot, None)
+                    heap.write_field(src, slot, None)
+                else:
+                    target = heap.get(uid_to_id[dst_uid])
+                    barrier.on_store(src, slot, target)
+                    heap.write_field(src, slot, target)
+            elif op_kind == "drop":
+                roots.remove_global(f"u{op[1]}")
+                rooted_uids.discard(op[1])
+            elif op_kind == "collect":
+                collector.collect()
+            elif op_kind == "check":
+                verdict = compare_checkpoint(check_cursor)
+                check_cursor += 1
+                if verdict is not None:
+                    return verdict
+            else:
+                raise ChaosError(f"unknown op kind {op_kind!r}")
+        except ChaosError:
+            raise
+        except Exception as exc:
+            if injection is None:
+                raise ChaosError(
+                    f"clean prefix of the chaos replay crashed at op "
+                    f"{op_index} under {collector_kind}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            detected = expectation == "corruption"
+            return outcome(
+                "detected" if detected else "false-positive",
+                channel="crash",
+                op_index=injected_at,
+                detail=(
+                    f"{injection.detail}; op {op_index} {op!r} raised "
+                    f"{type(exc).__name__}: {exc}"
+                ),
+            )
+
+    # The implicit final checkpoint, then a closing audit.
+    try:
+        verdict = compare_checkpoint(check_cursor)
+    except ChaosError:
+        raise
+    except Exception as exc:
+        if injection is None:
+            raise ChaosError(
+                f"final fingerprint crashed under {collector_kind}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        detected = expectation == "corruption"
+        return outcome(
+            "detected" if detected else "false-positive",
+            channel="crash",
+            op_index=injected_at,
+            detail=(
+                f"{injection.detail}; final fingerprint raised "
+                f"{type(exc).__name__}: {exc}"
+            ),
+        )
+    if verdict is not None:
+        return verdict
+
+    if injection is None:
+        return outcome(
+            "n/a",
+            detail=(
+                f"no injection target for {fault} materialised from op "
+                f"{inject_at} onward"
+            ),
+        )
+
+    verdict = audit_now("end-of-script audit")
+    if verdict is not None:
+        return verdict
+
+    if expectation == "benign":
+        return outcome(
+            "benign",
+            op_index=injected_at,
+            detail=f"{injection.detail}; no channel fired, as expected",
+        )
+    return outcome(
+        "missed",
+        op_index=injected_at,
+        detail=f"{injection.detail}; escaped every detection channel",
+    )

@@ -1,0 +1,478 @@
+"""The fault taxonomy: seeded perturbations of live collector state.
+
+Each fault kind models one way a collector implementation (or the
+runtime around it) can silently go wrong, chosen so that together they
+exercise every family of check in :mod:`repro.verify.audit` plus the
+differential oracle:
+
+========================  =============================================
+kind                      models / should be caught by
+========================  =============================================
+``dangling-slot``         a stale interior pointer left behind by a
+                          buggy copy phase — heap-integrity
+``drop-remset``           a missed write barrier: a live
+                          cross-boundary pointer loses its remembered
+                          slot — remset-completeness
+``dup-remset``           a *conservative* spurious remembered slot —
+                          **benign by design**: remsets may
+                          over-approximate, so nothing must fire
+``stale-forward``         a forwarding/move that updated the object
+                          but not the space bookkeeping (the
+                          ``obj.space`` back-pointer desyncs) —
+                          heap-integrity
+``root-skip``             a root enumeration that silently skips an
+                          entry — invisible to every check that reuses
+                          the collector's own root set; caught only by
+                          the ``expected_roots`` witness audit (or,
+                          later, by differential divergence)
+``mis-renumber``          a step renumbering that moved the spaces but
+                          not the index bookkeeping — step-structure
+========================  =============================================
+
+Injection is deterministic: every choice is drawn from the
+:class:`random.Random` handed in by the chaos harness, which seeds it
+from ``(seed, fault kind, collector kind)``.  An injector returns
+``None`` when the collector's current state offers no target for the
+fault (for example ``drop-remset`` before any cross-boundary pointer
+exists); the harness then retries at the next mutator-step boundary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.gc.collector import Collector
+from repro.gc.generational import GenerationalCollector
+from repro.gc.hybrid import HybridCollector
+from repro.gc.nonpredictive import NonPredictiveCollector
+from repro.heap.remset import RememberedSet
+
+__all__ = [
+    "CORRUPTION_FAULTS",
+    "FAULT_KINDS",
+    "FaultInjection",
+    "FaultPlan",
+    "fault_applies",
+    "fault_expectation",
+    "inject_fault",
+]
+
+#: Every fault kind, in canonical matrix order.
+FAULT_KINDS: tuple[str, ...] = (
+    "dangling-slot",
+    "drop-remset",
+    "dup-remset",
+    "stale-forward",
+    "root-skip",
+    "mis-renumber",
+)
+
+#: The corruption-class kinds: undetected injection = harness failure.
+CORRUPTION_FAULTS: frozenset[str] = frozenset(
+    {
+        "dangling-slot",
+        "drop-remset",
+        "stale-forward",
+        "root-skip",
+        "mis-renumber",
+    }
+)
+
+
+def fault_expectation(kind: str) -> str:
+    """``"corruption"`` (must be detected) or ``"benign"`` (must not)."""
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    return "corruption" if kind in CORRUPTION_FAULTS else "benign"
+
+
+def fault_applies(kind: str, collector: Collector) -> bool:
+    """Whether ``kind`` can ever target this collector family."""
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    if kind in ("drop-remset", "dup-remset"):
+        if isinstance(collector, (GenerationalCollector, HybridCollector)):
+            return True
+        return (
+            isinstance(collector, NonPredictiveCollector)
+            and collector.use_remset
+        )
+    if kind == "mis-renumber":
+        return isinstance(
+            collector, (NonPredictiveCollector, HybridCollector)
+        )
+    return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scheduled perturbation of a chaos replay.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        op_index: first mutator-step boundary at which injection is
+            attempted; if the collector state offers no target there,
+            the harness retries at every later boundary.
+        seed: seeds the injector's deterministic choices.
+    """
+
+    kind: str
+    op_index: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.op_index < 0:
+            raise ValueError(
+                f"op index must be non-negative, got {self.op_index!r}"
+            )
+
+    @property
+    def expectation(self) -> str:
+        return fault_expectation(self.kind)
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """What an injector actually did (for the detection matrix)."""
+
+    kind: str
+    detail: str
+
+
+def inject_fault(
+    kind: str, collector: Collector, rng: random.Random
+) -> FaultInjection | None:
+    """Perturb live collector state; ``None`` if no target exists now."""
+    injector = _INJECTORS[kind]
+    return injector(collector, rng)
+
+
+# ----------------------------------------------------------------------
+# Injectors (one per kind)
+# ----------------------------------------------------------------------
+
+
+def _inject_dangling_slot(
+    collector: Collector, rng: random.Random
+) -> FaultInjection | None:
+    """Point a live reference slot at an id that was never allocated."""
+    heap = collector.heap
+    candidates = [obj for obj in heap.all_objects() if obj.fields]
+    if not candidates:
+        return None
+    obj = _pick(rng, candidates, key=lambda o: o.obj_id)
+    slot = rng.randrange(len(obj.fields))
+    bogus = 1_000_000_000 + rng.randrange(1_000)
+    obj.fields[slot] = bogus  # behind the heap's back: no probe, no barrier
+    return FaultInjection(
+        kind="dangling-slot",
+        detail=(
+            f"slot {slot} of object {obj.obj_id} now holds dangling "
+            f"id {bogus}"
+        ),
+    )
+
+
+def _inject_stale_forward(
+    collector: Collector, rng: random.Random
+) -> FaultInjection | None:
+    """Desync an object's space back-pointer from the space that holds it.
+
+    Models a forwarding step that updated the object header but not the
+    space bookkeeping (or vice versa): the object still sits in space
+    A's table while claiming to live in space B.
+    """
+    heap = collector.heap
+    spaces = list(heap.spaces())
+    candidates = [obj for obj in heap.all_objects() if obj.space is not None]
+    if not candidates:
+        return None
+    obj = _pick(rng, candidates, key=lambda o: o.obj_id)
+    others = [space for space in spaces if space is not obj.space]
+    # Single-space collectors still have a stale-forward analogue: a
+    # move that cleared the back-pointer without leaving the table.
+    wrong = _pick(rng, others, key=lambda s: s.name) if others else None
+    right = obj.space
+    obj.space = wrong  # the holding space's table is left untouched
+    claim = wrong.name if wrong is not None else None
+    return FaultInjection(
+        kind="stale-forward",
+        detail=(
+            f"object {obj.obj_id} claims space {claim!r} while "
+            f"still resident in {right.name!r}"
+        ),
+    )
+
+
+def _inject_root_skip(
+    collector: Collector, rng: random.Random
+) -> FaultInjection | None:
+    """Silently drop one global root the mutator still believes in."""
+    roots = collector.roots
+    names = [
+        name
+        for name in roots.global_names()
+        if roots.get_global_id(name) is not None
+    ]
+    if not names:
+        return None
+    name = _pick(rng, sorted(names))
+    obj_id = roots.get_global_id(name)
+    roots.remove_global(name)
+    return FaultInjection(
+        kind="root-skip",
+        detail=(
+            f"global root {name!r} (object {obj_id}) silently skipped"
+        ),
+    )
+
+
+def _inject_mis_renumber(
+    collector: Collector, rng: random.Random
+) -> FaultInjection | None:
+    """Swap two steps without rebuilding the renumbering bookkeeping."""
+    if not isinstance(
+        collector, (NonPredictiveCollector, HybridCollector)
+    ):
+        return None
+    steps = collector.steps
+    if len(steps) < 2:
+        return None
+    a = rng.randrange(len(steps))
+    b = rng.randrange(len(steps) - 1)
+    if b >= a:
+        b += 1
+    steps[a], steps[b] = steps[b], steps[a]
+    # _step_index_of (and the protected/collectable partition) now lies.
+    return FaultInjection(
+        kind="mis-renumber",
+        detail=(
+            f"steps {a + 1} and {b + 1} swapped without renumbering "
+            f"the step index"
+        ),
+    )
+
+
+def _inject_drop_remset(
+    collector: Collector, rng: random.Random
+) -> FaultInjection | None:
+    """Remove a remembered slot that still covers a live pointer.
+
+    Only entries a partial collection actually *needs* (per the same
+    predicates the auditor's completeness check uses) are candidates;
+    removing an already-stale entry would be a legal prune, not a
+    fault.
+    """
+    required = _required_entries(collector)
+    if not required:
+        return None
+    remset, entry, why = _pick(rng, required, key=lambda r: (r[0].name, r[1]))
+    remset._barrier_entries.discard(entry)
+    remset._promotion_entries.discard(entry)
+    return FaultInjection(
+        kind="drop-remset",
+        detail=(
+            f"entry {entry} dropped from {remset.name} ({why})"
+        ),
+    )
+
+
+def _inject_dup_remset(
+    collector: Collector, rng: random.Random
+) -> FaultInjection | None:
+    """Add a redundant/conservative remembered slot (benign control).
+
+    Re-records an existing entry when one exists, otherwise records a
+    stale-store-style entry — an arbitrary slot of an object in the
+    remset's legitimate source region, exactly what the write barrier
+    leaves behind when an interesting store is later overwritten.
+    Remembered sets are allowed to over-approximate (§8.4), so a
+    correct collector must neither crash nor diverge.
+    """
+    remsets = _collector_remsets(collector)
+    if remsets is None:
+        return None
+    populated = [remset for remset in remsets if len(remset)]
+    if populated:
+        remset = _pick(rng, populated, key=lambda r: r.name)
+        entry = _pick(rng, sorted(remset.entries()))
+        remset.record_barrier(*entry)
+        return FaultInjection(
+            kind="dup-remset",
+            detail=f"entry {entry} re-recorded in {remset.name}",
+        )
+    candidates = _conservative_slots(collector)
+    if not candidates:
+        return None
+    remset, obj_id, slot = _pick(
+        rng, candidates, key=lambda c: (c[0].name, c[1], c[2])
+    )
+    remset.record_barrier(obj_id, slot)
+    return FaultInjection(
+        kind="dup-remset",
+        detail=(
+            f"stale-store-style entry ({obj_id}, {slot}) recorded in "
+            f"{remset.name}"
+        ),
+    )
+
+
+_INJECTORS = {
+    "dangling-slot": _inject_dangling_slot,
+    "drop-remset": _inject_drop_remset,
+    "dup-remset": _inject_dup_remset,
+    "stale-forward": _inject_stale_forward,
+    "root-skip": _inject_root_skip,
+    "mis-renumber": _inject_mis_renumber,
+}
+
+
+# ----------------------------------------------------------------------
+# Remset helpers
+# ----------------------------------------------------------------------
+
+
+def _collector_remsets(
+    collector: Collector,
+) -> tuple[RememberedSet, ...] | None:
+    if isinstance(collector, GenerationalCollector):
+        return tuple(collector.remsets[1:])  # gen 0 has no inbound set
+    if isinstance(collector, NonPredictiveCollector):
+        return (collector.remset,) if collector.use_remset else None
+    if isinstance(collector, HybridCollector):
+        return (collector.remset_young, collector.remset_steps)
+    return None
+
+
+def _conservative_slots(collector: Collector) -> list:
+    """``(remset, obj_id, slot)`` triples a barrier could have left stale.
+
+    Only slots of objects residing in a remset's legitimate *source*
+    region qualify: a correct collector must tolerate such entries,
+    because the barrier records them eagerly and the pointed-at store
+    may be overwritten before the next partial collection prunes.
+    """
+    candidates: list = []
+    if isinstance(collector, GenerationalCollector):
+        for src_gen, space in enumerate(collector.spaces):
+            if src_gen == 0:
+                continue
+            remset = collector.remsets[src_gen]
+            for obj in space.objects():
+                for slot in range(len(obj.fields)):
+                    candidates.append((remset, obj.obj_id, slot))
+    elif isinstance(collector, NonPredictiveCollector):
+        if collector.use_remset:
+            for space in collector.steps[: collector.j]:
+                for obj in space.objects():
+                    for slot in range(len(obj.fields)):
+                        candidates.append(
+                            (collector.remset, obj.obj_id, slot)
+                        )
+    elif isinstance(collector, HybridCollector):
+        for index, space in enumerate(collector.steps):
+            for obj in space.objects():
+                for slot in range(len(obj.fields)):
+                    candidates.append(
+                        (collector.remset_young, obj.obj_id, slot)
+                    )
+                    if index + 1 <= collector.j:
+                        candidates.append(
+                            (collector.remset_steps, obj.obj_id, slot)
+                        )
+    return candidates
+
+
+def _required_entries(collector: Collector) -> list:
+    """Every ``(remset, entry, why)`` a partial collection depends on.
+
+    Mirrors the predicates of the auditor's remset-completeness check:
+    an entry is *required* when its slot currently holds a live pointer
+    that the corresponding partial collection would otherwise miss.
+    """
+    heap = collector.heap
+    required: list = []
+    if isinstance(collector, GenerationalCollector):
+        for src_gen, space in enumerate(collector.spaces):
+            if src_gen == 0:
+                continue
+            remset = collector.remsets[src_gen]
+            for obj in space.objects():
+                for slot, ref in enumerate(obj.fields):
+                    if type(ref) is not int or not heap.contains_id(ref):
+                        continue
+                    dst_gen = collector.generation_index(heap.get(ref))
+                    if dst_gen is None or dst_gen >= src_gen:
+                        continue
+                    entry = (obj.obj_id, slot)
+                    if entry in remset:
+                        required.append(
+                            (
+                                remset,
+                                entry,
+                                f"gen-{src_gen} -> gen-{dst_gen}",
+                            )
+                        )
+    elif isinstance(collector, NonPredictiveCollector):
+        if not collector.use_remset:
+            return []
+        j = collector.j
+        for space in collector.steps[:j]:
+            for obj in space.objects():
+                for slot, ref in enumerate(obj.fields):
+                    if type(ref) is not int or not heap.contains_id(ref):
+                        continue
+                    dst = collector.step_number(heap.get(ref))
+                    if dst is None or dst <= j:
+                        continue
+                    entry = (obj.obj_id, slot)
+                    if entry in collector.remset:
+                        required.append(
+                            (
+                                collector.remset,
+                                entry,
+                                f"protected -> step-{dst}",
+                            )
+                        )
+    elif isinstance(collector, HybridCollector):
+        j = collector.j
+        for index, space in enumerate(collector.steps):
+            src_step = index + 1
+            for obj in space.objects():
+                for slot, ref in enumerate(obj.fields):
+                    if type(ref) is not int or not heap.contains_id(ref):
+                        continue
+                    target = heap.get(ref)
+                    if collector.in_nursery(target):
+                        entry = (obj.obj_id, slot)
+                        if entry in collector.remset_young:
+                            required.append(
+                                (
+                                    collector.remset_young,
+                                    entry,
+                                    f"step-{src_step} -> nursery",
+                                )
+                            )
+                        continue
+                    dst_step = collector.step_number(target)
+                    if dst_step is None or not src_step <= j < dst_step:
+                        continue
+                    entry = (obj.obj_id, slot)
+                    if entry in collector.remset_steps:
+                        required.append(
+                            (
+                                collector.remset_steps,
+                                entry,
+                                f"step-{src_step} -> step-{dst_step}",
+                            )
+                        )
+    return required
+
+
+def _pick(rng: random.Random, items, key=None):
+    """Deterministically choose one item, order-independent via ``key``."""
+    pool = sorted(items, key=key) if key is not None else list(items)
+    return pool[rng.randrange(len(pool))]

@@ -1,0 +1,138 @@
+"""The resumable sweep journal behind ``repro-gc all --resume``.
+
+A sweep journal is a single JSON file (``.repro_cache/journal.json``)
+recording, per experiment, either the finished artifact (rendered
+text, JSON payload, wall seconds) or the quarantine report of a task
+that exhausted its retries.  The resilient engine writes it through
+the ``on_result`` hook — one atomic rewrite per completion — so a
+sweep killed at any instant loses at most the tasks literally in
+flight; ``--resume`` then serves the journalled completions without
+re-running them and picks up the rest.
+
+A journal is only valid for *the sweep it recorded*: its ``run_key``
+hashes the ordered task names together with the source digest
+(:func:`repro.perf.cache.source_digest`), so editing any source file
+or changing the experiment selection invalidates it wholesale, exactly
+like the artifact cache.  :meth:`SweepJournal.resume` silently starts
+fresh on a mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.resilience.atomic import atomic_write_json
+
+__all__ = ["JOURNAL_FILENAME", "SweepJournal"]
+
+#: File name inside the cache directory (``.repro_cache/``).
+JOURNAL_FILENAME = "journal.json"
+
+_FORMAT = 1
+
+
+def _run_key(names: Sequence[str], digest: str) -> str:
+    blob = json.dumps(
+        {"names": list(names), "source": digest}, sort_keys=True
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class SweepJournal:
+    """Per-completion persistent record of one sweep's progress.
+
+    Args:
+        path: the journal file (parent directories created lazily).
+        run_key: identity of the sweep this journal is valid for; use
+            :meth:`fresh`/:meth:`resume` rather than computing it by
+            hand.
+    """
+
+    def __init__(self, path: Path | str, run_key: str) -> None:
+        self.path = Path(path)
+        self.run_key = run_key
+        #: name -> {"text", "payload", "seconds"} for finished tasks.
+        self.completed: dict[str, Mapping[str, Any]] = {}
+        #: name -> {"kind", "attempts", "error"} for quarantined tasks.
+        self.quarantined: dict[str, Mapping[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fresh(
+        cls, path: Path | str, names: Sequence[str], digest: str
+    ) -> "SweepJournal":
+        """An empty journal for this sweep (overwrites on first record)."""
+        return cls(path, _run_key(names, digest))
+
+    @classmethod
+    def resume(
+        cls, path: Path | str, names: Sequence[str], digest: str
+    ) -> "SweepJournal":
+        """Load prior progress for this exact sweep, if any.
+
+        A missing, corrupt, or mismatched (different task set or
+        source digest) journal yields an empty one — resuming never
+        fails, it just starts over.
+        """
+        journal = cls.fresh(path, names, digest)
+        try:
+            with journal.path.open(encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return journal
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != _FORMAT
+            or data.get("run_key") != journal.run_key
+        ):
+            return journal
+        completed = data.get("completed")
+        quarantined = data.get("quarantined")
+        if isinstance(completed, dict):
+            journal.completed = {
+                name: entry
+                for name, entry in completed.items()
+                if isinstance(entry, dict) and "text" in entry
+            }
+        if isinstance(quarantined, dict):
+            journal.quarantined = dict(quarantined)
+        return journal
+
+    # ------------------------------------------------------------------
+    # Recording (each call rewrites the file atomically)
+    # ------------------------------------------------------------------
+
+    def record_success(
+        self, name: str, entry: Mapping[str, Any]
+    ) -> None:
+        self.completed[name] = dict(entry)
+        self.quarantined.pop(name, None)
+        self._flush()
+
+    def record_failure(self, name: str, info: Mapping[str, Any]) -> None:
+        self.quarantined[name] = dict(info)
+        self._flush()
+
+    def discard(self) -> None:
+        """Remove the journal file (a fully successful sweep needs none)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _flush(self) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "format": _FORMAT,
+                "run_key": self.run_key,
+                "completed": self.completed,
+                "quarantined": self.quarantined,
+            },
+        )

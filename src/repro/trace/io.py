@@ -30,9 +30,14 @@ class TraceFormatError(ValueError):
 
 
 def save_trace(trace: LifetimeTrace, path: str | Path) -> None:
-    """Write a trace as JSON lines."""
-    with open(path, "w", encoding="utf-8") as handle:
-        _write(trace, handle)
+    """Write a trace as JSON lines (atomically: no torn trace files)."""
+    import io
+
+    from repro.resilience.atomic import atomic_write_text
+
+    buffer = io.StringIO()
+    _write(trace, buffer)
+    atomic_write_text(Path(path), buffer.getvalue())
 
 
 def _write(trace: LifetimeTrace, handle: IO[str]) -> None:

@@ -20,10 +20,18 @@ correct collector in this reproduction must maintain:
 * **remembered-set completeness** — per collector family, every
   pointer that a partial collection would need to treat as a root has
   a slot-precise remembered-set entry (§8.4's situations 3, 5 and 6);
-* **non-predictive structure** — the step renumbering bookkeeping is
-  self-consistent and, in stop-and-copy mode, objects allocated since
-  the last collection sit in non-increasing step order (allocation
-  fills the steps from the top down).
+* **step structure** — the step renumbering bookkeeping of the
+  non-predictive and hybrid collectors is self-consistent and, in the
+  non-predictive collector's stop-and-copy mode, objects allocated
+  since the last collection sit in non-increasing step order
+  (allocation fills the steps from the top down);
+* **root-witness coverage** (optional) — when the caller supplies an
+  independent ``expected_roots`` witness (ids the *mutator* believes
+  are rooted), every witnessed id must be present in the collector's
+  root set and resolve to a live object.  The chaos harness
+  (:mod:`repro.resilience.chaos`) uses this to expose silently
+  *skipped* roots, which are invisible to every check that reuses the
+  collector's own root set.
 
 The auditor is wired into collectors through the optional
 ``post_collection_hook``: :func:`enable_checked_mode` installs
@@ -96,14 +104,32 @@ class AuditReport:
         )
 
 
-def audit_collector(collector: Collector) -> AuditReport:
-    """Run every applicable invariant check; never raises."""
+def audit_collector(
+    collector: Collector,
+    *,
+    expected_roots: "object | None" = None,
+) -> AuditReport:
+    """Run every applicable invariant check; never raises.
+
+    Args:
+        collector: the collector to audit.
+        expected_roots: optional iterable of object ids that an
+            *independent* witness (typically the mutator that drove the
+            collector) believes are rooted.  When given, the audit adds
+            a ``root-witness`` check failing for any witnessed id that
+            the collector's root set no longer resolves — the only way
+            to detect a silently skipped root, since every other check
+            trusts the collector's own root set.
+    """
     checks: list[str] = []
     violations: list[str] = []
 
     _check_heap_integrity(collector, checks, violations)
     _check_reachability(collector, checks, violations)
     _check_managed_spaces(collector, checks, violations)
+    if expected_roots is not None:
+        checks.append("root-witness")
+        _check_root_witness(collector, expected_roots, violations)
 
     if isinstance(collector, GenerationalCollector):
         checks.append("remset-completeness")
@@ -115,6 +141,8 @@ def audit_collector(collector: Collector) -> AuditReport:
             checks.append("remset-completeness")
             _check_np_remsets(collector, violations)
     elif isinstance(collector, HybridCollector):
+        checks.append("hybrid-step-structure")
+        _check_hybrid_structure(collector, violations)
         checks.append("remset-completeness")
         _check_hybrid_remsets(collector, violations)
 
@@ -210,6 +238,48 @@ def _check_managed_spaces(
             f"words but resident ({resident}) + reclaimed "
             f"({stats.words_reclaimed}) = {balance}"
         )
+
+
+def _check_root_witness(
+    collector: Collector, expected_roots, violations: list[str]
+) -> None:
+    """Every witnessed root id must still be rooted and resolvable."""
+    rooted = set(collector.roots.ids())
+    heap = collector.heap
+    missing = sorted(
+        {
+            int(obj_id)
+            for obj_id in expected_roots
+            if obj_id not in rooted
+        }
+    )
+    if missing:
+        violations.append(
+            f"root witness: expected root ids {missing} are absent "
+            f"from the collector's root set"
+        )
+        return
+    dead = sorted(
+        {
+            int(obj_id)
+            for obj_id in expected_roots
+            if not heap.contains_id(obj_id)
+        }
+    )
+    if dead:
+        violations.append(
+            f"root witness: expected root ids {dead} no longer "
+            f"resolve to live objects"
+        )
+
+
+def _check_hybrid_structure(
+    collector: HybridCollector, violations: list[str]
+) -> None:
+    try:
+        collector.check_step_invariants()
+    except AssertionError as exc:
+        violations.append(f"step structure: {exc or 'assertion failed'}")
 
 
 def _check_generational_remsets(

@@ -1,0 +1,151 @@
+"""Tests for graceful heap-pressure degradation.
+
+Exhaustion is a policy, not an accident: collectors collect, then
+expand within their configured bound, and only then raise a structured
+:class:`HeapExhausted` carrying a per-space occupancy snapshot.
+"""
+
+import pytest
+
+from repro.gc.collector import HeapExhausted
+from repro.gc.generational import GenerationalCollector
+from repro.gc.marksweep import MarkSweepCollector
+from repro.gc.stopcopy import StopAndCopyCollector
+from repro.heap.heap import SimulatedHeap
+from repro.heap.roots import RootSet
+
+
+def _fresh():
+    return SimulatedHeap(), RootSet()
+
+
+class TestExactCapacityBoundary:
+    def test_filling_to_exact_capacity_succeeds(self):
+        heap, roots = _fresh()
+        collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
+        for index in range(2):
+            roots.set_global(f"g{index}", collector.allocate(4))
+        assert collector.space.used == 8
+
+    def test_one_word_past_capacity_exhausts(self):
+        heap, roots = _fresh()
+        collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
+        for index in range(2):
+            roots.set_global(f"g{index}", collector.allocate(4))
+        with pytest.raises(HeapExhausted) as excinfo:
+            collector.allocate(1)
+        assert excinfo.value.requested == 1
+
+    def test_garbage_at_capacity_is_collected_not_fatal(self):
+        heap, roots = _fresh()
+        collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
+        collector.allocate(4)
+        collector.allocate(4)  # both unreachable
+        obj = collector.allocate(4)  # forces a collection, then fits
+        roots.set_global("live", obj)
+        assert heap.contains_id(obj.obj_id)
+
+
+class TestEmergencyCollection:
+    def test_tenuring_nursery_wedge_resolved_by_full_collection(self):
+        # Under-age survivors stay in the nursery after a minor
+        # collection (tenuring), so the nursery can still be full; the
+        # emergency full collection promotes them all before giving up.
+        heap, roots = _fresh()
+        collector = GenerationalCollector(
+            heap,
+            roots,
+            [16, 64],
+            promotion_threshold=2,
+            tenuring_overflow_fraction=1.0,
+        )
+        stayers = []
+        for index in range(4):
+            obj = collector.allocate(4)
+            roots.set_global(f"g{index}", obj)
+            stayers.append(obj)
+        assert collector.nursery.used == 16
+        newcomer = collector.allocate(4)  # triggers the emergency path
+        roots.set_global("newcomer", newcomer)
+        assert heap.contains_id(newcomer.obj_id)
+        for obj in stayers:
+            assert collector.generation_index(obj) == 1
+        assert collector.nursery.used == 4
+
+    def test_stopcopy_collects_garbage_before_raising(self):
+        heap, roots = _fresh()
+        collector = StopAndCopyCollector(heap, roots, 8, auto_expand=False)
+        collector.allocate(4)
+        collector.allocate(4)  # both unreachable
+        obj = collector.allocate(8)
+        roots.set_global("live", obj)
+        assert heap.contains_id(obj.obj_id)
+
+
+class TestExpansionCap:
+    def test_marksweep_expands_only_to_the_cap(self):
+        heap, roots = _fresh()
+        collector = MarkSweepCollector(
+            heap, roots, 8, auto_expand=True, max_heap_words=16
+        )
+        for index in range(4):
+            roots.set_global(f"g{index}", collector.allocate(4))
+        assert collector.space.capacity <= 16
+        with pytest.raises(HeapExhausted):
+            collector.allocate(4)
+        assert collector.space.capacity <= 16
+
+    def test_stopcopy_expands_only_to_the_cap(self):
+        heap, roots = _fresh()
+        collector = StopAndCopyCollector(
+            heap, roots, 8, auto_expand=True, max_semispace_words=16
+        )
+        for index in range(4):
+            roots.set_global(f"g{index}", collector.allocate(4))
+        with pytest.raises(HeapExhausted):
+            collector.allocate(4)
+        for space in heap.spaces():
+            assert (space.capacity or 0) <= 16
+
+    def test_cap_below_initial_size_rejected(self):
+        heap, roots = _fresh()
+        with pytest.raises(ValueError):
+            MarkSweepCollector(heap, roots, 32, max_heap_words=16)
+        heap, roots = _fresh()
+        with pytest.raises(ValueError):
+            StopAndCopyCollector(heap, roots, 32, max_semispace_words=16)
+
+
+class TestExhaustionDiagnostics:
+    def _exhaust(self):
+        heap, roots = _fresh()
+        collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
+        for index in range(2):
+            roots.set_global(f"g{index}", collector.allocate(4))
+        with pytest.raises(HeapExhausted) as excinfo:
+            collector.allocate(4)
+        return collector, excinfo.value
+
+    def test_snapshot_carries_per_space_occupancy(self):
+        collector, error = self._exhaust()
+        assert error.collector is collector
+        assert error.requested == 4
+        assert error.phase == "allocate"
+        spaces = error.snapshot["spaces"]
+        assert spaces, "snapshot must list the wedged spaces"
+        for entry in spaces:
+            assert {"name", "used", "capacity"} <= set(entry)
+        wedged = {entry["name"]: entry for entry in spaces}
+        assert wedged[collector.space.name]["used"] == 8
+
+    def test_message_names_phase_and_occupancy(self):
+        _, error = self._exhaust()
+        message = str(error)
+        assert "phase allocate" in message
+        assert "4 words" in message
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        _, error = self._exhaust()
+        json.dumps(error.snapshot)

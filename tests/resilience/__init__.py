@@ -1,0 +1,2 @@
+"""Tests for the resilience layer: atomic writes, fault injection,
+chaos detection, and the sweep journal."""

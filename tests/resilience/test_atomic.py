@@ -1,0 +1,46 @@
+"""Tests for the atomic write helpers."""
+
+import json
+
+from repro.resilience.atomic import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        returned = atomic_write_text(path, "hello\n")
+        assert returned == path
+        assert path.read_text(encoding="utf-8") == "hello\n"
+
+    def test_creates_missing_parents(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(path, "deep")
+        assert path.read_text(encoding="utf-8") == "deep"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text(encoding="utf-8") == "new"
+
+    def test_leaves_no_scratch_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.txt"]
+
+
+class TestAtomicWriteJson:
+    def test_format_matches_json_dump(self, tmp_path):
+        path = tmp_path / "out.json"
+        value = {"b": 2, "a": [1, 2]}
+        atomic_write_json(path, value)
+        expected = json.dumps(value, indent=2, sort_keys=True) + "\n"
+        assert path.read_text(encoding="utf-8") == expected
+
+    def test_roundtrips(self, tmp_path):
+        path = tmp_path / "out.json"
+        value = {"nested": {"x": None, "y": [True, 1.5]}}
+        atomic_write_json(path, value)
+        with path.open(encoding="utf-8") as handle:
+            assert json.load(handle) == value

@@ -1,0 +1,50 @@
+"""Tests for the ``repro-gc chaos`` subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+class TestChaosCommand:
+    def test_quick_run_exits_clean(self, capsys):
+        code = main(
+            ["chaos", "--quick", "--collectors", "mark-sweep"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK:" in out
+        assert "dangling-slot" in out
+
+    def test_output_writes_matrix_artifact(self, tmp_path, capsys):
+        path = tmp_path / "matrix.json"
+        code = main(
+            [
+                "chaos",
+                "--quick",
+                "--collectors",
+                "mark-sweep",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        with path.open(encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["ok"] is True
+        assert payload["seed"] == 0
+        kinds = {entry["fault"] for entry in payload["outcomes"]}
+        assert "root-skip" in kinds
+
+    def test_bad_op_count_is_a_usage_error_not_a_traceback(self, capsys):
+        code = main(["chaos", "--ops", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-gc chaos: error:")
+
+    def test_json_mode_prints_machine_readable(self, capsys):
+        code = main(
+            ["chaos", "--quick", "--collectors", "mark-sweep", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True

@@ -1,0 +1,183 @@
+"""Tests for the fault taxonomy and its injectors.
+
+Every corruption injector must leave the collector in a state the
+auditor rejects; the benign injector must leave a state it accepts.
+The root-skip case is the regression test for the auditor gap this PR
+closed: it is invisible to a plain audit (every check trusts the
+collector's own root set) and caught only by the ``expected_roots``
+witness.
+"""
+
+import random
+
+import pytest
+
+from repro.gc.generational import GenerationalCollector
+from repro.gc.marksweep import MarkSweepCollector
+from repro.gc.nonpredictive import NonPredictiveCollector
+from repro.heap.heap import SimulatedHeap
+from repro.heap.roots import RootSet
+from repro.resilience.faults import (
+    CORRUPTION_FAULTS,
+    FAULT_KINDS,
+    FaultPlan,
+    fault_applies,
+    fault_expectation,
+    inject_fault,
+)
+from repro.verify.audit import audit_collector
+
+
+def _marksweep():
+    heap = SimulatedHeap()
+    roots = RootSet()
+    return MarkSweepCollector(heap, roots, 256), heap, roots
+
+
+def _generational():
+    heap = SimulatedHeap()
+    roots = RootSet()
+    collector = GenerationalCollector(heap, roots, [64, 128])
+    return collector, heap, roots
+
+
+def _nonpredictive():
+    heap = SimulatedHeap()
+    roots = RootSet()
+    collector = NonPredictiveCollector(heap, roots, 32, 8)
+    return collector, heap, roots
+
+
+class TestTaxonomy:
+    def test_every_kind_has_an_expectation(self):
+        for kind in FAULT_KINDS:
+            assert fault_expectation(kind) in ("corruption", "benign")
+
+    def test_dup_remset_is_the_only_benign_kind(self):
+        assert set(FAULT_KINDS) - CORRUPTION_FAULTS == {"dup-remset"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            fault_expectation("bit-rot")
+
+    def test_plan_validates_kind_and_index(self):
+        plan = FaultPlan("dangling-slot", 3, seed=7)
+        assert plan.expectation == "corruption"
+        with pytest.raises(ValueError):
+            FaultPlan("bit-rot", 0, seed=0)
+        with pytest.raises(ValueError):
+            FaultPlan("dangling-slot", -1, seed=0)
+
+    def test_applicability_by_collector_family(self):
+        ms, _, _ = _marksweep()
+        gen, _, _ = _generational()
+        np_rs, _, _ = _nonpredictive()
+        assert fault_applies("dangling-slot", ms)
+        assert fault_applies("stale-forward", ms)
+        assert fault_applies("root-skip", ms)
+        assert not fault_applies("drop-remset", ms)
+        assert not fault_applies("mis-renumber", ms)
+        assert fault_applies("drop-remset", gen)
+        assert fault_applies("mis-renumber", np_rs)
+        assert fault_applies("drop-remset", np_rs) == np_rs.use_remset
+
+
+class TestInjectors:
+    def test_no_target_returns_none(self):
+        collector, _, _ = _marksweep()
+        rng = random.Random(0)
+        assert inject_fault("dangling-slot", collector, rng) is None
+        assert inject_fault("root-skip", collector, rng) is None
+
+    def test_dangling_slot_fails_audit(self):
+        collector, _, roots = _marksweep()
+        obj = collector.allocate(4, 2)
+        roots.set_global("a", obj)
+        assert audit_collector(collector).ok
+        injection = inject_fault(
+            "dangling-slot", collector, random.Random(1)
+        )
+        assert injection is not None
+        assert not audit_collector(collector).ok
+
+    def test_stale_forward_fails_audit_even_single_space(self):
+        collector, _, roots = _marksweep()
+        roots.set_global("a", collector.allocate(4))
+        injection = inject_fault(
+            "stale-forward", collector, random.Random(2)
+        )
+        assert injection is not None
+        assert not audit_collector(collector).ok
+
+    def test_mis_renumber_fails_audit(self):
+        collector, _, roots = _nonpredictive()
+        roots.set_global("a", collector.allocate(4))
+        injection = inject_fault(
+            "mis-renumber", collector, random.Random(3)
+        )
+        assert injection is not None
+        report = audit_collector(collector)
+        assert not report.ok
+
+    def test_drop_remset_fails_audit(self):
+        collector, heap, roots = _generational()
+        old = collector.allocate(4, 1)
+        roots.set_global("old", old)
+        collector.collect()  # promotes `old` out of the nursery
+        assert collector.generation_index(old) == 1
+        young = collector.allocate(4)
+        roots.set_global("young", young)
+        old.fields[0] = young.obj_id
+        collector.remember_store(old, 0, young)
+        roots.remove_global("young")  # young now lives via old's slot
+        assert audit_collector(collector).ok
+        injection = inject_fault(
+            "drop-remset", collector, random.Random(4)
+        )
+        assert injection is not None
+        report = audit_collector(collector)
+        assert any("remset" in v for v in report.violations)
+
+    def test_dup_remset_is_benign(self):
+        collector, heap, roots = _generational()
+        old = collector.allocate(4, 1)
+        roots.set_global("old", old)
+        collector.collect()
+        young = collector.allocate(4)
+        roots.set_global("young", young)
+        injection = inject_fault(
+            "dup-remset", collector, random.Random(5)
+        )
+        assert injection is not None
+        assert audit_collector(collector).ok
+        collector.collect()  # the spurious entry must not crash a cycle
+        assert audit_collector(collector).ok
+
+
+class TestRootSkipWitness:
+    """Satellite (f): the auditor gap this PR closed."""
+
+    def test_plain_audit_misses_root_skip(self):
+        collector, _, roots = _marksweep()
+        obj = collector.allocate(4)
+        roots.set_global("a", obj)
+        witness = {obj.obj_id}
+        injection = inject_fault("root-skip", collector, random.Random(6))
+        assert injection is not None
+        # Every classic check trusts the collector's own root set, so
+        # the plain audit is blind to the skip...
+        assert audit_collector(collector).ok
+        # ...and only the independent witness sees it.
+        report = audit_collector(collector, expected_roots=witness)
+        assert not report.ok
+        assert any("root witness" in v for v in report.violations)
+
+    def test_witness_passes_on_honest_collector(self):
+        collector, _, roots = _marksweep()
+        obj = collector.allocate(4)
+        roots.set_global("a", obj)
+        report = audit_collector(
+            collector, expected_roots={obj.obj_id}
+        )
+        assert report.ok
+        assert "root-witness" in report.checks

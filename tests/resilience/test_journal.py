@@ -1,0 +1,85 @@
+"""Tests for the resumable sweep journal."""
+
+import json
+
+from repro.resilience.journal import SweepJournal
+
+NAMES = ["table1", "equilibrium"]
+DIGEST = "abc123"
+
+
+def _entry(text="rendered"):
+    return {"text": text, "payload": {"x": 1}, "seconds": 0.5}
+
+
+class TestLifecycle:
+    def test_fresh_starts_empty(self, tmp_path):
+        journal = SweepJournal.fresh(tmp_path / "journal.json", NAMES, DIGEST)
+        assert journal.completed == {}
+        assert journal.quarantined == {}
+
+    def test_record_success_persists_immediately(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry())
+        assert path.exists()
+        resumed = SweepJournal.resume(path, NAMES, DIGEST)
+        assert set(resumed.completed) == {"table1"}
+        assert resumed.completed["table1"]["text"] == "rendered"
+
+    def test_success_clears_earlier_quarantine(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_failure(
+            "table1", {"kind": "timeout", "attempts": 2, "error": "slow"}
+        )
+        assert "table1" in journal.quarantined
+        journal.record_success("table1", _entry())
+        resumed = SweepJournal.resume(path, NAMES, DIGEST)
+        assert "table1" in resumed.completed
+        assert "table1" not in resumed.quarantined
+
+    def test_discard_removes_file(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry())
+        journal.discard()
+        assert not path.exists()
+
+
+class TestResumeValidation:
+    def test_resume_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal.resume(
+            tmp_path / "missing.json", NAMES, DIGEST
+        )
+        assert journal.completed == {}
+
+    def test_resume_corrupt_file_is_empty(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text("{ not json")
+        journal = SweepJournal.resume(path, NAMES, DIGEST)
+        assert journal.completed == {}
+
+    def test_resume_rejects_source_change(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry())
+        resumed = SweepJournal.resume(path, NAMES, "different-digest")
+        assert resumed.completed == {}
+
+    def test_resume_rejects_name_set_change(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry())
+        resumed = SweepJournal.resume(path, ["table1"], DIGEST)
+        assert resumed.completed == {}
+
+    def test_resume_drops_malformed_entries(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry())
+        body = json.loads(path.read_text())
+        body["completed"]["equilibrium"] = "not-a-dict"
+        path.write_text(json.dumps(body))
+        resumed = SweepJournal.resume(path, NAMES, DIGEST)
+        assert set(resumed.completed) == {"table1"}

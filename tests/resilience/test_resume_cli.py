@@ -1,0 +1,101 @@
+"""Kill-and-resume test for ``repro-gc all --resume``.
+
+A sweep is SIGKILLed mid-run (after the journal has recorded at least
+one completion), then rerun with ``--resume``: the rerun must serve
+the journalled experiments without repeating them and finish the rest,
+leaving every artifact present exactly once.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+# The sweep used throughout: a slow experiment (~3 s, so the first
+# journal flush happens well before the sweep ends) plus a fast one.
+# The registry runs table5 first; the kill lands somewhere after its
+# completion is journalled.  If the whole sweep wins the race and
+# finishes first, the test degrades to a plain resume-after-success
+# run, which must also work.
+SWEEP = "equilibrium,table5"
+
+
+def _run_all(cwd, *extra):
+    env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "all",
+            "--only",
+            SWEEP,
+            "--no-cache",
+            "--output",
+            "arts",
+            *extra,
+        ],
+        cwd=cwd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _journal_path(cwd):
+    return Path(cwd) / ".repro_cache" / "journal.json"
+
+
+def test_kill_and_resume_completes_without_duplication(tmp_path):
+    # Phase 1: start the sweep and SIGKILL it once the journal holds
+    # the first completion (but, with luck, not the second).
+    process = _run_all(tmp_path)
+    journal = _journal_path(tmp_path)
+    killed = False
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            break  # finished before we could kill it — still a valid run
+        try:
+            body = json.loads(journal.read_text())
+        except (OSError, ValueError):
+            body = {}
+        if body.get("completed"):
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+            killed = True
+            break
+        time.sleep(0.05)
+    else:
+        process.kill()
+        pytest.fail("sweep neither journalled nor finished within 60s")
+
+    if killed:
+        # The kill left the journal behind with the completed prefix
+        # (whichever experiments settled before the signal landed).
+        body = json.loads(journal.read_text())
+        assert body["completed"]
+
+    # Phase 2: resume.  Journalled experiments are served, the rest
+    # run, and the sweep succeeds end to end.
+    resumed = _run_all(tmp_path, "--resume")
+    out, _ = resumed.communicate(timeout=300)
+    assert resumed.returncode == 0, out
+    if killed:
+        assert "resuming:" in out
+
+    # Every experiment present exactly once, none duplicated or lost.
+    for name in SWEEP.split(","):
+        assert (tmp_path / "arts" / f"{name}.txt").exists(), out
+        assert out.count(f"=== {name}:") == 1
+
+    # A fully successful sweep discards its journal.
+    assert not journal.exists()
