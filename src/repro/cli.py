@@ -24,6 +24,13 @@ Subcommands:
   full-collection latency per collector, persisted to
   ``BENCH_perf.json`` (``--quick`` for the CI smoke variant, which
   fails on a >30% throughput regression vs the committed record);
+* ``metrics`` — the observability plane: run an experiment (default
+  antiprediction) or a seeded collector sweep with the
+  :mod:`repro.metrics` instrumentation armed, and render pause-cost
+  histograms (p50/p95/max in words of work) plus the
+  mark/copy/sweep/root decomposition; ``--json``/``--prometheus``
+  switch the output format, ``--events`` dumps the NDJSON telemetry
+  stream, ``--overhead`` checks the plane's wall-clock cost;
 * ``bench NAME --collector KIND`` — run one of the six benchmarks
   under a chosen collector and print its GC statistics;
 * ``analyze`` — print Section 5 quantities for a given (g, L);
@@ -212,16 +219,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience.atomic import atomic_write_json
     from repro.resilience.chaos import run_chaos_matrix
 
+    events = None
+    if args.events:
+        from repro.metrics.events import EventStream
+
+        events = EventStream()
     try:
         matrix = run_chaos_matrix(
             seed=args.seed,
             op_count=args.ops,
             collectors=tuple(args.collectors),
             quick=args.quick,
+            events=events,
         )
     except ValueError as exc:
         print(f"repro-gc chaos: error: {exc}", file=sys.stderr)
         return 2
+    if events is not None:
+        events.write(Path(args.events))
+        print(f"{len(events)} telemetry events written to {args.events}")
     if args.json:
         print(json.dumps(matrix.to_json(), indent=2))
     else:
@@ -239,6 +255,102 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.metrics.export import (
+        registries_to_jsonable,
+        render_summary,
+        to_prometheus,
+    )
+
+    for option, value in (
+        ("--repeats", args.repeats),
+        ("--runs", args.runs),
+        ("--jobs", args.jobs),
+    ):
+        if value is not None and value < 1:
+            print(
+                f"repro-gc metrics: error: {option} must be positive, "
+                f"got {value}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.overhead:
+        from repro.metrics.sweep import measure_overhead
+
+        result = measure_overhead(repeats=args.repeats)
+        ratio = result["overhead_ratio"]
+        print(
+            f"metrics-off: {result['metrics_off_seconds'] * 1000:.1f}ms  "
+            f"metrics-on: {result['metrics_on_seconds'] * 1000:.1f}ms  "
+            f"overhead: {100 * (ratio - 1):+.1f}%"
+        )
+        if ratio > 1.0 + args.overhead_tolerance:
+            print(
+                f"[FAIL] overhead exceeds "
+                f"{100 * args.overhead_tolerance:.0f}%"
+            )
+            return 1
+        print(
+            f"[PASS] within the {100 * args.overhead_tolerance:.0f}% "
+            f"overhead budget"
+        )
+        return 0
+
+    stream = None
+    if args.sweep:
+        from repro.metrics.sweep import run_metrics_sweep
+        from repro.perf.parallel import default_jobs
+
+        jobs = args.jobs if args.jobs is not None else default_jobs()
+        sweep = run_metrics_sweep(
+            runs=args.runs, jobs=jobs, seed=args.seed, quick=args.quick
+        )
+        registries = list(sweep["collectors"].values())
+        source = (
+            f"decay sweep: {args.runs} run(s) per collector, "
+            f"seed {args.seed}, jobs {jobs}"
+        )
+    else:
+        from repro.experiments.runner import run_experiment_instrumented
+
+        _result, _text, session = run_experiment_instrumented(
+            args.experiment
+        )
+        registries = session.registries()
+        stream = session.stream
+        source = f"experiment: {args.experiment}"
+
+    if args.json:
+        print(json.dumps(registries_to_jsonable(registries), indent=2))
+    elif args.prometheus:
+        print(to_prometheus(registries), end="")
+    else:
+        print(f"metrics — {source}")
+        print()
+        print(render_summary(registries))
+    if args.output:
+        from repro.resilience.atomic import atomic_write_json
+
+        path = Path(args.output)
+        atomic_write_json(path, registries_to_jsonable(registries))
+        print(f"metrics written to {path}")
+    if args.events:
+        path = Path(args.events)
+        if stream is None:
+            print(
+                "repro-gc metrics: --events requires an experiment run "
+                "(the sweep workers do not share one stream)",
+                file=sys.stderr,
+            )
+            return 2
+        stream.write(path)
+        print(f"{len(stream)} events written to {path}")
     return 0
 
 
@@ -553,7 +665,98 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the matrix as JSON instead of the rendered table",
     )
+    sub.add_argument(
+        "--events",
+        default=None,
+        help=(
+            "write fault-injected/fault-detected telemetry as NDJSON "
+            "to this path"
+        ),
+    )
     sub.set_defaults(func=_cmd_chaos)
+
+    sub = subparsers.add_parser(
+        "metrics",
+        help=(
+            "the observability plane: pause histograms (p50/p95/max in "
+            "words) and the mark/copy/sweep/root decomposition, from an "
+            "instrumented experiment or a seeded collector sweep"
+        ),
+    )
+    sub.add_argument(
+        "--experiment",
+        default="antiprediction",
+        choices=[experiment.name for experiment in EXPERIMENTS],
+        help="experiment to run instrumented (default: antiprediction)",
+    )
+    sub.add_argument(
+        "--sweep",
+        action="store_true",
+        help=(
+            "instead of an experiment, fan seeded decay-workload runs "
+            "of every collector over the parallel engine and merge "
+            "their registries deterministically"
+        ),
+    )
+    sub.add_argument(
+        "--runs", type=int, default=1, help="sweep runs per collector"
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_JOBS or 1)",
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--quick",
+        action="store_true",
+        help="sweep only: ~6x smaller workload per cell",
+    )
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registries as JSON instead of the summary table",
+    )
+    sub.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format instead",
+    )
+    sub.add_argument(
+        "--output",
+        default=None,
+        help="also write the registries as a JSON artifact to this path",
+    )
+    sub.add_argument(
+        "--events",
+        default=None,
+        help=(
+            "experiment mode only: write the telemetry event stream "
+            "as NDJSON to this path"
+        ),
+    )
+    sub.add_argument(
+        "--overhead",
+        action="store_true",
+        help=(
+            "measure metrics-on vs metrics-off wall-clock on the bench "
+            "workload and fail if the overhead exceeds the tolerance"
+        ),
+    )
+    sub.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional overhead for --overhead (default 0.05)",
+    )
+    sub.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="--overhead timing repetitions per mode (best-of-N)",
+    )
+    sub.set_defaults(func=_cmd_metrics)
 
     sub = subparsers.add_parser(
         "bench",

@@ -50,6 +50,7 @@ __all__ = [
     "Experiment",
     "experiment_names",
     "run_experiment",
+    "run_experiment_instrumented",
     "run_experiments",
 ]
 
@@ -186,6 +187,24 @@ def run_experiment(name: str) -> tuple[object, str]:
     raise KeyError(
         f"unknown experiment {name!r}; available: {experiment_names()}"
     )
+
+
+def run_experiment_instrumented(name: str):
+    """Run one experiment with the metrics plane armed.
+
+    Every collector the experiment constructs self-attaches to a
+    process-wide :class:`~repro.metrics.MetricsSession`, so existing
+    experiments gain pause histograms, the mark/cons decomposition,
+    and the telemetry event stream without any change to their code.
+    Returns ``(result, rendered text, session)``.  Instrumentation is
+    read-only, so the result is byte-identical to an uninstrumented
+    run (the metrics-off invariance tests pin this).
+    """
+    from repro.metrics import metrics_session
+
+    with metrics_session() as session:
+        result, text = run_experiment(name)
+    return result, text, session
 
 
 def run_experiments(

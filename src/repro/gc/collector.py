@@ -24,6 +24,7 @@ from typing import Callable, Iterable
 
 from repro.gc.stats import GcStats
 from repro.heap.heap import HeapError, SimulatedHeap
+from repro.metrics.instrument import active_session
 from repro.heap.object_model import HeapObject
 from repro.heap.roots import RootSet
 from repro.heap.space import Space
@@ -89,6 +90,13 @@ class Collector(abc.ABC):
         #: collection (see :mod:`repro.verify.audit`).  ``None`` keeps
         #: collections hook-free, which is the production default.
         self.post_collection_hook: PostCollectionHook | None = None
+        #: Optional metrics recorder (:mod:`repro.metrics`).  ``None``
+        #: — the default — disables the whole instrumentation plane;
+        #: every site that consults it is a per-collection cold path,
+        #: so disabled runs pay nothing on allocation.  A collector
+        #: constructed inside an active metrics session self-attaches.
+        session = active_session()
+        self.metrics = session.attach(self) if session is not None else None
 
     # ------------------------------------------------------------------
     # Mutator interface
@@ -141,8 +149,13 @@ class Collector(abc.ABC):
     # ------------------------------------------------------------------
 
     def _finish_collection(self) -> None:
-        """Run the checked-mode hook; collectors call this at the end of
-        every collection, after all stats and structural updates."""
+        """Observe metrics and run the checked-mode hook; collectors
+        call this at the end of every collection, after all stats and
+        structural updates.  Metrics are observed first so telemetry
+        records the collection even when a checked-mode audit then
+        rejects the resulting heap."""
+        if self.metrics is not None:
+            self.metrics.observe_collection(self)
         if self.post_collection_hook is not None:
             self.post_collection_hook(self)
 

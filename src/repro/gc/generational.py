@@ -234,6 +234,17 @@ class GenerationalCollector(Collector):
         heap = self.heap
         region = {self.spaces[i] for i in range(upto + 1)}
         used_before = sum(space.used for space in region)
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start",
+                kind=(
+                    "full"
+                    if upto == self.generation_count - 1
+                    else f"minor-0..{upto}"
+                ),
+                clock=heap.clock,
+                upto=upto,
+            )
 
         seeds = self._root_ids()
         seeds.extend(self._remset_seeds(upto, region))
@@ -283,6 +294,14 @@ class GenerationalCollector(Collector):
         incoming = sum(obj.size for obj in movers)
         if incoming > target.free:
             if full and self.auto_expand_oldest:
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "heap-expansion",
+                        space=target.name,
+                        old_capacity=target.capacity or 0,
+                        new_capacity=(target.capacity or 0)
+                        + (incoming - target.free),
+                    )
                 target.capacity = (target.capacity or 0) + (
                     incoming - target.free
                 )
@@ -303,6 +322,13 @@ class GenerationalCollector(Collector):
             survival_counts.pop(obj_id, None)
         target.used += moved_words
         self.stats.words_promoted += moved_words
+        if self.metrics is not None and moved_words:
+            self.metrics.event(
+                "promotion",
+                target=target.name,
+                words=moved_words,
+                objects=len(movers),
+            )
 
         if full:
             # §8.4: a full collection empties the remembered set; every
@@ -329,6 +355,13 @@ class GenerationalCollector(Collector):
         if full and self.auto_expand_oldest:
             minimum = int(live * self.oldest_load_factor)
             if (self.oldest.capacity or 0) < minimum:
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "heap-expansion",
+                        space=self.oldest.name,
+                        old_capacity=self.oldest.capacity or 0,
+                        new_capacity=minimum,
+                    )
                 self.oldest.capacity = minimum
         self._finish_collection()
 

@@ -290,6 +290,10 @@ class HybridCollector(Collector):
         heap = self.heap
         region = {self.nursery}
         used_before = self.nursery.used
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start", kind="promote", clock=heap.clock
+            )
 
         seeds = self._root_ids()
         seeds.extend(self._young_remset_seeds())
@@ -350,6 +354,13 @@ class HybridCollector(Collector):
 
         self.stats.words_copied += survivor_words
         self.stats.words_promoted += survivor_words
+        if self.metrics is not None and survivor_words:
+            self.metrics.event(
+                "promotion",
+                target="steps" if not into_protected else "protected-steps",
+                words=survivor_words,
+                objects=len(survivors),
+            )
 
         # A remembered dynamic-to-nursery slot whose source is protected
         # and whose target was just promoted past the j boundary is now
@@ -480,6 +491,14 @@ class HybridCollector(Collector):
         collectable = self._collectable_list
         region = set(collectable)
         region.add(self.nursery)
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start",
+                kind="non-predictive",
+                clock=heap.clock,
+                j=self._j,
+                collectable_steps=len(collectable),
+            )
 
         seeds = self._root_ids()
         seeds.extend(self._steps_remset_seeds(region))
@@ -507,6 +526,10 @@ class HybridCollector(Collector):
 
         # Renumber: old j+1..k become 1..k-j, old 1..j become k-j+1..k.
         steps = collectable + protected
+        if self.metrics is not None:
+            self.metrics.event(
+                "renumbering", order=[space.name for space in steps]
+            )
         self.steps = steps
         self._step_index_of = {
             space: index for index, space in enumerate(steps)

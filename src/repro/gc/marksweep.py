@@ -118,6 +118,13 @@ class MarkSweepCollector(Collector):
         if self.max_heap_words is not None:
             target = min(target, self.max_heap_words)
         if target > (self.space.capacity or 0):
+            if self.metrics is not None:
+                self.metrics.event(
+                    "heap-expansion",
+                    space=self.space.name,
+                    old_capacity=self.space.capacity or 0,
+                    new_capacity=target,
+                )
             self.space.capacity = target
 
     # ------------------------------------------------------------------
@@ -126,6 +133,10 @@ class MarkSweepCollector(Collector):
 
     def collect(self) -> None:
         """Mark everything reachable from the roots, then sweep."""
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start", kind="full", clock=self.heap.clock
+            )
         work_before = self.stats.words_marked
         marked = self._trace_region({self.space}, self._root_ids())
 
@@ -164,6 +175,13 @@ class MarkSweepCollector(Collector):
             if self.max_heap_words is not None:
                 minimum = min(minimum, self.max_heap_words)
             if (self.space.capacity or 0) < minimum:
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "heap-expansion",
+                        space=self.space.name,
+                        old_capacity=self.space.capacity or 0,
+                        new_capacity=minimum,
+                    )
                 self.space.capacity = minimum
         self._finish_collection()
 

@@ -343,6 +343,14 @@ class NonPredictiveCollector(Collector):
         collectable = self._collectable_list
         region = set(collectable)
         used_before = sum(space.used for space in region)
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start",
+                kind="non-predictive",
+                clock=heap.clock,
+                j=j,
+                collectable_steps=len(collectable),
+            )
 
         seeds = self._root_ids()
         if self.use_remset:
@@ -546,6 +554,10 @@ class NonPredictiveCollector(Collector):
         self.compactions += 1
 
     def _renumber(self, new_order: list[Space]) -> None:
+        if self.metrics is not None:
+            self.metrics.event(
+                "renumbering", order=[space.name for space in new_order]
+            )
         self.steps = new_order
         self._step_index_of = {
             space: index for index, space in enumerate(new_order)

@@ -126,6 +126,43 @@ class GcStats:
             )
         )
 
+    def snapshot(self) -> dict[str, int]:
+        """All cumulative integer counters, as a plain dict.
+
+        The metrics plane diffs consecutive snapshots to attribute
+        work to individual collections; the key set is stable so the
+        diff is always total.
+        """
+        return {
+            "words_allocated": self.words_allocated,
+            "objects_allocated": self.objects_allocated,
+            "words_marked": self.words_marked,
+            "words_copied": self.words_copied,
+            "words_swept": self.words_swept,
+            "words_reclaimed": self.words_reclaimed,
+            "roots_traced": self.roots_traced,
+            "remset_entries_created": self.remset_entries_created,
+            "remset_entries_pruned": self.remset_entries_pruned,
+            "words_promoted": self.words_promoted,
+            "collections": self.collections,
+            "minor_collections": self.minor_collections,
+            "major_collections": self.major_collections,
+        }
+
+    def components(self) -> dict[str, int]:
+        """The mark/cons work decomposition (words, cumulative).
+
+        ``mark + copy`` is the mark/cons numerator; ``sweep`` and
+        ``root`` are the secondary costs Section 6 lists as omitted
+        from the paper's analysis but tracked here.
+        """
+        return {
+            "mark": self.words_marked,
+            "copy": self.words_copied,
+            "sweep": self.words_swept,
+            "root": self.roots_traced,
+        }
+
     def summary(self) -> dict[str, float]:
         """A flat dict of headline numbers, for tables and CLI output."""
         return {

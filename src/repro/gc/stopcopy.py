@@ -147,6 +147,13 @@ class StopAndCopyCollector(Collector):
             self._set_semispace_capacity(target)
 
     def _set_semispace_capacity(self, words: int) -> None:
+        if self.metrics is not None:
+            self.metrics.event(
+                "heap-expansion",
+                space=self.tospace.name,
+                old_capacity=self.tospace.capacity or 0,
+                new_capacity=words,
+            )
         for space in self._semispaces:
             space.capacity = words
         if words > self.peak_semispace_words:
@@ -158,6 +165,10 @@ class StopAndCopyCollector(Collector):
 
     def collect(self) -> None:
         """Flip semispaces, Cheney-copying the live objects."""
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start", kind="full", clock=self.heap.clock
+            )
         heap = self.heap
         objects = heap._objects
         old_from, old_to = self.fromspace, self.tospace

@@ -48,6 +48,7 @@ class SimulatedHeap:
         "clock",
         "objects_allocated",
         "checked",
+        "event_sink",
     )
 
     def __init__(self, *, checked: bool = False) -> None:
@@ -57,6 +58,11 @@ class SimulatedHeap:
         self.clock = 0
         self.objects_allocated = 0
         self.checked = checked
+        #: Optional telemetry sink (:class:`repro.metrics.EventStream`).
+        #: ``None`` — the default — emits nothing; geometry changes
+        #: (space creation/removal) are cold paths, so the guard costs
+        #: nothing on allocation.
+        self.event_sink = None
 
     # ------------------------------------------------------------------
     # Spaces
@@ -68,6 +74,10 @@ class SimulatedHeap:
             raise ValueError(f"space {name!r} already exists")
         space = Space(name, capacity)
         self._spaces[name] = space
+        if self.event_sink is not None:
+            self.event_sink.emit(
+                "space-created", space=name, capacity=capacity
+            )
         return space
 
     def remove_space(self, space: Space) -> None:
@@ -77,6 +87,8 @@ class SimulatedHeap:
         if self._spaces.get(space.name) is not space:
             raise KeyError(f"space {space.name!r} is not registered")
         del self._spaces[space.name]
+        if self.event_sink is not None:
+            self.event_sink.emit("space-removed", space=space.name)
 
     def space(self, name: str) -> Space:
         try:

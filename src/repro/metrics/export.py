@@ -1,0 +1,177 @@
+"""Rendering the metric surface: summary table, JSON, Prometheus text.
+
+Three consumers, three formats:
+
+* :func:`render_summary` — the human-facing ``repro-gc metrics``
+  table: per-collector pause percentiles (p50/p95/max, in words of
+  work) and the mark/copy/sweep/root mark-cons decomposition;
+* :func:`registries_to_jsonable` — the artifact form, deterministic
+  and exact, suitable for committing next to experiment JSON;
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (version 0.0.4), with cumulative ``le`` buckets, ``_sum`` and
+  ``_count`` series, and a ``collector`` label per registry.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Sequence
+
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    bucket_bounds,
+)
+
+__all__ = [
+    "registries_to_jsonable",
+    "render_summary",
+    "to_prometheus",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_PROM_PREFIX = "repro_gc_"
+
+
+def registries_to_jsonable(
+    registries: Iterable[MetricRegistry],
+) -> dict[str, Any]:
+    """The JSON artifact form: label → registry dump, sorted."""
+    dumped = {reg.label: reg.to_jsonable() for reg in registries}
+    return {name: dumped[name] for name in sorted(dumped)}
+
+
+# ----------------------------------------------------------------------
+# Summary table
+# ----------------------------------------------------------------------
+
+
+def _ratio(numerator: int, denominator: int) -> str:
+    return f"{numerator / denominator:.3f}" if denominator else "-"
+
+
+def _counter_value(registry: MetricRegistry, name: str) -> int:
+    metric = registry.get(name)
+    return metric.value if isinstance(metric, (Counter, Gauge)) else 0
+
+
+def render_summary(registries: Sequence[MetricRegistry]) -> str:
+    """Pause percentiles and the mark/cons decomposition, per registry."""
+    lines = [
+        "pause cost per collection (words of work)",
+        f"{'collector':<22} {'colls':>6} {'p50':>8} {'p95':>8} {'max':>8}",
+    ]
+    for registry in registries:
+        pauses = registry.get("pause_words")
+        if isinstance(pauses, Histogram) and pauses.count:
+            lines.append(
+                f"{registry.label:<22} {pauses.count:>6} "
+                f"{pauses.quantile(0.5):>8} {pauses.quantile(0.95):>8} "
+                f"{pauses.max:>8}"
+            )
+        else:
+            lines.append(
+                f"{registry.label:<22} {0:>6} {'-':>8} {'-':>8} {'-':>8}"
+            )
+    lines.append("")
+    lines.append("mark/cons decomposition (per word allocated)")
+    lines.append(
+        f"{'collector':<22} {'mark':>7} {'copy':>7} {'sweep':>7} "
+        f"{'root':>7} {'mark/cons':>10}"
+    )
+    for registry in registries:
+        alloc = _counter_value(registry, "alloc_words")
+        mark = _counter_value(registry, "mark_words")
+        copy = _counter_value(registry, "copy_words")
+        sweep = _counter_value(registry, "sweep_words")
+        root = _counter_value(registry, "root_refs")
+        lines.append(
+            f"{registry.label:<22} {_ratio(mark, alloc):>7} "
+            f"{_ratio(copy, alloc):>7} {_ratio(sweep, alloc):>7} "
+            f"{_ratio(root, alloc):>7} {_ratio(mark + copy, alloc):>10}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> tuple[str, str | None]:
+    """Split ``family.sub`` metric names into (family, sub label)."""
+    family, _, sub = name.partition(".")
+    return _NAME_RE.sub("_", family), (sub or None)
+
+
+def _labels(collector: str, sub: str | None, extra: str = "") -> str:
+    parts = [f'collector="{collector}"']
+    if sub is not None:
+        parts.append(f'sub="{sub}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}"
+
+
+def to_prometheus(registries: Sequence[MetricRegistry]) -> str:
+    """Prometheus text format over every registry.
+
+    Dotted metric names (``pause_words.minor``,
+    ``space_peak_words.gen-0``) become a base family with a ``sub``
+    label, so per-space and per-pause-kind series aggregate cleanly.
+    """
+    typed: dict[str, str] = {}
+    samples: dict[str, list[str]] = {}
+
+    def add(family: str, prom_type: str, line: str) -> None:
+        typed.setdefault(family, prom_type)
+        samples.setdefault(family, []).append(line)
+
+    for registry in registries:
+        collector = registry.label
+        for metric in registry:
+            family, sub = _prom_name(metric.name)
+            if isinstance(metric, Counter):
+                name = _PROM_PREFIX + family + "_total"
+                add(name, "counter", f"{name}{_labels(collector, sub)} {metric.value}")
+            elif isinstance(metric, Gauge):
+                name = _PROM_PREFIX + family
+                add(name, "gauge", f"{name}{_labels(collector, sub)} {metric.value}")
+            elif isinstance(metric, Histogram):
+                name = _PROM_PREFIX + family
+                cumulative = 0
+                for lower in sorted(metric.buckets):
+                    cumulative += metric.buckets[lower]
+                    _, upper = bucket_bounds(lower)
+                    le = 'le="%d"' % (upper - 1)
+                    add(
+                        name,
+                        "histogram",
+                        f"{name}_bucket{_labels(collector, sub, le)}"
+                        f" {cumulative}",
+                    )
+                inf = 'le="+Inf"'
+                add(
+                    name,
+                    "histogram",
+                    f"{name}_bucket{_labels(collector, sub, inf)}"
+                    f" {metric.count}",
+                )
+                add(
+                    name,
+                    "histogram",
+                    f"{name}_sum{_labels(collector, sub)} {metric.total}",
+                )
+                add(
+                    name,
+                    "histogram",
+                    f"{name}_count{_labels(collector, sub)} {metric.count}",
+                )
+
+    lines: list[str] = []
+    for family in sorted(samples):
+        lines.append(f"# TYPE {family} {typed[family]}")
+        lines.extend(samples[family])
+    return "\n".join(lines) + "\n"

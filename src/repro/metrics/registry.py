@@ -1,0 +1,332 @@
+"""Counters, gauges, and log-bucketed histograms with exact merges.
+
+The registry is the metric surface shared by every collector and by
+the parallel sweep engine.  Its design constraint is *deterministic
+mergeability*: per-worker registries produced on different processes
+must merge into byte-identical sweep-level metrics regardless of the
+order workers finish in.  That forces every metric type to carry a
+merge operation that is associative and commutative:
+
+* **Counter** — a monotonic sum; merge adds values.
+* **Gauge** — a high-water mark (peak occupancy, peak live words);
+  merge takes the max.  A plain last-write gauge cannot merge
+  commutatively, so the registry does not offer one.
+* **Histogram** — HDR-style log-bucketed counts with *fixed* bucket
+  boundaries shared by every instance (powers of two subdivided into
+  four linear sub-buckets).  Because the boundaries are a pure
+  function of the value — never adapted to the data — merging two
+  histograms is an elementwise add of bucket counts, which is exact,
+  associative, and commutative.  Quantile estimates are therefore
+  within one bucket width (≤ 1/4 of the value's octave base) of the
+  exact sample, and merged quantiles equal the quantiles of the
+  pooled samples to the same precision.
+
+All values are non-negative integers (words of simulated work); there
+is no floating point anywhere in the accounting, so merged output is
+reproducible bit-for-bit across platforms.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "bucket_bounds",
+    "bucket_lower",
+    "merge_registries",
+]
+
+#: Linear sub-buckets per power-of-two octave (HDR "sub-bucket" count).
+SUBBUCKETS_PER_OCTAVE = 4
+
+
+def bucket_lower(value: int) -> int:
+    """The lower boundary of the fixed bucket containing ``value``.
+
+    Buckets are: ``[0, 1)`` for zero; width-1 buckets for values below
+    ``SUBBUCKETS_PER_OCTAVE``; and for each octave ``[2**k, 2**(k+1))``
+    at or above it, four linear sub-buckets of width ``2**k // 4``.
+    The boundary is a pure function of the value, so every histogram
+    ever created uses the same bucket edges.
+    """
+    if value < 0:
+        raise ValueError(f"histogram values must be >= 0, got {value}")
+    if value < SUBBUCKETS_PER_OCTAVE:
+        return value
+    base = 1 << (value.bit_length() - 1)
+    width = base // SUBBUCKETS_PER_OCTAVE
+    return base + ((value - base) // width) * width
+
+
+def bucket_bounds(value: int) -> tuple[int, int]:
+    """The ``[lower, upper)`` bounds of the bucket containing ``value``."""
+    lower = bucket_lower(value)
+    if lower < SUBBUCKETS_PER_OCTAVE:
+        return lower, lower + 1
+    base = 1 << (lower.bit_length() - 1)
+    return lower, lower + base // SUBBUCKETS_PER_OCTAVE
+
+
+class Counter:
+    """A monotonic integer sum.  Merge law: addition."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_jsonable(cls, name: str, data: Mapping[str, Any]) -> "Counter":
+        counter = cls(name)
+        counter.value = int(data["value"])
+        return counter
+
+
+class Gauge:
+    """A high-water mark.  Merge law: max (commutative by design)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set_max(self, value: int) -> None:
+        """Record a level; the gauge keeps the peak."""
+        if value > self.value:
+            self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        if other.value > self.value:
+            self.value = other.value
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_jsonable(cls, name: str, data: Mapping[str, Any]) -> "Gauge":
+        gauge = cls(name)
+        gauge.value = int(data["value"])
+        return gauge
+
+
+class Histogram:
+    """Log-bucketed counts over fixed boundaries; merge is exact.
+
+    Buckets are stored sparsely, keyed by their lower boundary (see
+    :func:`bucket_lower`).  ``count``/``total``/``min``/``max`` are
+    exact; quantiles are bucket-resolution estimates clamped to the
+    observed max, so ``quantile(1.0)`` is the exact maximum and every
+    other quantile is within one bucket width of the exact sample.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    def record(self, value: int, count: int = 1) -> None:
+        if count <= 0:
+            return
+        lower = bucket_lower(value)
+        self.buckets[lower] = self.buckets.get(lower, 0) + count
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += count
+        self.total += value * count
+
+    def merge(self, other: "Histogram") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0 or other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.count += other.count
+        self.total += other.total
+        for lower, count in other.buckets.items():
+            self.buckets[lower] = self.buckets.get(lower, 0) + count
+
+    def quantile(self, q: float) -> int:
+        """The ``q``-quantile, within one bucket width of exact.
+
+        Returns the inclusive upper edge of the bucket holding the
+        rank-``ceil(q * count)`` sample, clamped to the observed max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0
+        rank = min(self.count, max(1, math.ceil(self.count * q)))
+        seen = 0
+        for lower in sorted(self.buckets):
+            seen += self.buckets[lower]
+            if seen >= rank:
+                _, upper = bucket_bounds(lower)
+                return min(self.max, upper - 1)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                [lower, self.buckets[lower]] for lower in sorted(self.buckets)
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, name: str, data: Mapping[str, Any]) -> "Histogram":
+        hist = cls(name)
+        hist.count = int(data["count"])
+        hist.total = int(data["total"])
+        hist.min = int(data["min"])
+        hist.max = int(data["max"])
+        hist.buckets = {
+            int(lower): int(count) for lower, count in data["buckets"]
+        }
+        return hist
+
+
+_METRIC_TYPES = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricRegistry:
+    """An ordered name → metric map with a deterministic merge.
+
+    Metrics are created on first use (``counter``/``gauge``/
+    ``histogram``) and keep insertion order for display; the JSON form
+    sorts names so serialisation order never depends on creation
+    order.  ``merge`` requires name-type agreement and folds each
+    metric with its own (associative, commutative) merge law, so any
+    merge tree over the same multiset of registries yields the same
+    bytes from :meth:`canonical_json`.
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def _get_or_create(self, name: str, cls: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).kind}, "
+                f"not a {cls.kind}"
+            )
+        return metric
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold ``other`` into this registry, metric by metric."""
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                self._metrics[name] = _copy_metric(metric)
+            elif type(mine) is not type(metric):
+                raise TypeError(
+                    f"cannot merge metric {name!r}: "
+                    f"{mine.kind} vs {metric.kind}"
+                )
+            else:
+                mine.merge(metric)
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "metrics": {
+                name: self._metrics[name].to_jsonable()
+                for name in sorted(self._metrics)
+            },
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic bytes: the merge-property test currency."""
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "MetricRegistry":
+        registry = cls(str(data.get("label", "")))
+        for name, payload in data["metrics"].items():
+            metric_cls = _METRIC_TYPES[payload["kind"]]
+            registry._metrics[name] = metric_cls.from_jsonable(name, payload)
+        return registry
+
+
+def _copy_metric(metric: Any) -> Any:
+    return type(metric).from_jsonable(metric.name, metric.to_jsonable())
+
+
+def merge_registries(
+    registries: Iterable[MetricRegistry], label: str = "merged"
+) -> MetricRegistry:
+    """Fold registries left-to-right (registry order) into one.
+
+    Because every per-metric merge law is associative and commutative,
+    the fold order only matters for *this function's determinism
+    contract with itself* — any order would produce the same bytes.
+    """
+    merged = MetricRegistry(label)
+    for registry in registries:
+        merged.merge(registry)
+    return merged

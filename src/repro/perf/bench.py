@@ -17,10 +17,11 @@ carries the serial seed baseline (the pre-optimisation wall-clock of
 ``repro-gc all`` runs, so speedups are recorded next to the numbers
 they are measured against.
 
-Schema (``"schema": 1``)::
+Schema (``"schema": 2`` — v2 added the pause-percentile columns,
+in words of work, from the :mod:`repro.metrics` plane)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "quick": bool,            # quick mode shrinks the workloads ~8x
       "collectors": {
         "<kind>": {
@@ -30,7 +31,10 @@ Schema (``"schema": 1``)::
           "collections_during_alloc": int,
           "full_collect_rounds": int,
           "full_collect_seconds_mean": float,
-          "full_collect_seconds_max": float
+          "full_collect_seconds_max": float,
+          "pause_words_p50": int,
+          "pause_words_p95": int,
+          "pause_words_max": int
         }, ...
       },
       "serial_baseline": {      # preserved across rewrites
@@ -56,6 +60,7 @@ from typing import Any, Mapping, Sequence
 from repro.experiments.harness import GcGeometry, collector_factory
 from repro.heap.heap import SimulatedHeap
 from repro.heap.roots import RootSet
+from repro.metrics.instrument import instrument_collector
 from repro.mutator.base import LifetimeDrivenMutator
 from repro.mutator.decay_mutator import DecaySchedule
 
@@ -73,7 +78,7 @@ __all__ = [
 ]
 
 BENCH_FILENAME = "BENCH_perf.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 BENCH_COLLECTORS: tuple[str, ...] = (
     "mark-sweep",
@@ -105,6 +110,12 @@ class CollectorBench:
     full_collect_rounds: int
     full_collect_seconds_mean: float
     full_collect_seconds_max: float
+    #: Pause-cost percentiles in words of work per collection, from
+    #: the metrics plane's log-bucketed histogram (p50/p95 are within
+    #: one bucket width; max is exact).
+    pause_words_p50: int = 0
+    pause_words_p95: int = 0
+    pause_words_max: int = 0
 
     def to_jsonable(self) -> dict[str, Any]:
         return {
@@ -119,6 +130,9 @@ class CollectorBench:
             "full_collect_seconds_max": round(
                 self.full_collect_seconds_max, 6
             ),
+            "pause_words_p50": self.pause_words_p50,
+            "pause_words_p95": self.pause_words_p95,
+            "pause_words_max": self.pause_words_max,
         }
 
 
@@ -140,6 +154,10 @@ def bench_collector(
     heap = SimulatedHeap()
     roots = RootSet()
     collector = collector_factory(kind, geometry)(heap, roots)
+    # The pause-percentile columns come from the metrics plane; its
+    # per-collection cost is bounded by the ≤5% overhead acceptance
+    # test, an order of magnitude inside the 30% regression tolerance.
+    instrumentation = instrument_collector(collector)
     mutator = LifetimeDrivenMutator(
         collector, roots, DecaySchedule(half_life, seed=seed)
     )
@@ -155,6 +173,7 @@ def bench_collector(
         timings.append(time.perf_counter() - start)
     mutator.release_all()
 
+    pauses = instrumentation.registry.histogram("pause_words")
     return CollectorBench(
         collector=kind,
         alloc_words=alloc_words,
@@ -168,6 +187,9 @@ def bench_collector(
             sum(timings) / len(timings) if timings else 0.0
         ),
         full_collect_seconds_max=max(timings, default=0.0),
+        pause_words_p50=pauses.quantile(0.5),
+        pause_words_p95=pauses.quantile(0.95),
+        pause_words_max=pauses.max,
     )
 
 

@@ -46,6 +46,7 @@ __all__ = [
     "parallel_map",
     "resilient_map",
     "run_experiment_records",
+    "run_metric_records",
     "task_retries",
     "task_timeout",
 ]
@@ -417,6 +418,35 @@ def _experiment_task(
     result, text = run_experiment(name)
     seconds = time.perf_counter() - start
     return name, text, to_jsonable(result), seconds
+
+
+def _metric_task(cell: tuple[str, int, int]) -> dict[str, Any]:
+    """One metrics-sweep cell, in a worker process.
+
+    ``cell`` is ``(collector kind, derived seed, alloc words)`` — all
+    primitives, so it pickles.  The registry comes back in its JSON
+    form (also picklable); the parent re-hydrates and merges in cell
+    order, never completion order, so sweep metrics are byte-identical
+    at any jobs level.
+    """
+    import sys
+
+    from repro.metrics.sweep import run_decay_cell
+
+    if sys.getrecursionlimit() < 200_000:
+        sys.setrecursionlimit(200_000)
+    kind, seed, alloc_words = cell
+    registry, _stream = run_decay_cell(kind, seed, alloc_words=alloc_words)
+    return registry.to_jsonable()
+
+
+def run_metric_records(
+    cells: Sequence[tuple[str, int, int]],
+    *,
+    jobs: int = 1,
+) -> list[dict[str, Any]]:
+    """Fan metrics-sweep cells out; JSON registries in input order."""
+    return parallel_map(_metric_task, cells, jobs=jobs)
 
 
 def run_experiment_records(

@@ -36,7 +36,10 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.events import EventStream
 
 from repro.experiments.harness import GcGeometry, collector_factory
 from repro.heap.barrier import WriteBarrier
@@ -219,6 +222,7 @@ def run_chaos_matrix(
     kinds: Sequence[str] = FAULT_KINDS,
     geometry: GcGeometry | None = None,
     quick: bool = False,
+    events: "EventStream | None" = None,
 ) -> DetectionMatrix:
     """Run the full fault-kind x collector chaos sweep.
 
@@ -230,6 +234,11 @@ def run_chaos_matrix(
         geometry: heap geometry (defaults to the verify geometry).
         quick: cap the script at :data:`QUICK_OP_COUNT` ops — the CI
             smoke configuration.
+        events: optional :class:`repro.metrics.EventStream`; every
+            injection emits a ``fault-injected`` record and every
+            fired detection channel a ``fault-detected`` record, so
+            the safety net's verdicts land in the same NDJSON
+            telemetry as the collectors' own spans.
     """
     if quick:
         op_count = min(op_count, QUICK_OP_COUNT)
@@ -249,6 +258,7 @@ def run_chaos_matrix(
                     fault,
                     seed,
                     reference,
+                    events=events,
                 )
             )
     return DetectionMatrix(
@@ -286,6 +296,7 @@ def _run_cell(
     fault: str,
     seed: int,
     reference: ReplayResult,
+    events: "EventStream | None" = None,
 ) -> ChaosOutcome:
     expectation = fault_expectation(fault)
 
@@ -296,6 +307,17 @@ def _run_cell(
         op_index: int | None = None,
         detail: str = "",
     ) -> ChaosOutcome:
+        if events is not None and channel is not None:
+            events.emit(
+                "fault-detected",
+                fault=fault,
+                collector=collector_kind,
+                expectation=expectation,
+                status=status,
+                channel=channel,
+                op_index=op_index,
+                detail=detail,
+            )
         return ChaosOutcome(
             fault=fault,
             collector=collector_kind,
@@ -384,6 +406,15 @@ def _run_cell(
             injection = inject_fault(fault, collector, rng)
             if injection is not None:
                 injected_at = op_index
+                if events is not None:
+                    events.emit(
+                        "fault-injected",
+                        fault=fault,
+                        collector=collector_kind,
+                        expectation=expectation,
+                        op_index=op_index,
+                        detail=injection.detail,
+                    )
                 verdict = audit_now("post-injection audit")
                 if verdict is not None:
                     return verdict

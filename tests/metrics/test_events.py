@@ -1,0 +1,74 @@
+"""The NDJSON event stream: schema v1, ordering, atomic persistence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics.events import (
+    EVENT_SCHEMA_VERSION,
+    EventStream,
+    parse_ndjson,
+)
+
+
+class TestEmit:
+    def test_every_record_carries_version_seq_and_kind(self):
+        stream = EventStream()
+        record = stream.emit("collection-start", clock=10, kind="full")
+        assert record["v"] == EVENT_SCHEMA_VERSION == 1
+        assert record["seq"] == 0
+        assert record["event"] == "collection-start"
+        assert record["clock"] == 10
+
+    def test_seq_is_monotonic_from_zero(self):
+        stream = EventStream()
+        for _ in range(5):
+            stream.emit("promotion")
+        assert [record["seq"] for record in stream] == [0, 1, 2, 3, 4]
+
+    def test_event_name_is_positional_only(self):
+        # The first parameter is positional-only, so emitters can carry
+        # payload keys named ``event`` or ``kind`` without a TypeError;
+        # a payload ``event`` key overwrites the envelope (documented).
+        stream = EventStream()
+        record = stream.emit("fault-detected", kind="corrupt-header")
+        assert record["event"] == "fault-detected"
+        assert record["kind"] == "corrupt-header"
+        assert stream.emit("a", event="shadow")["event"] == "shadow"
+
+    def test_filter_by_kind(self):
+        stream = EventStream()
+        stream.emit("a")
+        stream.emit("b")
+        stream.emit("a")
+        assert len(stream.events("a")) == 2
+        assert len(stream.events()) == len(stream) == 3
+
+
+class TestNdjson:
+    def test_round_trip(self):
+        stream = EventStream()
+        stream.emit("collection-end", work=123, reclaimed=45)
+        stream.emit("heap-expansion", space="old", old_capacity=8, new_capacity=16)
+        records = parse_ndjson(stream.to_ndjson())
+        assert records == stream.events()
+
+    def test_one_object_per_line_sorted_keys(self):
+        stream = EventStream()
+        stream.emit("promotion", zebra=1, apple=2)
+        lines = stream.to_ndjson().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert list(parsed) == sorted(parsed)
+
+    def test_parse_skips_blank_lines(self):
+        assert parse_ndjson("\n\n" + '{"v": 1, "seq": 0, "event": "x"}' + "\n\n") == [
+            {"v": 1, "seq": 0, "event": "x"}
+        ]
+
+    def test_write_is_parseable_from_disk(self, tmp_path):
+        stream = EventStream()
+        stream.emit("renumbering", order=["step-1", "step-2"])
+        path = tmp_path / "events.ndjson"
+        stream.write(path)
+        assert parse_ndjson(path.read_text(encoding="utf-8")) == stream.events()

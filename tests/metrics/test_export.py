@@ -1,0 +1,114 @@
+"""Exporters: summary table, JSON artifact form, Prometheus text."""
+
+from __future__ import annotations
+
+import re
+
+from repro.metrics.export import (
+    registries_to_jsonable,
+    render_summary,
+    to_prometheus,
+)
+from repro.metrics.registry import MetricRegistry
+
+
+def sample_registry(label: str = "non-predictive") -> MetricRegistry:
+    registry = MetricRegistry(label)
+    registry.counter("alloc_words").inc(5120)
+    registry.counter("copy_words").inc(1024)
+    registry.counter("mark_words").inc(0)
+    registry.counter("sweep_words").inc(0)
+    registry.counter("root_refs").inc(512)
+    registry.gauge("space_peak_words.step-1").set_max(1024)
+    pauses = registry.histogram("pause_words")
+    for value in (1024, 1024, 2048, 4096):
+        pauses.record(value)
+    return registry
+
+
+class TestSummary:
+    def test_pause_table_and_decomposition(self):
+        text = render_summary([sample_registry()])
+        assert "pause cost per collection (words of work)" in text
+        assert "mark/cons decomposition (per word allocated)" in text
+        row = next(
+            line for line in text.splitlines()
+            if line.startswith("non-predictive") and "0.200" in line
+        )
+        # copy/alloc = 1024/5120 = 0.200, root = 512/5120 = 0.100.
+        assert "0.100" in row
+
+    def test_empty_histogram_renders_dashes(self):
+        registry = MetricRegistry("mark-sweep")
+        registry.counter("alloc_words").inc(100)
+        text = render_summary([registry])
+        assert re.search(r"mark-sweep\s+0\s+-\s+-\s+-", text)
+
+
+class TestJsonable:
+    def test_sorted_by_label(self):
+        out = registries_to_jsonable(
+            [sample_registry("zz"), sample_registry("aa")]
+        )
+        assert list(out) == ["aa", "zz"]
+        assert out["aa"]["metrics"]["alloc_words"]["value"] == 5120
+
+
+class TestPrometheus:
+    def test_parses_and_is_well_formed(self):
+        """Every line is a TYPE comment or `name{labels} value`."""
+        text = to_prometheus([sample_registry()])
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*\{[^}]*\} -?\d+(\.\d+)?$"
+        )
+        for line in text.strip().splitlines():
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                assert parts[3] in ("counter", "gauge", "histogram")
+            else:
+                assert sample_re.match(line), f"malformed sample: {line!r}"
+
+    def test_counter_and_gauge_families(self):
+        text = to_prometheus([sample_registry()])
+        assert "# TYPE repro_gc_alloc_words_total counter" in text
+        assert (
+            'repro_gc_alloc_words_total{collector="non-predictive"} 5120'
+            in text
+        )
+        # Dotted names become a base family with a ``sub`` label.
+        assert (
+            'repro_gc_space_peak_words{collector="non-predictive",'
+            'sub="step-1"} 1024' in text
+        )
+
+    def test_histogram_buckets_are_cumulative_and_capped_by_inf(self):
+        text = to_prometheus([sample_registry()])
+        buckets = []
+        for line in text.splitlines():
+            match = re.match(
+                r'repro_gc_pause_words_bucket\{.*le="([^"]+)"\} (\d+)', line
+            )
+            if match:
+                buckets.append((match.group(1), int(match.group(2))))
+        assert buckets, "no bucket samples emitted"
+        assert buckets[-1][0] == "+Inf"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        inf_count = buckets[-1][1]
+        assert inf_count == 4
+        assert (
+            'repro_gc_pause_words_count{collector="non-predictive"} 4' in text
+        )
+        assert (
+            'repro_gc_pause_words_sum{collector="non-predictive"} '
+            f"{1024 + 1024 + 2048 + 4096}" in text
+        )
+
+    def test_one_type_line_per_family(self):
+        text = to_prometheus([sample_registry("a"), sample_registry("b")])
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE ")
+        ]
+        assert len(type_lines) == len(set(type_lines))
+        families = [line.split()[2] for line in type_lines]
+        assert families == sorted(families)

@@ -1,0 +1,83 @@
+"""Metrics-off invariance: instrumentation must never perturb the GC.
+
+Two independent witnesses:
+
+* **A/B replay** — the same deterministic mutator script replayed
+  under each collector twice, metrics off vs metrics on (with the heap
+  auditor armed), must produce byte-identical live-graph checkpoints
+  and identical collection counts;
+* **golden artifacts** — a committed experiment regenerated inside an
+  armed :func:`metrics_session` must still match the committed JSON,
+  so experiments gain telemetry without their results moving.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.harness import collector_factory
+from repro.metrics.instrument import instrument_collector, metrics_session
+from repro.verify.replay import generate_script, replay
+
+from tests.experiments.test_golden_artifacts import ARTIFACTS, assert_matches
+
+ALL_KINDS = (
+    "mark-sweep",
+    "stop-and-copy",
+    "generational",
+    "non-predictive",
+    "hybrid",
+)
+
+#: One shared script: long enough to force collections in every kind.
+SCRIPT = generate_script(600, seed=11)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_replay_identical_with_metrics_on(kind):
+    plain = collector_factory(kind, None)
+
+    def instrumented(heap, roots):
+        collector = plain(heap, roots)
+        instrument_collector(collector)
+        return collector
+
+    off = replay(SCRIPT, plain, checked=True, name=kind)
+    on = replay(SCRIPT, instrumented, checked=True, name=kind)
+    assert on.checkpoints == off.checkpoints
+    assert on.collections == off.collections
+    assert on.words_allocated == off.words_allocated
+
+
+def test_golden_artifact_unchanged_under_metrics_session():
+    from repro.experiments.export import to_jsonable
+    from repro.experiments.runner import run_experiment
+
+    gold = json.loads(
+        (ARTIFACTS / "remset.json").read_text(encoding="utf-8")
+    )
+    with metrics_session() as session:
+        result, _ = run_experiment("remset")
+    fresh = json.loads(json.dumps(to_jsonable(result)))
+    assert_matches(fresh, gold, "remset")
+    # And the session did observe the run: telemetry is not a no-op.
+    assert session.instruments
+    merged = session.merged()
+    assert merged.counter("collections").value > 0
+
+
+def test_instrumented_runner_matches_plain_runner():
+    from repro.experiments.export import to_jsonable
+    from repro.experiments.runner import (
+        run_experiment,
+        run_experiment_instrumented,
+    )
+
+    plain_result, _ = run_experiment("equilibrium")
+    result, _, session = run_experiment_instrumented("equilibrium")
+    assert json.dumps(to_jsonable(result), sort_keys=True) == json.dumps(
+        to_jsonable(plain_result), sort_keys=True
+    )
+    assert session.registries()

@@ -1,0 +1,142 @@
+"""Property-based merge tests: seeded generators, no extra deps.
+
+The sweep engine's determinism contract rests on two algebraic facts:
+registry merge is associative and commutative (any worker merge order
+yields byte-identical merged metrics), and histogram quantiles stay
+within one bucket width of the exact seeded samples.  These tests
+check both over hundreds of seeded random registries and merge
+orders — stdlib ``random`` only, so the suite adds no dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.registry import (
+    MetricRegistry,
+    bucket_bounds,
+    merge_registries,
+)
+
+#: Shared name pool so generated registries overlap (the interesting
+#: case: merges must combine, not just concatenate).
+_COUNTERS = ("alloc", "mark", "copy", "sweep")
+_GAUGES = ("peak.a", "peak.b")
+_HISTOGRAMS = ("pause", "reclaim")
+
+#: At least 200 seeded permutations, per the acceptance criteria.
+PERMUTATION_SEEDS = range(200)
+
+
+def random_registry(rng: random.Random, label: str = "") -> MetricRegistry:
+    registry = MetricRegistry(label)
+    for name in _COUNTERS:
+        if rng.random() < 0.8:
+            registry.counter(name).inc(rng.randrange(0, 10_000))
+    for name in _GAUGES:
+        if rng.random() < 0.8:
+            registry.gauge(name).set_max(rng.randrange(0, 100_000))
+    for name in _HISTOGRAMS:
+        if rng.random() < 0.9:
+            hist = registry.histogram(name)
+            for _ in range(rng.randrange(1, 40)):
+                hist.record(rng.randrange(0, 1_000_000))
+    return registry
+
+
+def merge_in_order(registries, order) -> str:
+    merged = merge_registries(
+        (registries[index] for index in order), label="sweep"
+    )
+    return merged.canonical_json()
+
+
+class TestMergePermutations:
+    def test_any_merge_order_is_byte_identical(self):
+        """200 seeded permutations over 200 distinct registry sets."""
+        for seed in PERMUTATION_SEEDS:
+            rng = random.Random(seed)
+            registries = [
+                random_registry(rng, "worker") for _ in range(rng.randrange(2, 7))
+            ]
+            reference = merge_in_order(registries, range(len(registries)))
+            order = list(range(len(registries)))
+            rng.shuffle(order)
+            assert merge_in_order(registries, order) == reference, (
+                f"seed {seed}: permuted merge differs"
+            )
+
+    def test_pairwise_commutativity(self):
+        for seed in range(50):
+            rng = random.Random(1_000 + seed)
+            a = random_registry(rng)
+            b = random_registry(rng)
+            ab = merge_registries([a, b], label="m").canonical_json()
+            ba = merge_registries([b, a], label="m").canonical_json()
+            assert ab == ba, f"seed {seed}: merge not commutative"
+
+    def test_associativity_via_merge_trees(self):
+        """(a+b)+c must equal a+(b+c), as a merged-registry fold."""
+        for seed in range(50):
+            rng = random.Random(2_000 + seed)
+            a, b, c = (random_registry(rng) for _ in range(3))
+            left = merge_registries([a, b], label="m")
+            left.merge(c)
+            right_tail = merge_registries([b, c], label="m")
+            right = merge_registries([a], label="m")
+            right.merge(right_tail)
+            assert left.canonical_json() == right.canonical_json(), (
+                f"seed {seed}: merge not associative"
+            )
+
+    def test_merge_leaves_sources_untouched(self):
+        rng = random.Random(99)
+        registries = [random_registry(rng) for _ in range(4)]
+        before = [registry.canonical_json() for registry in registries]
+        merge_registries(registries, label="sweep")
+        assert [r.canonical_json() for r in registries] == before
+
+
+class TestQuantileAccuracy:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_quantile_within_one_bucket_width(self, seed):
+        """Estimates track exact order statistics to bucket resolution."""
+        rng = random.Random(seed)
+        registry = MetricRegistry()
+        hist = registry.histogram("pause")
+        samples = [rng.randrange(0, 500_000) for _ in range(rng.randrange(5, 400))]
+        for sample in samples:
+            hist.record(sample)
+        samples.sort()
+        for q in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            rank = min(len(samples), max(1, math.ceil(len(samples) * q)))
+            exact = samples[rank - 1]
+            estimate = hist.quantile(q)
+            lower, upper = bucket_bounds(exact)
+            width = upper - lower
+            assert abs(estimate - exact) <= width, (
+                f"seed {seed} q={q}: estimate {estimate} is more than "
+                f"one bucket width ({width}) from exact {exact}"
+            )
+
+    def test_merged_quantiles_equal_pooled_quantiles(self):
+        """Merging workers then asking == pooling samples then asking."""
+        for seed in range(30):
+            rng = random.Random(5_000 + seed)
+            pooled = MetricRegistry()
+            workers = []
+            for _ in range(rng.randrange(2, 5)):
+                worker = MetricRegistry()
+                for _ in range(rng.randrange(1, 60)):
+                    value = rng.randrange(0, 200_000)
+                    worker.histogram("pause").record(value)
+                    pooled.histogram("pause").record(value)
+                workers.append(worker)
+            merged = merge_registries(workers)
+            for q in (0.5, 0.95, 1.0):
+                assert merged.histogram("pause").quantile(q) == (
+                    pooled.histogram("pause").quantile(q)
+                )

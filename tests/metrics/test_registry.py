@@ -1,0 +1,181 @@
+"""Unit tests for the metric types and their fixed bucket scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    bucket_bounds,
+    bucket_lower,
+    merge_registries,
+)
+
+
+class TestBuckets:
+    def test_zero_and_small_values_get_exact_buckets(self):
+        for value in range(4):
+            assert bucket_lower(value) == value
+            assert bucket_bounds(value) == (value, value + 1)
+
+    def test_lower_bound_is_a_fixed_point(self):
+        for value in (0, 1, 5, 17, 100, 1024, 5120, 999_999):
+            lower = bucket_lower(value)
+            assert bucket_lower(lower) == lower
+
+    def test_value_lies_inside_its_bucket(self):
+        for value in range(0, 5000):
+            lower, upper = bucket_bounds(value)
+            assert lower <= value < upper
+
+    def test_bucket_width_is_quarter_octave(self):
+        lower, upper = bucket_bounds(1024)
+        assert (lower, upper) == (1024, 1280)
+        lower, upper = bucket_bounds(5120)
+        assert (lower, upper) == (5120, 6144)
+
+    def test_powers_of_two_are_bucket_boundaries(self):
+        for exponent in range(2, 30):
+            value = 1 << exponent
+            assert bucket_lower(value) == value
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_lower(-1)
+
+
+class TestCounter:
+    def test_inc_and_merge_add(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(3)
+        a.inc()
+        b.inc(10)
+        a.merge(b)
+        assert a.value == 14
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_round_trip(self):
+        counter = Counter("x")
+        counter.inc(7)
+        clone = Counter.from_jsonable("x", counter.to_jsonable())
+        assert clone.value == 7
+
+
+class TestGauge:
+    def test_keeps_peak(self):
+        gauge = Gauge("occ")
+        gauge.set_max(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+
+    def test_merge_is_max(self):
+        a, b = Gauge("occ"), Gauge("occ")
+        a.set_max(5)
+        b.set_max(9)
+        a.merge(b)
+        assert a.value == 9
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        hist = Histogram("pause")
+        for value in (3, 100, 1024, 1024, 5000):
+            hist.record(value)
+        assert hist.count == 5
+        assert hist.total == 3 + 100 + 1024 + 1024 + 5000
+        assert hist.min == 3
+        assert hist.max == 5000
+        assert hist.mean == hist.total / 5
+
+    def test_max_quantile_is_exact(self):
+        hist = Histogram("pause")
+        for value in (10, 999, 31337):
+            hist.record(value)
+        assert hist.quantile(1.0) == 31337
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("pause").quantile(0.5) == 0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("pause").quantile(1.5)
+
+    def test_record_with_count(self):
+        hist = Histogram("pause")
+        hist.record(8, count=4)
+        assert hist.count == 4
+        assert hist.total == 32
+        hist.record(8, count=0)
+        assert hist.count == 4
+
+    def test_round_trip(self):
+        hist = Histogram("pause")
+        for value in (1, 7, 7, 4096):
+            hist.record(value)
+        clone = Histogram.from_jsonable("pause", hist.to_jsonable())
+        assert clone.buckets == hist.buckets
+        assert (clone.count, clone.total, clone.min, clone.max) == (
+            hist.count,
+            hist.total,
+            hist.min,
+            hist.max,
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricRegistry("gc")
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_clash_rejected(self):
+        registry = MetricRegistry("gc")
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_merge_type_clash_rejected(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        left.counter("a")
+        right.histogram("a")
+        with pytest.raises(TypeError):
+            left.merge(right)
+
+    def test_merge_copies_missing_metrics(self):
+        left, right = MetricRegistry(), MetricRegistry()
+        right.counter("only").inc(5)
+        left.merge(right)
+        right.counter("only").inc(1)
+        # The copy must be independent of the source registry.
+        assert left.counter("only").value == 5
+
+    def test_canonical_json_ignores_insertion_order(self):
+        a, b = MetricRegistry("x"), MetricRegistry("x")
+        a.counter("one").inc(1)
+        a.counter("two").inc(2)
+        b.counter("two").inc(2)
+        b.counter("one").inc(1)
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_round_trip(self):
+        registry = MetricRegistry("gc")
+        registry.counter("c").inc(3)
+        registry.gauge("g").set_max(9)
+        registry.histogram("h").record(1024)
+        clone = MetricRegistry.from_jsonable(registry.to_jsonable())
+        assert clone.canonical_json() == registry.canonical_json()
+
+    def test_merge_registries_folds_all(self):
+        regs = []
+        for value in (1, 2, 3):
+            registry = MetricRegistry(f"r{value}")
+            registry.counter("total").inc(value)
+            regs.append(registry)
+        merged = merge_registries(regs, label="all")
+        assert merged.label == "all"
+        assert merged.counter("total").value == 6

@@ -1,0 +1,138 @@
+"""Chaos-channel telemetry: fault verdicts land in the event stream.
+
+Satellite of the observability plane: every chaos cell that fires a
+detection channel must surface as a ``fault-detected`` NDJSON record,
+every successful injection as ``fault-injected``, and the record
+layout is pinned here as the schema-v1 regression contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.events import EventStream, parse_ndjson
+from repro.resilience.chaos import run_chaos_matrix
+from repro.resilience.faults import CORRUPTION_FAULTS
+
+#: These two families make every corruption kind applicable at least
+#: once (remsets via generational, step renumbering via non-predictive).
+COLLECTORS = ("generational", "non-predictive")
+
+#: The schema-v1 record layouts.  Additive fields require updating
+#: this pin; renames/removals require bumping EVENT_SCHEMA_VERSION.
+DETECTED_KEYS = {
+    "v",
+    "seq",
+    "event",
+    "fault",
+    "collector",
+    "expectation",
+    "status",
+    "channel",
+    "op_index",
+    "detail",
+}
+INJECTED_KEYS = {
+    "v",
+    "seq",
+    "event",
+    "fault",
+    "collector",
+    "expectation",
+    "op_index",
+    "detail",
+}
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    stream = EventStream()
+    matrix = run_chaos_matrix(
+        seed=0, collectors=COLLECTORS, quick=True, events=stream
+    )
+    return matrix, stream
+
+
+class TestFaultEvents:
+    def test_every_fired_channel_has_a_detected_event(self, chaos_run):
+        matrix, stream = chaos_run
+        fired = [
+            outcome for outcome in matrix.outcomes
+            if outcome.channel is not None
+        ]
+        detected = stream.events("fault-detected")
+        assert len(detected) == len(fired)
+        seen = {
+            (record["fault"], record["collector"], record["channel"])
+            for record in detected
+        }
+        for outcome in fired:
+            assert (
+                outcome.fault,
+                outcome.collector,
+                outcome.channel,
+            ) in seen
+
+    def test_every_corruption_kind_surfaces(self, chaos_run):
+        """The ISSUE's bar: each injected corruption kind is visible."""
+        matrix, stream = chaos_run
+        detected_kinds = {
+            record["fault"]
+            for record in stream.events("fault-detected")
+            if record["status"] == "detected"
+        }
+        injected_kinds = {
+            outcome.fault
+            for outcome in matrix.outcomes
+            if outcome.expectation == "corruption" and outcome.injected
+        }
+        assert injected_kinds == set(CORRUPTION_FAULTS)
+        assert detected_kinds >= injected_kinds
+
+    def test_every_injection_has_an_injected_event(self, chaos_run):
+        matrix, stream = chaos_run
+        injected = stream.events("fault-injected")
+        expected = [
+            outcome for outcome in matrix.outcomes if outcome.injected
+        ]
+        assert len(injected) == len(expected)
+        for record, outcome in zip(
+            sorted(injected, key=lambda r: (r["fault"], r["collector"])),
+            sorted(expected, key=lambda o: (o.fault, o.collector)),
+        ):
+            assert record["op_index"] == outcome.op_index
+
+    def test_schema_v1_record_layout_is_pinned(self, chaos_run):
+        _, stream = chaos_run
+        for record in stream.events("fault-detected"):
+            assert record["v"] == 1
+            assert set(record) == DETECTED_KEYS
+            assert record["status"] in (
+                "detected",
+                "missed",
+                "benign",
+                "false-positive",
+            )
+            assert record["channel"] in ("audit", "crash", "divergence")
+        for record in stream.events("fault-injected"):
+            assert record["v"] == 1
+            assert set(record) == INJECTED_KEYS
+
+    def test_stream_round_trips_through_ndjson(self, chaos_run, tmp_path):
+        _, stream = chaos_run
+        path = tmp_path / "chaos-events.ndjson"
+        stream.write(path)
+        records = parse_ndjson(path.read_text(encoding="utf-8"))
+        assert records == stream.events()
+        assert [record["seq"] for record in records] == list(
+            range(len(records))
+        )
+
+    def test_without_a_stream_nothing_is_required(self):
+        matrix = run_chaos_matrix(
+            seed=0,
+            collectors=("mark-sweep",),
+            kinds=("dangling-slot",),
+            quick=True,
+        )
+        assert matrix.outcomes
