@@ -392,21 +392,29 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
     baseline = load_report(path)
     mode = "quick" if args.quick else "full"
     print(f"perf suite ({mode}): allocation throughput and "
-          f"full-collection latency per collector")
+          f"full-collection latency per collector per heap backend")
     results = run_perf_suite(quick=args.quick)
     print(
-        f"{'collector':<16} {'words/sec':>12} {'collections':>12} "
-        f"{'collect mean':>13} {'collect max':>12}"
+        f"{'collector':<16} {'backend':<8} {'words/sec':>12} "
+        f"{'collections':>12} {'collect mean':>13} {'collect max':>12}"
     )
     for bench in results:
         print(
-            f"{bench.collector:<16} {bench.alloc_words_per_sec:>12,.0f} "
+            f"{bench.collector:<16} {bench.backend:<8} "
+            f"{bench.alloc_words_per_sec:>12,.0f} "
             f"{bench.collections_during_alloc:>12} "
             f"{bench.full_collect_seconds_mean * 1000:>11.2f}ms "
             f"{bench.full_collect_seconds_max * 1000:>10.2f}ms"
         )
     report = build_report(results, quick=args.quick, previous=baseline)
     write_report(path, report)
+    speedup = report.get("backend_speedup")
+    if speedup:
+        per = ", ".join(
+            f"{kind} {ratio:.2f}x"
+            for kind, ratio in sorted(speedup["per_collector"].items())
+        )
+        print(f"flat vs object speedup: mean {speedup['mean']:.2f}x ({per})")
     print(f"written to {path.name}")
     if args.no_baseline_check or baseline is None:
         return 0
@@ -479,6 +487,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"repro-gc verify: error: {exc}", file=sys.stderr)
         return 2
     checked = not args.unchecked
+    if args.backends:
+        from repro.verify.differential import run_backend_differential
+
+        report = run_backend_differential(script, kinds, checked=checked)
+        if report.ok:
+            print(f"[PASS] {report.summary()}")
+            for label in sorted(report.results):
+                result = report.results[label]
+                assert result is not None
+                print(
+                    f"       {label:<24} "
+                    f"collections={result.collections:<4} "
+                    f"checkpoints={len(result.checkpoints)}"
+                )
+            return 0
+        print(f"[FAIL] {report.summary()}")
+        return 1
     report = run_differential(script, kinds, checked=checked)
     if report.ok:
         print(f"[PASS] {report.summary()}")
@@ -558,6 +583,16 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduction of 'Generational Garbage Collection and the "
             "Radioactive Decay Model' (Clinger & Hansen, PLDI 1997)"
+        ),
+    )
+    parser.add_argument(
+        "--heap-backend",
+        choices=("object", "flat"),
+        default=None,
+        help=(
+            "heap representation for this run: 'object' (one Python "
+            "object per heap object) or 'flat' (struct-of-arrays "
+            "arenas); default comes from REPRO_HEAP_BACKEND, else 'flat'"
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -861,6 +896,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the per-collection heap-invariant audit",
     )
+    sub.add_argument(
+        "--backends",
+        action="store_true",
+        help=(
+            "compare heap backends instead of collectors: replay the "
+            "script per collector under both the object and the flat "
+            "heap and require identical graphs, stats, pauses, and "
+            "metrics event streams"
+        ),
+    )
     sub.set_defaults(func=_cmd_verify)
 
     sub = subparsers.add_parser(
@@ -875,6 +920,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.heap_backend is not None:
+        # Exported rather than threaded through every call site so the
+        # choice also reaches worker processes spawned by `all`.
+        import os
+
+        from repro.heap.backend import ENV_BACKEND
+
+        os.environ[ENV_BACKEND] = args.heap_backend
     return args.func(args)
 
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.gc.generational import GenerationalCollector
 from repro.gc.hybrid import HybridCollector
-from repro.heap.heap import SimulatedHeap
+from repro.heap.backend import make_heap
 from repro.heap.roots import RootSet
 from repro.mutator.base import LifetimeDrivenMutator
 from repro.mutator.phased import PhasedSchedule
@@ -53,7 +53,7 @@ class PromotionResult:
 
 
 def _run_one(name: str, build, phase_words: int, phases: int, seed: int):
-    heap = SimulatedHeap()
+    heap = make_heap()
     roots = RootSet()
     collector = build(heap, roots)
     schedule = PhasedSchedule(

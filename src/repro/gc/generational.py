@@ -147,11 +147,8 @@ class GenerationalCollector(Collector):
     # Allocation
     # ------------------------------------------------------------------
 
-    def allocate(
-        self, size: int, field_count: int = 0, kind: str = "data"
-    ) -> HeapObject:
-        # Hot path: hoist the nursery property and inline Space.fits /
-        # _record_allocation.
+    def _reserve(self, size: int) -> Space:
+        # Hot path: hoist the nursery property and inline Space.fits.
         nursery = self.spaces[0]
         capacity = nursery.capacity
         if capacity is not None and nursery.used + size > capacity:
@@ -171,11 +168,7 @@ class GenerationalCollector(Collector):
                     and nursery.used + size > nursery.capacity
                 ):
                     raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, nursery, kind)
-        stats = self.stats
-        stats.words_allocated += size
-        stats.objects_allocated += 1
-        return obj
+        return nursery
 
     def _collect_for(self, pending: int) -> int:
         """Collect enough generations that the nursery can satisfy a
@@ -232,8 +225,9 @@ class GenerationalCollector(Collector):
                 f"{self.generation_count}"
             )
         heap = self.heap
-        region = {self.spaces[i] for i in range(upto + 1)}
-        used_before = sum(space.used for space in region)
+        region_list = self.spaces[:upto + 1]
+        region = set(region_list)
+        used_before = sum(space.used for space in region_list)
         if self.metrics is not None:
             self.metrics.event(
                 "collection-start",
@@ -256,31 +250,7 @@ class GenerationalCollector(Collector):
 
         # Free the dead first so a full collection makes room in the
         # oldest generation before younger survivors move into it.
-        # Classification runs over the live space dict; the batch free
-        # afterwards avoids snapshotting every space with list().
-        objects = heap._objects
-        survival_counts = self._survival_counts
-        survivors: list[HeapObject] = []
-        reclaimed = 0
-        for space in region:
-            space_objects = space._objects
-            dead: list[HeapObject] = []
-            for obj in space_objects.values():
-                if obj.obj_id in marked:
-                    survivors.append(obj)
-                else:
-                    dead.append(obj)
-            dead_words = 0
-            for obj in dead:
-                obj_id = obj.obj_id
-                dead_words += obj.size
-                survival_counts.pop(obj_id, None)
-                del objects[obj_id]
-                del space_objects[obj_id]
-                obj.space = None
-            space.used -= dead_words
-            reclaimed += dead_words
-
+        # The partition kernel classifies each space in residence order.
         # Survivors are promoted (copied) to generation upto+1; the
         # oldest generation's survivors are "copied" in place.  Either
         # way the copy cost is the survivor's size, as in Larceny's
@@ -290,8 +260,48 @@ class GenerationalCollector(Collector):
         # overflow.
         full = upto == self.generation_count - 1
         target = self.oldest if full else self.spaces[upto + 1]
-        movers, stayers = self._partition_survivors(survivors, target, full)
-        incoming = sum(obj.size for obj in movers)
+        promote_all = full or self.promotion_threshold == 1
+        reclaimed = 0
+        if promote_all:
+            # Promote-all needs no per-object age or size: survivor
+            # words per space are exactly the space's post-partition
+            # occupancy, and every survivor outside the target moves.
+            # (A minor target lies outside the condemned region, so
+            # there are no stayers; a full collection clears the
+            # remembered sets wholesale below, ages moot either way.)
+            mover_ids: list[int] = []
+            live = 0
+            for space in region_list:
+                ids, dead_words = heap.partition_space(space, marked)
+                reclaimed += dead_words
+                live += space.used
+                if space is not target:
+                    mover_ids.extend(ids)
+            incoming = live - (target.used if full else 0)
+            has_stayers = False
+        else:
+            size_of = heap.size_of
+            survivors: list[tuple[int, int, Space]] = []
+            for space in region_list:
+                ids, dead_words = heap.partition_space(space, marked)
+                survivors.extend((oid, size_of(oid), space) for oid in ids)
+                reclaimed += dead_words
+            if self._survival_counts:
+                # Objects only die in a collection of their own region,
+                # so dropping every dead id restores exactly the
+                # invariant the per-object classification maintained:
+                # counts never name dead objects.
+                contains = heap.contains_id
+                counts = self._survival_counts
+                for oid in [oid for oid in counts if not contains(oid)]:
+                    del counts[oid]
+            movers, stayers = self._partition_survivors(
+                survivors, target, full
+            )
+            incoming = sum(size for _, size, _ in movers)
+            live = sum(size for _, size, _ in survivors)
+            mover_ids = [oid for oid, _, _ in movers]
+            has_stayers = bool(stayers)
         if incoming > target.free:
             if full and self.auto_expand_oldest:
                 if self.metrics is not None:
@@ -307,27 +317,19 @@ class GenerationalCollector(Collector):
                 )
             else:
                 raise HeapExhausted(self, incoming, phase="promotion")
-        live = sum(obj.size for obj in survivors)
         self.stats.words_copied += live
-        target_objects = target._objects
-        moved_words = 0
-        for obj in movers:
-            obj_id = obj.obj_id
-            from_space = obj.space
-            del from_space._objects[obj_id]
-            from_space.used -= obj.size
-            target_objects[obj_id] = obj
-            obj.space = target
-            moved_words += obj.size
-            survival_counts.pop(obj_id, None)
-        target.used += moved_words
+        moved_words = heap.move_ids(mover_ids, target)
+        survival_counts = self._survival_counts
+        if survival_counts:
+            for oid in mover_ids:
+                survival_counts.pop(oid, None)
         self.stats.words_promoted += moved_words
         if self.metrics is not None and moved_words:
             self.metrics.event(
                 "promotion",
                 target=target.name,
                 words=moved_words,
-                objects=len(movers),
+                objects=len(mover_ids),
             )
 
         if full:
@@ -337,7 +339,7 @@ class GenerationalCollector(Collector):
                 remset.clear()
             self._survival_counts.clear()
         else:
-            self._maintain_remsets_after_minor(upto, movers, bool(stayers))
+            self._maintain_remsets_after_minor(upto, mover_ids, has_stayers)
 
         self.stats.words_reclaimed += reclaimed
         self.stats.collections += 1
@@ -371,9 +373,14 @@ class GenerationalCollector(Collector):
         self._survival_counts.clear()
 
     def _partition_survivors(
-        self, survivors: list[HeapObject], target: Space, full: bool
-    ) -> tuple[list[HeapObject], list[HeapObject]]:
-        """Split survivors into movers (promote) and stayers (keep).
+        self,
+        survivors: list[tuple[int, int, Space]],
+        target: Space,
+        full: bool,
+    ) -> tuple[
+        list[tuple[int, int, Space]], list[tuple[int, int, Space]]
+    ]:
+        """Split ``(id, size, space)`` survivors into movers and stayers.
 
         With the default promote-all threshold everything moves (the
         Larceny policy).  Otherwise an object moves once it has
@@ -381,25 +388,25 @@ class GenerationalCollector(Collector):
         generation, or when its cohort of under-age survivors would
         occupy too much of the generation (tenuring overflow).
         """
-        already_there = [obj for obj in survivors if obj.space is target]
-        candidates = [obj for obj in survivors if obj.space is not target]
+        already_there = [entry for entry in survivors if entry[2] is target]
+        candidates = [entry for entry in survivors if entry[2] is not target]
         if full or self.promotion_threshold == 1:
             return candidates, already_there
 
-        movers: list[HeapObject] = []
-        stayers: list[HeapObject] = already_there[:]
+        movers: list[tuple[int, int, Space]] = []
+        stayers = already_there[:]
         stayer_words: dict[str, int] = {}
-        undecided: list[HeapObject] = []
-        for obj in candidates:
-            count = self._survival_counts.get(obj.obj_id, 0) + 1
+        undecided: list[tuple[int, int, Space]] = []
+        for entry in candidates:
+            oid, size, space = entry
+            count = self._survival_counts.get(oid, 0) + 1
             if count >= self.promotion_threshold:
-                movers.append(obj)
+                movers.append(entry)
             else:
-                self._survival_counts[obj.obj_id] = count
-                undecided.append(obj)
-                assert obj.space is not None
-                stayer_words[obj.space.name] = (
-                    stayer_words.get(obj.space.name, 0) + obj.size
+                self._survival_counts[oid] = count
+                undecided.append(entry)
+                stayer_words[space.name] = (
+                    stayer_words.get(space.name, 0) + size
                 )
         # Tenuring overflow, per source generation.
         overflowing = {
@@ -409,16 +416,15 @@ class GenerationalCollector(Collector):
             > self.tenuring_overflow_fraction
             * (self.heap.space(name).capacity or words)
         }
-        for obj in undecided:
-            assert obj.space is not None
-            if obj.space.name in overflowing:
-                movers.append(obj)
+        for entry in undecided:
+            if entry[2].name in overflowing:
+                movers.append(entry)
             else:
-                stayers.append(obj)
+                stayers.append(entry)
         return movers, stayers
 
     def _maintain_remsets_after_minor(
-        self, upto: int, movers: list[HeapObject], has_stayers: bool
+        self, upto: int, mover_ids: list[int], has_stayers: bool
     ) -> None:
         """Restore remembered-set completeness after a minor collection.
 
@@ -429,6 +435,8 @@ class GenerationalCollector(Collector):
         scanned for pointers into still-younger generations — the
         situation-2 analogue that promote-all never needs.
         """
+        heap = self.heap
+        generation_of = self._generation_of
         if not has_stayers:
             for index in range(upto + 1):
                 self.remsets[index].clear()
@@ -436,23 +444,25 @@ class GenerationalCollector(Collector):
         for index in range(upto + 1):
 
             def source_still_here(entry: tuple[int, int]) -> bool:
-                obj_id, _ = entry
-                if not self.heap.contains_id(obj_id):
-                    return False
-                obj = self.heap.get(obj_id)
-                return self.generation_index(obj) == index
+                space = heap.space_if_live(entry[0])
+                return (
+                    space is not None
+                    and generation_of.get(space.name) == index
+                )
 
             pruned = self.remsets[index].prune(source_still_here)
             self.stats.remset_entries_pruned += pruned
-        for obj in movers:
-            gen = self.generation_index(obj)
-            assert gen is not None
-            for slot, ref in enumerate(obj.fields):
-                if type(ref) is not int or not self.heap.contains_id(ref):
+        # Every mover now resides in generation upto+1 (minor target).
+        gen = upto + 1
+        remset = self.remsets[gen]
+        for oid in mover_ids:
+            for slot, ref in heap.ref_slots(oid):
+                space = heap.space_if_live(ref)
+                if space is None:
                     continue
-                target_gen = self.generation_index(self.heap.get(ref))
+                target_gen = generation_of.get(space.name)
                 if target_gen is not None and target_gen < gen:
-                    self.remsets[gen].record_promotion(obj.obj_id, slot)
+                    remset.record_promotion(oid, slot)
                     self.stats.remset_entries_created += 1
 
     def _remset_seeds(self, upto: int, region: set[Space]) -> list[int]:
@@ -463,7 +473,9 @@ class GenerationalCollector(Collector):
         is pruned.
         """
         seeds: list[int] = []
-        objects = self.heap._objects
+        heap = self.heap
+        slot_ref = heap.slot_ref
+        space_if_live = heap.space_if_live
         for index in range(upto + 1, self.generation_count):
             remset = self.remsets[index]
             if not len(remset):
@@ -471,15 +483,12 @@ class GenerationalCollector(Collector):
             keep: set[tuple[int, int]] = set()
             for entry in list(remset.entries()):
                 self.stats.roots_traced += 1
-                obj_id, slot = entry
-                obj = objects.get(obj_id)
-                if obj is None or slot >= len(obj.fields):
+                probe = slot_ref(entry[0], entry[1])
+                if probe is None:
                     continue
-                ref = obj.fields[slot]
-                if type(ref) is not int:
-                    continue
-                target = objects.get(ref)
-                if target is None or target.space not in region:
+                ref = probe[1]
+                target_space = space_if_live(ref)
+                if target_space is None or target_space not in region:
                     continue
                 seeds.append(ref)
                 keep.add(entry)

@@ -175,11 +175,8 @@ class HybridCollector(Collector):
     # Allocation
     # ------------------------------------------------------------------
 
-    def allocate(
-        self, size: int, field_count: int = 0, kind: str = "data"
-    ) -> HeapObject:
-        # Hot path: hoist the nursery attribute and inline Space.fits /
-        # _record_allocation.
+    def _reserve(self, size: int) -> Space:
+        # Hot path: hoist the nursery attribute and inline Space.fits.
         nursery = self.nursery
         capacity = nursery.capacity
         if size > (capacity or 0):
@@ -201,11 +198,7 @@ class HybridCollector(Collector):
                     and nursery.used + size > nursery.capacity
                 ):
                     raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, nursery, kind)
-        stats = self.stats
-        stats.words_allocated += size
-        stats.objects_allocated += 1
-        return obj
+        return nursery
 
     # ------------------------------------------------------------------
     # Write barrier
@@ -252,14 +245,13 @@ class HybridCollector(Collector):
         if new_j < 0:
             raise ValueError(f"j must be non-negative, got {new_j!r}")
         if new_j < self.j:
+            heap = self.heap
             for space in self.steps[:new_j]:
-                for obj in space.objects():
-                    for slot, ref in enumerate(obj.fields):
-                        if type(ref) is not int:
-                            continue
-                        dst = self.step_number(self.heap.get(ref))
+                for obj_id in list(space.object_ids()):
+                    for slot, ref in heap.ref_slots(obj_id):
+                        dst = self.step_number(heap.get(ref))
                         if dst is not None and dst > new_j:
-                            self.remset_steps.record_barrier(obj.obj_id, slot)
+                            self.remset_steps.record_barrier(obj_id, slot)
                             self.stats.remset_entries_created += 1
         self.j = new_j
 
@@ -289,7 +281,6 @@ class HybridCollector(Collector):
 
         heap = self.heap
         region = {self.nursery}
-        used_before = self.nursery.used
         if self.metrics is not None:
             self.metrics.event(
                 "collection-start", kind="promote", clock=heap.clock
@@ -299,32 +290,18 @@ class HybridCollector(Collector):
         seeds.extend(self._young_remset_seeds())
         marked = self._trace_region(region, seeds, count_work=False)
 
-        objects = heap._objects
         index_of = self._step_index_of
-        nursery_objects = self.nursery._objects
-        survivors: list[HeapObject] = []
-        dead: list[HeapObject] = []
-        outbound_pointers = 0
-        for obj in nursery_objects.values():
-            if obj.obj_id in marked:
-                survivors.append(obj)
-                # §8.3: count pointers leaving the ephemeral area; the
-                # collector must recognize them anyway, and the count
-                # estimates the remembered-set growth of the promotion.
-                for ref in obj.fields:
-                    if type(ref) is int and objects[ref].space in index_of:
-                        outbound_pointers += 1
-            else:
-                dead.append(obj)
-        reclaimed = 0
-        for obj in dead:
-            reclaimed += obj.size
-            del objects[obj.obj_id]
-            del nursery_objects[obj.obj_id]
-            obj.space = None
-        self.nursery.used -= reclaimed
+        survivors, reclaimed = heap.partition_space(self.nursery, marked)
+        # §8.3: count pointers leaving the ephemeral area; the
+        # collector must recognize them anyway, and the count
+        # estimates the remembered-set growth of the promotion.
+        outbound_pointers = heap.count_slot_refs_into(
+            survivors, set(index_of)
+        )
 
-        survivor_words = sum(obj.size for obj in survivors)
+        size_of = heap.size_of
+        survivor_sizes = [size_of(oid) for oid in survivors]
+        survivor_words = sum(survivor_sizes)
 
         # §8.3 pressure valve: shrink j before promoting if the
         # remembered set would grow unacceptably.
@@ -347,10 +324,11 @@ class HybridCollector(Collector):
             elif survivor_words > self._dynamic_free():
                 raise HeapExhausted(self, survivor_words, phase="promotion")
 
+        promoted = list(zip(survivors, survivor_sizes))
         if into_protected:
-            self._promote_into_protected(survivors)
+            self._promote_into_protected(promoted)
         else:
-            self._promote_into_collectable(survivors)
+            self._promote_into_collectable(promoted)
 
         self.stats.words_copied += survivor_words
         self.stats.words_promoted += survivor_words
@@ -370,22 +348,16 @@ class HybridCollector(Collector):
         # the valve or a spill above, so reread it.)
         j = self._j
         for obj_id, slot in list(self.remset_young.entries()):
-            src = objects.get(obj_id)
-            if src is None:
+            probe = heap.slot_ref(obj_id, slot)
+            if probe is None:
                 continue
-            src_space = src.space
-            src_index = None if src_space is None else index_of.get(src_space)
+            src_index = index_of.get(probe[0])
             if src_index is None or src_index >= j:
                 continue
-            if slot >= len(src.fields):
+            target_space = heap.space_if_live(probe[1])
+            if target_space is None:
                 continue
-            ref = src.fields[slot]
-            if type(ref) is not int:
-                continue
-            target = objects.get(ref)
-            if target is None or target.space is None:
-                continue
-            dst_index = index_of.get(target.space)
+            dst_index = index_of.get(target_space)
             if dst_index is not None and dst_index >= j:
                 self.remset_steps.record_promotion(obj_id, slot)
                 self.stats.remset_entries_created += 1
@@ -405,7 +377,9 @@ class HybridCollector(Collector):
         )
         self._finish_collection()
 
-    def _promote_into_collectable(self, survivors: list[HeapObject]) -> None:
+    def _promote_into_collectable(
+        self, promoted: list[tuple[int, int]]
+    ) -> None:
         """Pack survivors into the highest-numbered free steps.
 
         If packing spills below the j boundary, ``j`` is decreased so
@@ -413,68 +387,111 @@ class HybridCollector(Collector):
         then *not* in the protected generation, and no situation-5
         entries are needed for them).
         """
-        heap = self.heap
-        cursor = self.step_count - 1
-        lowest = self.step_count
-        for obj in survivors:
-            index = self._place(obj, cursor)
-            cursor = index
-            if index < lowest:
-                lowest = index
-        if survivors and lowest < self.j:
+        lowest = self._place_all(promoted, self.step_count - 1)
+        if promoted and lowest < self.j:
             # Spill below the boundary: decrease j. reduce_j rescans
             # steps 1..new_j, conservatively restoring the remset
             # invariant for pointers into the newly collectable steps.
             self.reduce_j(lowest)
 
-    def _promote_into_protected(self, survivors: list[HeapObject]) -> None:
+    def _promote_into_protected(
+        self, promoted: list[tuple[int, int]]
+    ) -> None:
         """Pack survivors into steps 1..j, recording situation-5 entries."""
-        cursor = self.j - 1
-        for obj in survivors:
-            cursor = self._place(obj, cursor)
+        heap = self.heap
+        self._place_all(promoted, self.j - 1)
         # Scan the promoted objects for pointers into steps j+1..k
         # (§8.4: detected "when the object is traced, after it has been
         # copied into the non-predictive heap").
-        for obj in survivors:
-            for slot, ref in enumerate(obj.fields):
-                if type(ref) is not int:
-                    continue
-                dst = self.step_number(self.heap.get(ref))
+        for oid, _ in promoted:
+            for slot, ref in heap.ref_slots(oid):
+                dst = self.step_number(heap.get(ref))
                 if dst is not None and dst > self.j:
-                    self.remset_steps.record_promotion(obj.obj_id, slot)
+                    self.remset_steps.record_promotion(oid, slot)
                     self.stats.remset_entries_created += 1
 
-    def _place(self, obj: HeapObject, cursor: int) -> int:
-        """Move one object into the highest free step at or below cursor."""
-        index = cursor
-        while index >= 0 and not self.steps[index].fits(obj.size):
-            index -= 1
-        if index < 0:
-            # Sliver fragmentation; fall back to first fit anywhere.
-            for alt in range(self.step_count - 1, -1, -1):
-                if self.steps[alt].fits(obj.size):
-                    index = alt
-                    break
-            else:
-                raise HeapExhausted(self, obj.size, phase="promotion")
-        self.heap.move(obj, self.steps[index])
-        return index
+    def _place_all(
+        self, promoted: list[tuple[int, int]], cursor: int
+    ) -> int:
+        """Pack survivors step-wise: each into the highest free step at
+        or below the moving cursor, falling back to first fit from the
+        top on sliver fragmentation.
+
+        Placement decisions are per object, but contiguous runs landing
+        in the same step move in one ``move_ids`` call; queued-but-not-
+        yet-moved words are charged against that step's room so the
+        decisions match one-move-per-object exactly.  Returns the
+        lowest step index used (``step_count`` when nothing moved).
+        """
+        steps = self.steps
+        move = self.heap.move_ids
+        lowest = self.step_count
+        batch: list[int] = []
+        append = batch.append
+        batch_index = -1
+        unbounded = 1 << 62
+        # Words still free in the batch step after everything queued;
+        # the common case — next survivor lands in the same step —
+        # is then a single compare.
+        room = 0
+
+        def step_room(index: int) -> int:
+            if index == batch_index:
+                return room
+            step = steps[index]
+            capacity = step.capacity
+            if capacity is None:
+                return unbounded
+            return capacity - step.used
+
+        for oid, size in promoted:
+            if size <= room:
+                append(oid)
+                room -= size
+                continue
+            index = cursor
+            while index >= 0 and step_room(index) < size:
+                index -= 1
+            if index < 0:
+                # Sliver fragmentation; fall back to first fit anywhere.
+                for alt in range(self.step_count - 1, -1, -1):
+                    if step_room(alt) >= size:
+                        index = alt
+                        break
+                else:
+                    if batch:
+                        move(batch, steps[batch_index])
+                    raise HeapExhausted(self, size, phase="promotion")
+            if index != batch_index:
+                if batch:
+                    move(batch, steps[batch_index])
+                    batch = []
+                    append = batch.append
+                batch_index = index
+                step = steps[index]
+                capacity = step.capacity
+                room = unbounded if capacity is None else capacity - step.used
+            append(oid)
+            room -= size
+            cursor = index
+            if index < lowest:
+                lowest = index
+        if batch:
+            move(batch, steps[batch_index])
+        return lowest
 
     def _young_remset_seeds(self) -> list[int]:
         """Seeds from dynamic-area slots that still point into the nursery."""
         seeds: list[int] = []
-        objects = self.heap._objects
+        heap = self.heap
         nursery = self.nursery
         for obj_id, slot in list(self.remset_young.entries()):
             self.stats.roots_traced += 1
-            obj = objects.get(obj_id)
-            if obj is None or slot >= len(obj.fields):
+            probe = heap.slot_ref(obj_id, slot)
+            if probe is None:
                 continue
-            ref = obj.fields[slot]
-            if type(ref) is not int:
-                continue
-            target = objects.get(ref)
-            if target is not None and target.space is nursery:
+            ref = probe[1]
+            if heap.space_if_live(ref) is nursery:
                 seeds.append(ref)
         return seeds
 
@@ -485,7 +502,6 @@ class HybridCollector(Collector):
     def collect(self) -> None:
         """Collect steps j+1..k together with the ephemeral area."""
         heap = self.heap
-        objects = heap._objects
         k = self.step_count
         protected = self._protected_list
         collectable = self._collectable_list
@@ -504,22 +520,17 @@ class HybridCollector(Collector):
         seeds.extend(self._steps_remset_seeds(region))
         marked = self._trace_region(region, seeds, count_work=False)
 
-        survivors: list[HeapObject] = []
+        survivors: list[int] = []
         reclaimed = 0
         for space in [self.nursery, *collectable]:
-            space_objects = space._objects
-            for obj in space_objects.values():
-                if obj.obj_id in marked:
-                    obj.space = None
-                    survivors.append(obj)
-                else:
-                    reclaimed += obj.size
-                    del objects[obj.obj_id]
-                    obj.space = None
-            space_objects.clear()
-            space.used = 0
+            space_survivors, space_reclaimed = heap.extract_live(
+                space, marked
+            )
+            survivors.extend(space_survivors)
+            reclaimed += space_reclaimed
 
-        survivor_words = sum(obj.size for obj in survivors)
+        size_of = heap.size_of
+        survivor_words = sum(size_of(oid) for oid in survivors)
         free_after = sum(space.free for space in self.steps)
         if survivor_words > free_after:
             raise HeapExhausted(self, survivor_words, phase="collection")
@@ -543,8 +554,9 @@ class HybridCollector(Collector):
         # the inlined placement checks capacity directly.
         cursor = k - 1
         live = 0
-        for obj in survivors:
-            size = obj.size
+        place = heap.place_id
+        for oid in survivors:
+            size = size_of(oid)
             index = cursor
             while index >= 0:
                 space = steps[index]
@@ -553,9 +565,7 @@ class HybridCollector(Collector):
                 index -= 1
             if index < 0:
                 raise HeapExhausted(self, size, phase="collection")
-            space._objects[obj.obj_id] = obj
-            space.used += size
-            obj.space = space
+            place(oid, space, size)
             cursor = index
             live += size
         self.stats.words_copied += live
@@ -592,21 +602,16 @@ class HybridCollector(Collector):
         part of the region for a non-predictive collection).
         """
         seeds: list[int] = []
-        objects = self.heap._objects
+        heap = self.heap
         protected = self._protected_set
         for remset in (self.remset_steps, self.remset_young):
             for obj_id, slot in list(remset.entries()):
                 self.stats.roots_traced += 1
-                obj = objects.get(obj_id)
-                if obj is None or obj.space not in protected:
+                probe = heap.slot_ref(obj_id, slot)
+                if probe is None or probe[0] not in protected:
                     continue
-                if slot >= len(obj.fields):
-                    continue
-                ref = obj.fields[slot]
-                if type(ref) is not int:
-                    continue
-                target = objects.get(ref)
-                if target is not None and target.space in region:
+                ref = probe[1]
+                if heap.space_if_live(ref) in region:
                     seeds.append(ref)
         return seeds
 

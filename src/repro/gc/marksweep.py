@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from repro.gc.collector import Collector, HeapExhausted
 from repro.heap.heap import SimulatedHeap
-from repro.heap.object_model import HeapObject
 from repro.heap.roots import RootSet
+from repro.heap.space import Space
 
 __all__ = ["MarkSweepCollector"]
 
@@ -78,10 +78,8 @@ class MarkSweepCollector(Collector):
     # Allocation
     # ------------------------------------------------------------------
 
-    def allocate(
-        self, size: int, field_count: int = 0, kind: str = "data"
-    ) -> HeapObject:
-        # Hot path: inline Space.fits / _record_allocation.
+    def _reserve(self, size: int) -> "Space":
+        # Hot path: inline Space.fits.
         space = self.space
         capacity = space.capacity
         if capacity is not None and space.used + size > capacity:
@@ -100,11 +98,7 @@ class MarkSweepCollector(Collector):
                     and space.used + size > space.capacity
                 ):
                     raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, space, kind)
-        stats = self.stats
-        stats.words_allocated += size
-        stats.objects_allocated += 1
-        return obj
+        return space
 
     def _expand(self, pending: int) -> None:
         """Grow the heap to restore the target inverse load factor.
@@ -146,18 +140,7 @@ class MarkSweepCollector(Collector):
         # but not free; the mark/cons ratio deliberately excludes it,
         # as in the paper).
         self.stats.words_swept += self.space.used
-        objects = self.heap._objects
-        space_objects = self.space._objects
-        dead = [
-            obj for obj in space_objects.values() if obj.obj_id not in marked
-        ]
-        reclaimed = 0
-        for obj in dead:
-            reclaimed += obj.size
-            del objects[obj.obj_id]
-            del space_objects[obj.obj_id]
-            obj.space = None
-        self.space.used -= reclaimed
+        reclaimed = self.heap.free_unmarked(self.space, marked)
         live = self.space.used
 
         self.stats.words_reclaimed += reclaimed

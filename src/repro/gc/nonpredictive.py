@@ -212,14 +212,13 @@ class NonPredictiveCollector(Collector):
         if new_j < 0:
             raise ValueError(f"j must be non-negative, got {new_j!r}")
         if new_j < self.j and self.use_remset:
+            heap = self.heap
             for space in self.steps[:new_j]:
-                for obj in space.objects():
-                    for slot, ref in enumerate(obj.fields):
-                        if type(ref) is not int:
-                            continue
-                        dst = self.step_number(self.heap.get(ref))
+                for obj_id in space.object_ids():
+                    for slot, ref in heap.ref_slots(obj_id):
+                        dst = self.step_number(heap.get(ref))
                         if dst is not None and dst > new_j:
-                            self.remset.record_barrier(obj.obj_id, slot)
+                            self.remset.record_barrier(obj_id, slot)
                             self.stats.remset_entries_created += 1
         self.j = new_j
 
@@ -235,9 +234,7 @@ class NonPredictiveCollector(Collector):
     # Allocation
     # ------------------------------------------------------------------
 
-    def allocate(
-        self, size: int, field_count: int = 0, kind: str = "data"
-    ) -> HeapObject:
+    def _reserve(self, size: int) -> Space:
         if size > self.step_words:
             raise ValueError(
                 f"object of {size} words exceeds the step size "
@@ -271,11 +268,7 @@ class NonPredictiveCollector(Collector):
                 space = self._allocation_step(size)
             if space is None:
                 raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, space, kind)
-        stats = self.stats
-        stats.words_allocated += size
-        stats.objects_allocated += 1
-        return obj
+        return space
 
     def _allocation_step(self, size: int) -> Space | None:
         """The highest-numbered step with room.
@@ -402,23 +395,14 @@ class NonPredictiveCollector(Collector):
     ) -> tuple[int, int]:
         """Stop-and-copy survivor phase: detach, renumber, repack."""
         heap = self.heap
-        objects = heap._objects
         k = self.step_count
         j = len(protected)
-        survivors: list[HeapObject] = []
+        survivors: list[int] = []
         reclaimed = 0
         for space in collectable:
-            space_objects = space._objects
-            for obj in space_objects.values():
-                if obj.obj_id in marked:
-                    obj.space = None
-                    survivors.append(obj)
-                else:
-                    reclaimed += obj.size
-                    del objects[obj.obj_id]
-                    obj.space = None
-            space_objects.clear()
-            space.used = 0
+            ids, freed = heap.extract_live(space, marked)
+            survivors.extend(ids)
+            reclaimed += freed
 
         # Renumber: old steps j+1..k become 1..k-j; old 1..j become
         # k-j+1..k (they are exchanged, not collected — Table 1's "*").
@@ -430,18 +414,18 @@ class NonPredictiveCollector(Collector):
         # bounded, so the inlined placement checks capacity directly.
         live = 0
         steps = self.steps
+        size_of = heap.size_of
+        place = heap.place_id
         target_index = k - j - 1
-        for obj in survivors:
-            size = obj.size
+        for oid in survivors:
+            size = size_of(oid)
             while target_index >= 0:
                 space = steps[target_index]
                 if space.used + size <= space.capacity:
                     break
                 target_index -= 1
             if target_index >= 0:
-                space._objects[obj.obj_id] = obj
-                space.used += size
-                obj.space = space
+                place(oid, space, size)
             else:
                 # Bump-pointer slivers can strand a large survivor even
                 # though total capacity suffices; fall back to first
@@ -449,9 +433,7 @@ class NonPredictiveCollector(Collector):
                 for index in range(k - j - 1, -1, -1):
                     space = steps[index]
                     if space.used + size <= space.capacity:
-                        space._objects[obj.obj_id] = obj
-                        space.used += size
-                        obj.space = space
+                        place(oid, space, size)
                         break
                 else:
                     raise RuntimeError(
@@ -477,25 +459,11 @@ class NonPredictiveCollector(Collector):
         steps (charged as copying).
         """
         heap = self.heap
-        objects = heap._objects
         live = 0
         reclaimed = 0
         for space in collectable:
             self.stats.words_swept += space.used
-            space_objects = space._objects
-            dead = [
-                obj
-                for obj in space_objects.values()
-                if obj.obj_id not in marked
-            ]
-            dead_words = 0
-            for obj in dead:
-                dead_words += obj.size
-                del objects[obj.obj_id]
-                del space_objects[obj.obj_id]
-                obj.space = None
-            space.used -= dead_words
-            reclaimed += dead_words
+            reclaimed += heap.free_unmarked(space, marked)
             live += space.used
             self.stats.words_marked += space.used
 
@@ -518,20 +486,22 @@ class NonPredictiveCollector(Collector):
         cost is a fraction of the live storage — "occasional
         compaction", not a full slide.
         """
+        heap = self.heap
+        size_of = heap.size_of
+        place = heap.place_id
         k = self.step_count
         prefix = min(self.compaction_threshold, k - j)
-        movers: list[HeapObject] = []
+        movers: list[int] = []
         for space in self.steps[:prefix]:
-            for obj in list(space.objects()):
-                space.remove(obj)
-                movers.append(obj)
+            movers.extend(heap.extract_all(space))
         if not movers:
             return
         target_index = k - j - 1
-        for position, obj in enumerate(movers):
+        for position, oid in enumerate(movers):
+            size = size_of(oid)
             while (
                 target_index >= prefix
-                and not self.steps[target_index].fits(obj.size)
+                and not self.steps[target_index].fits(size)
             ):
                 target_index -= 1
             if target_index < prefix:
@@ -539,9 +509,10 @@ class NonPredictiveCollector(Collector):
                 # the prefix) and stop; the empty prefix is simply
                 # shorter this cycle.
                 for straggler in movers[position:]:
+                    straggler_size = size_of(straggler)
                     for space in self.steps[:prefix]:
-                        if space.fits(straggler.size):
-                            space.add(straggler)
+                        if space.fits(straggler_size):
+                            place(straggler, space, straggler_size)
                             break
                     else:
                         raise RuntimeError(
@@ -549,8 +520,8 @@ class NonPredictiveCollector(Collector):
                             "corrupt"
                         )
                 break
-            self.steps[target_index].add(obj)
-            self.stats.words_copied += obj.size
+            place(oid, self.steps[target_index], size)
+            self.stats.words_copied += size
         self.compactions += 1
 
     def _renumber(self, new_order: list[Space]) -> None:
@@ -579,20 +550,17 @@ class NonPredictiveCollector(Collector):
         skipped.
         """
         seeds: list[int] = []
-        objects = self.heap._objects
+        heap = self.heap
+        slot_ref = heap.slot_ref
+        space_if_live = heap.space_if_live
         protected = self._protected_set
         for obj_id, slot in list(self.remset.entries()):
             self.stats.roots_traced += 1
-            obj = objects.get(obj_id)
-            if obj is None or obj.space not in protected:
+            probe = slot_ref(obj_id, slot)
+            if probe is None or probe[0] not in protected:
                 continue
-            if slot >= len(obj.fields):
-                continue
-            ref = obj.fields[slot]
-            if type(ref) is not int:
-                continue
-            target = objects.get(ref)
-            if target is not None and target.space in region:
+            ref = probe[1]
+            if space_if_live(ref) in region:
                 seeds.append(ref)
         return seeds
 

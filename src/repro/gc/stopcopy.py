@@ -16,11 +16,8 @@ copied word) follow Cheney's algorithm exactly.
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.gc.collector import Collector, HeapExhausted
-from repro.heap.heap import HeapError, SimulatedHeap
-from repro.heap.object_model import HeapObject
+from repro.heap.heap import SimulatedHeap
 from repro.heap.roots import RootSet
 from repro.heap.space import Space
 
@@ -109,12 +106,10 @@ class StopAndCopyCollector(Collector):
     # Allocation
     # ------------------------------------------------------------------
 
-    def allocate(
-        self, size: int, field_count: int = 0, kind: str = "data"
-    ) -> HeapObject:
-        # Hot path: hoist the tospace property and inline Space.fits /
-        # _record_allocation.  collect() flips the semispaces and
-        # _expand() grows them, so tospace is re-read after either.
+    def _reserve(self, size: int) -> Space:
+        # Hot path: hoist the tospace property and inline Space.fits.
+        # collect() flips the semispaces and _expand() grows them, so
+        # tospace is re-read after either.
         tospace = self._semispaces[self._active]
         capacity = tospace.capacity
         if capacity is not None and tospace.used + size > capacity:
@@ -130,11 +125,7 @@ class StopAndCopyCollector(Collector):
                 capacity = tospace.capacity
                 if capacity is not None and tospace.used + size > capacity:
                     raise HeapExhausted(self, size)
-        obj = self.heap.allocate(size, field_count, tospace, kind)
-        stats = self.stats
-        stats.words_allocated += size
-        stats.objects_allocated += 1
-        return obj
+        return tospace
 
     def _expand(self, pending: int) -> None:
         needed = self.tospace.used + pending
@@ -170,61 +161,19 @@ class StopAndCopyCollector(Collector):
                 "collection-start", kind="full", clock=self.heap.clock
             )
         heap = self.heap
-        objects = heap._objects
         old_from, old_to = self.fromspace, self.tospace
         used_before = old_to.used
-        condemned = old_to._objects
-        survivors = old_from._objects
 
         # Cheney scan: copy roots, then scan copied objects in FIFO
         # order, copying anything they reference that is still in
         # fromspace.  "Copying" is a move between spaces; ids persist.
         # The destination always fits (equal semispaces, live <= used),
-        # so the moves bypass the heap's capacity-checked slow path.
-        copied: set[int] = set()
-        mark = copied.add
-        scan_queue: deque[int] = deque()
-        scan_push = scan_queue.append
-        scan_pop = scan_queue.popleft
-        work = 0
-        try:
-            for obj_id in self._root_ids():
-                if obj_id in copied:
-                    continue
-                obj = objects[obj_id]
-                if obj.space is not old_to:
-                    continue  # already outside the condemned region
-                del condemned[obj_id]
-                survivors[obj_id] = obj
-                obj.space = old_from
-                mark(obj_id)
-                scan_push(obj_id)
-                work += obj.size
-            while scan_queue:
-                for ref in objects[scan_pop()].fields:
-                    if type(ref) is int and ref not in copied:
-                        target = objects[ref]
-                        if target.space is old_to:
-                            del condemned[ref]
-                            survivors[ref] = target
-                            target.space = old_from
-                            mark(ref)
-                            scan_push(ref)
-                            work += target.size
-        except KeyError as exc:
-            raise HeapError(f"dangling object id {exc.args[0]}") from None
-
+        # so the kernel bypasses the heap's capacity-checked slow path.
+        # Everything left behind is unreachable and abandoned.
+        work, reclaimed = heap.cheney_evacuate(
+            old_to, old_from, self._root_ids()
+        )
         self.stats.words_copied += work
-
-        # Everything left in the old tospace is unreachable: abandon it.
-        reclaimed = 0
-        for obj in condemned.values():
-            reclaimed += obj.size
-            del objects[obj.obj_id]
-            obj.space = None
-        condemned.clear()
-        old_to.used = 0
-        old_from.used += work
 
         self._active = 1 - self._active
         live = used_before - reclaimed

@@ -1,0 +1,1230 @@
+"""Struct-of-arrays heap backend: headers and slots in flat arenas.
+
+:class:`FlatHeap` implements the same heap contract as
+:class:`repro.heap.heap.SimulatedHeap` (the *object* backend) but
+stores every per-object attribute in flat ``array('q')`` arenas indexed
+by object id, the representation the PyPy ``SemiSpaceGC`` lineage uses
+for real heaps:
+
+========  ============================================================
+arena     contents (one entry per object id, never reused)
+========  ============================================================
+_hdr      ``size | field_count << 24 | kind_code << 44`` (packed bits)
+_birth    allocation clock at birth
+_state    ``0`` dead · ``1`` detached (mid-collection) ·
+          ``(pos << 16) | token`` resident at position ``pos`` of the
+          space whose token is ``token`` (tokens start at 2)
+_slot_base  index of the object's first slot in the shared ``_slots``
+          list arena (slots hold ids, ``None``, or immediates, so the
+          slot arena is a Python list, not an ``array``)
+========  ============================================================
+
+``kind`` strings are interned to small integers; rare ``payload``
+values live in a side table.  A :class:`FlatSpace` keeps an
+append-only id list with *lazy deletion*: an entry at position ``i``
+is valid iff the object's packed state is exactly
+``(i << 16) | token``, which reproduces dict insertion-order semantics
+(iteration order, re-insert-at-end) without per-removal compaction.
+The survivor-enumeration order of the non-predictive and hybrid
+collectors is observable (it drives packing, renumbering, and reclaim
+timing), so order fidelity here is what makes the two backends
+byte-identical.
+
+Object handles (:class:`FlatObject`) are created on demand by
+:meth:`FlatHeap.get` and read through to the arenas; hot collector
+loops never touch them — they run over ids via the shared kernel
+methods (``trace_region``, ``cheney_evacuate``, ``free_unmarked``,
+``partition_space``, ``extract_live``, ...) that both backends
+implement.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from repro.heap.heap import HeapError
+from repro.heap.space import SpaceFull
+
+__all__ = ["FlatFields", "FlatHeap", "FlatObject", "FlatSpace"]
+
+# Header packing: size in the low 24 bits, field count in the next 20,
+# kind code above.  Sizes stay far below 2**24 words in every workload
+# (the validator rejects larger objects).
+_SIZE_BITS = 24
+_SIZE_MASK = (1 << _SIZE_BITS) - 1
+_FC_SHIFT = _SIZE_BITS
+_FC_BITS = 20
+_FC_MASK = (1 << _FC_BITS) - 1
+_KIND_SHIFT = _FC_SHIFT + _FC_BITS
+
+# State packing: low 16 bits are the residency token, the rest is the
+# position inside the owning space's id list.
+_DEAD = 0
+_DETACHED = 1
+_TOKEN_BITS = 16
+_TOKEN_MASK = (1 << _TOKEN_BITS) - 1
+_POS_SHIFT = _TOKEN_BITS
+_FIRST_TOKEN = 2
+
+# Compact a space's id list when stale entries outnumber live ones
+# this many times over (deterministic: depends only on the operation
+# sequence, and list positions are not observable).
+_COMPACT_FACTOR = 4
+_COMPACT_SLACK = 64
+
+
+class FlatSpace:
+    """A bounded heap region backed by an append-only id list.
+
+    Mirrors :class:`repro.heap.space.Space` (name, capacity, ``used``,
+    ``free``, ``fits``, membership, iteration) but membership is the
+    packed state word in the owning :class:`FlatHeap`, not a dict.
+    """
+
+    __slots__ = ("name", "capacity", "used", "_heap", "_token", "_ids", "_count")
+
+    def __init__(self, heap: "FlatHeap", name: str, capacity: int | None,
+                 token: int) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity!r}")
+        self.name = name
+        self.capacity = capacity
+        self.used = 0
+        self._heap = heap
+        self._token = token
+        self._ids: list[int] = []
+        self._count = 0
+
+    # -- occupancy ------------------------------------------------------
+
+    @property
+    def free(self) -> int:
+        if self.capacity is None:
+            return 2**62
+        return self.capacity - self.used
+
+    @property
+    def object_count(self) -> int:
+        return self._count
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def fits(self, words: int) -> bool:
+        return self.capacity is None or self.used + words <= self.capacity
+
+    # -- membership -----------------------------------------------------
+
+    def add(self, obj: "FlatObject") -> None:
+        """Place a detached object here, updating occupancy."""
+        heap = self._heap
+        oid = obj.obj_id
+        state = heap._state
+        if state[oid] & _TOKEN_MASK == self._token and self._valid(oid):
+            raise ValueError(f"{obj!r} is already in space {self.name!r}")
+        size = heap._hdr[oid] & _SIZE_MASK
+        if not self.fits(size):
+            raise SpaceFull(self, size)
+        heap.place_id(oid, self, size)
+
+    def remove(self, obj: "FlatObject") -> None:
+        """Detach a resident object, updating occupancy."""
+        heap = self._heap
+        oid = obj.obj_id
+        if not self._valid(oid):
+            raise KeyError(f"{obj!r} is not in space {self.name!r}")
+        heap._state[oid] = _DETACHED
+        self.used -= heap._hdr[oid] & _SIZE_MASK
+        self._count -= 1
+
+    def contains(self, obj: "FlatObject") -> bool:
+        return self._valid(obj.obj_id)
+
+    def _valid(self, oid: int) -> bool:
+        state = self._heap._state
+        if not 0 <= oid < len(state):
+            return False
+        packed = state[oid]
+        return (
+            packed & _TOKEN_MASK == self._token
+            and (packed >> _POS_SHIFT) < len(self._ids)
+            and self._ids[packed >> _POS_SHIFT] == oid
+        )
+
+    def object_ids(self) -> Iterator[int]:
+        """Resident ids in insertion order (skipping stale entries)."""
+        state = self._heap._state
+        token = self._token
+        for pos, oid in enumerate(self._ids):
+            if state[oid] == (pos << _POS_SHIFT) | token:
+                yield oid
+
+    def objects(self) -> Iterator["FlatObject"]:
+        heap = self._heap
+        for oid in self.object_ids():
+            yield FlatObject(heap, oid)
+
+    def _compact_ids(self) -> None:
+        """Drop stale entries, renumbering live positions."""
+        if not self._count:
+            self._ids = []
+            return
+        state = self._heap._state
+        token = self._token
+        fresh: list[int] = []
+        append = fresh.append
+        for pos, oid in enumerate(self._ids):
+            if state[oid] == (pos << _POS_SHIFT) | token:
+                state[oid] = (len(fresh) << _POS_SHIFT) | token
+                append(oid)
+        self._ids = fresh
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.capacity is None else str(self.capacity)
+        return (
+            f"FlatSpace(name={self.name!r}, used={self.used}/{cap}, "
+            f"objects={self._count})"
+        )
+
+
+class FlatFields:
+    """A mutable list-like view of one object's slot range.
+
+    Supports exactly the operations collector and runtime code performs
+    on ``HeapObject.fields``: ``len``, iteration, indexing (including
+    negative indices and slices), item assignment, and equality against
+    any sequence.  Assignment writes the slot arena directly — like a
+    raw list store on the object backend, it bypasses checked-mode
+    probes (the chaos fault injector relies on this).
+    """
+
+    __slots__ = ("_heap", "_oid")
+
+    def __init__(self, heap: "FlatHeap", oid: int) -> None:
+        self._heap = heap
+        self._oid = oid
+
+    def __len__(self) -> int:
+        return (self._heap._hdr[self._oid] >> _FC_SHIFT) & _FC_MASK
+
+    def __iter__(self) -> Iterator[object]:
+        heap = self._heap
+        base = heap._slot_base[self._oid]
+        count = (heap._hdr[self._oid] >> _FC_SHIFT) & _FC_MASK
+        return iter(heap._slots[base:base + count])
+
+    def __getitem__(self, index):
+        heap = self._heap
+        base = heap._slot_base[self._oid]
+        count = (heap._hdr[self._oid] >> _FC_SHIFT) & _FC_MASK
+        if isinstance(index, slice):
+            return heap._slots[base:base + count][index]
+        return heap._slots[base + range(count)[index]]
+
+    def __setitem__(self, index: int, value: object) -> None:
+        heap = self._heap
+        base = heap._slot_base[self._oid]
+        count = (heap._hdr[self._oid] >> _FC_SHIFT) & _FC_MASK
+        heap._slots[base + range(count)[index]] = value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FlatFields):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"FlatFields({list(self)!r})"
+
+
+class FlatObject:
+    """An on-demand handle over one arena row.
+
+    Cheap to create (two attribute stores); all state reads go through
+    to the arenas, so two handles for the same id always agree.  Unlike
+    :class:`~repro.heap.object_model.HeapObject`, handles have no
+    identity guarantee — code must compare ``obj_id``, which everything
+    in this repository already does.
+    """
+
+    __slots__ = ("heap", "obj_id")
+
+    def __init__(self, heap: "FlatHeap", obj_id: int) -> None:
+        self.heap = heap
+        self.obj_id = obj_id
+
+    @property
+    def size(self) -> int:
+        return self.heap._hdr[self.obj_id] & _SIZE_MASK
+
+    @property
+    def birth(self) -> int:
+        return self.heap._birth[self.obj_id]
+
+    @property
+    def kind(self) -> str:
+        return self.heap._kind_names[self.heap._hdr[self.obj_id] >> _KIND_SHIFT]
+
+    @property
+    def space(self) -> FlatSpace | None:
+        return self.heap.space_if_live(self.obj_id)
+
+    @space.setter
+    def space(self, value: FlatSpace | None) -> None:
+        # Rewrites only which space the object *claims* — no space table
+        # or occupancy is touched, mirroring a raw back-pointer store on
+        # HeapObject.  Exists for the fault injectors; collectors move
+        # objects through the heap kernels instead.
+        heap = self.heap
+        packed = heap._state[self.obj_id]
+        if packed == _DEAD:
+            raise HeapError(f"dangling object id {self.obj_id}")
+        if value is None:
+            heap._state[self.obj_id] = _DETACHED
+        else:
+            pos = packed >> _POS_SHIFT if packed != _DETACHED else 0
+            heap._state[self.obj_id] = (pos << _POS_SHIFT) | value._token
+
+    @property
+    def payload(self) -> object:
+        return self.heap._payloads.get(self.obj_id)
+
+    @payload.setter
+    def payload(self, value: object) -> None:
+        self.heap._payloads[self.obj_id] = value
+
+    @property
+    def fields(self) -> FlatFields:
+        return FlatFields(self.heap, self.obj_id)
+
+    def references(self) -> Iterator[int]:
+        """Ids stored in reference slots (``None``/immediates skipped)."""
+        for value in self.fields:
+            if type(value) is int:
+                yield value
+
+    def points_to(self, obj_id: int) -> bool:
+        return any(ref == obj_id for ref in self.references())
+
+    def __repr__(self) -> str:
+        space = self.space
+        where = space.name if space is not None else "nowhere"
+        return (
+            f"FlatObject(id={self.obj_id}, size={self.size}, "
+            f"kind={self.kind!r}, space={where})"
+        )
+
+
+class FlatHeap:
+    """The struct-of-arrays heap backend.
+
+    Public surface matches :class:`repro.heap.heap.SimulatedHeap`
+    exactly (spaces, allocate/free/move/get, field access, tracing,
+    integrity) plus the shared kernel methods both backends provide.
+    """
+
+    backend_name = "flat"
+
+    __slots__ = (
+        "_hdr",
+        "_birth",
+        "_state",
+        "_slot_base",
+        "_slots",
+        "_payloads",
+        "_kind_codes",
+        "_kind_names",
+        "_spaces",
+        "_space_by_token",
+        "_live_count",
+        "clock",
+        "objects_allocated",
+        "checked",
+        "event_sink",
+    )
+
+    def __init__(self, *, checked: bool = False) -> None:
+        self._hdr = array("q")
+        self._birth = array("q")
+        self._state = array("q")
+        self._slot_base = array("q")
+        self._slots: list[object] = []
+        self._payloads: dict[int, object] = {}
+        self._kind_codes: dict[str, int] = {"data": 0}
+        self._kind_names: list[str] = ["data"]
+        self._spaces: dict[str, FlatSpace] = {}
+        self._space_by_token: list[FlatSpace | None] = [None, None]
+        self._live_count = 0
+        self.clock = 0
+        self.objects_allocated = 0
+        self.checked = checked
+        self.event_sink = None
+
+    # ------------------------------------------------------------------
+    # Spaces
+    # ------------------------------------------------------------------
+
+    def add_space(self, name: str, capacity: int | None) -> FlatSpace:
+        if name in self._spaces:
+            raise ValueError(f"space {name!r} already exists")
+        token = len(self._space_by_token)
+        space = FlatSpace(self, name, capacity, token)
+        self._space_by_token.append(space)
+        self._spaces[name] = space
+        if self.event_sink is not None:
+            self.event_sink.emit(
+                "space-created", space=name, capacity=capacity
+            )
+        return space
+
+    def remove_space(self, space: FlatSpace) -> None:
+        if not space.is_empty():
+            raise HeapError(f"cannot remove non-empty space {space.name!r}")
+        if self._spaces.get(space.name) is not space:
+            raise KeyError(f"space {space.name!r} is not registered")
+        del self._spaces[space.name]
+        self._space_by_token[space._token] = None
+        if self.event_sink is not None:
+            self.event_sink.emit("space-removed", space=space.name)
+
+    def space(self, name: str) -> FlatSpace:
+        try:
+            return self._spaces[name]
+        except KeyError:
+            raise KeyError(f"no space named {name!r}") from None
+
+    def spaces(self) -> Iterator[FlatSpace]:
+        return iter(self._spaces.values())
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+
+    @property
+    def object_count(self) -> int:
+        return self._live_count
+
+    @property
+    def live_words(self) -> int:
+        return sum(space.used for space in self._spaces.values())
+
+    def _kind_code(self, kind: str) -> int:
+        code = self._kind_codes.get(kind)
+        if code is None:
+            code = len(self._kind_names)
+            self._kind_codes[kind] = code
+            self._kind_names.append(kind)
+        return code
+
+    def allocate(
+        self,
+        size: int,
+        field_count: int,
+        space: FlatSpace,
+        kind: str = "data",
+        *,
+        advance_clock: bool = True,
+    ) -> FlatObject:
+        """Allocate a new object in ``space`` and advance the clock."""
+        return FlatObject(
+            self,
+            self.allocate_id(
+                size, field_count, space, kind, advance_clock=advance_clock
+            ),
+        )
+
+    def allocate_id(
+        self,
+        size: int,
+        field_count: int,
+        space: FlatSpace,
+        kind: str = "data",
+        *,
+        advance_clock: bool = True,
+    ) -> int:
+        """Allocate and return the raw id — the backend's hot path."""
+        capacity = space.capacity
+        used = space.used
+        if capacity is not None and used + size > capacity:
+            raise SpaceFull(space, size)
+        if not 1 <= size <= _SIZE_MASK:
+            raise ValueError(f"object size must be >= 1 word, got {size!r}")
+        if not 0 <= field_count <= size:
+            raise ValueError(
+                f"field count {field_count!r} does not fit in {size} words"
+            )
+        oid = len(self._hdr)
+        kind_code = 0 if kind == "data" else self._kind_code(kind)
+        self._hdr.append(size | (field_count << _FC_SHIFT)
+                         | (kind_code << _KIND_SHIFT))
+        self._birth.append(self.clock)
+        slots = self._slots
+        self._slot_base.append(len(slots))
+        if field_count:
+            slots += (None,) * field_count
+        ids = space._ids
+        self._state.append((len(ids) << _POS_SHIFT) | space._token)
+        ids.append(oid)
+        space._count += 1
+        space.used = used + size
+        self._live_count += 1
+        if advance_clock:
+            self.clock += size
+            self.objects_allocated += 1
+        return oid
+
+    def bulk_allocate(
+        self, count: int, size: int, space: FlatSpace
+    ) -> tuple[int, int]:
+        """Materialize ``count`` field-less ``data`` objects at C speed.
+
+        Returns the half-open id range ``(first, first + count)``.  The
+        caller (a collector's allocation window) has already reserved
+        capacity; observable state afterwards — clock, stats, space
+        contents, ids — is exactly as if :meth:`allocate_id` had run
+        ``count`` times, which is what keeps windowed benchmark runs
+        byte-identical to plain allocation for uniform object sizes.
+        """
+        if count <= 0:
+            raise ValueError(f"window must cover >= 1 object, got {count!r}")
+        first = len(self._hdr)
+        clock = self.clock
+        self._hdr.extend(array("q", [size]) * count)
+        self._birth.extend(array("q", range(clock, clock + count * size, size)))
+        base = len(self._slots)
+        self._slot_base.extend(array("q", [base]) * count)
+        ids = space._ids
+        token = (len(ids) << _POS_SHIFT) | space._token
+        self._state.extend(
+            array("q", range(token, token + (count << _POS_SHIFT),
+                             1 << _POS_SHIFT))
+        )
+        ids.extend(range(first, first + count))
+        space._count += count
+        space.used += count * size
+        self._live_count += count
+        self.clock = clock + count * size
+        self.objects_allocated += count
+        return first, first + count
+
+    def free(self, obj: FlatObject) -> None:
+        """Remove a dead object from the heap entirely."""
+        oid = obj.obj_id
+        state = self._state
+        if not 0 <= oid < len(state) or state[oid] == _DEAD:
+            raise HeapError(f"object {oid} is not in the heap")
+        packed = state[oid]
+        if packed != _DETACHED:
+            space = self._space_by_token[packed & _TOKEN_MASK]
+            space.used -= self._hdr[oid] & _SIZE_MASK
+            space._count -= 1
+        state[oid] = _DEAD
+        self._live_count -= 1
+        self._payloads.pop(oid, None)
+
+    def move(self, obj: FlatObject, to_space: FlatSpace) -> None:
+        """Move an object between spaces (the simulator's "copy")."""
+        oid = obj.obj_id
+        state = self._state
+        if not 0 <= oid < len(state) or state[oid] == _DEAD:
+            raise HeapError(f"object {oid} is not in the heap")
+        packed = state[oid]
+        from_space = (
+            None if packed == _DETACHED
+            else self._space_by_token[packed & _TOKEN_MASK]
+        )
+        if from_space is to_space:
+            return
+        size = self._hdr[oid] & _SIZE_MASK
+        capacity = to_space.capacity
+        if capacity is not None and to_space.used + size > capacity:
+            raise SpaceFull(to_space, size)
+        if from_space is not None:
+            from_space.used -= size
+            from_space._count -= 1
+            self._maybe_compact(from_space)
+        self.place_id(oid, to_space, size)
+
+    def _maybe_compact(self, space: FlatSpace) -> None:
+        ids = space._ids
+        if len(ids) > _COMPACT_FACTOR * space._count + _COMPACT_SLACK:
+            space._compact_ids()
+
+    def get(self, obj_id: int) -> FlatObject:
+        """Resolve an object id; dangling ids are a structural error."""
+        state = self._state
+        if (
+            type(obj_id) is not int
+            or not 0 <= obj_id < len(state)
+            or state[obj_id] == _DEAD
+        ):
+            raise HeapError(f"dangling object id {obj_id}")
+        return FlatObject(self, obj_id)
+
+    def contains_id(self, obj_id: int) -> bool:
+        state = self._state
+        return (
+            type(obj_id) is int
+            and 0 <= obj_id < len(state)
+            and state[obj_id] != _DEAD
+        )
+
+    def all_objects(self) -> Iterator[FlatObject]:
+        state = self._state
+        for oid in range(len(state)):
+            if state[oid] != _DEAD:
+                yield FlatObject(self, oid)
+
+    def resident_words(self, spaces: Iterable[FlatSpace]) -> int:
+        return sum(space.used for space in spaces)
+
+    def dangling_ids(self, ids: Iterable[int]) -> list[int]:
+        state = self._state
+        n = len(state)
+        return [
+            obj_id
+            for obj_id in ids
+            if not (
+                type(obj_id) is int
+                and 0 <= obj_id < n
+                and state[obj_id] != _DEAD
+            )
+        ]
+
+    def occupancy(self) -> dict:
+        """A JSON-able per-space occupancy snapshot for diagnostics."""
+        return {
+            "clock": self.clock,
+            "objects_allocated": self.objects_allocated,
+            "object_count": self._live_count,
+            "live_words": self.live_words,
+            "spaces": [
+                {
+                    "name": space.name,
+                    "used": space.used,
+                    "capacity": space.capacity,
+                    "free": None if space.capacity is None else space.free,
+                    "objects": space._count,
+                }
+                for space in self._spaces.values()
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Fields
+    # ------------------------------------------------------------------
+
+    def read_field(self, obj: FlatObject, slot: int) -> FlatObject | None:
+        ref = self.read_slot(obj, slot)
+        if ref is None:
+            return None
+        if type(ref) is not int:
+            raise HeapError(
+                f"slot {slot} of object {obj.obj_id} holds an immediate, "
+                f"not a reference"
+            )
+        return self.get(ref)
+
+    def read_slot(self, obj: FlatObject, slot: int) -> object:
+        oid = obj.obj_id
+        count = (self._hdr[oid] >> _FC_SHIFT) & _FC_MASK
+        if not 0 <= slot < count:
+            raise HeapError(
+                f"object {oid} has no slot {slot} (it has {count})"
+            )
+        return self._slots[self._slot_base[oid] + slot]
+
+    def write_field(
+        self, obj: FlatObject, slot: int, target: FlatObject | None
+    ) -> None:
+        self.write_slot(obj, slot, None if target is None else target.obj_id)
+
+    def write_slot(self, obj: FlatObject, slot: int, value: object) -> None:
+        oid = obj.obj_id
+        count = (self._hdr[oid] >> _FC_SHIFT) & _FC_MASK
+        if slot < 0 or slot >= count:
+            raise HeapError(
+                f"object {oid} has no slot {slot} (it has {count})"
+            )
+        if self.checked and type(value) is int and not self.contains_id(value):
+            raise HeapError(f"cannot store dangling object id {value}")
+        self._slots[self._slot_base[oid] + slot] = value
+
+    # ------------------------------------------------------------------
+    # Id-level accessors (shared kernel surface)
+    # ------------------------------------------------------------------
+
+    def size_of(self, oid: int) -> int:
+        return self._hdr[oid] & _SIZE_MASK
+
+    def birth_of(self, oid: int) -> int:
+        return self._birth[oid]
+
+    def slot_count_of(self, oid: int) -> int:
+        return (self._hdr[oid] >> _FC_SHIFT) & _FC_MASK
+
+    def slots_of(self, oid: int) -> list[object]:
+        """A snapshot copy of the object's raw slot values."""
+        base = self._slot_base[oid]
+        count = (self._hdr[oid] >> _FC_SHIFT) & _FC_MASK
+        return self._slots[base:base + count]
+
+    def ref_slots(self, oid: int) -> list[tuple[int, int]]:
+        """``(slot, ref_id)`` pairs for reference-holding slots."""
+        base = self._slot_base[oid]
+        count = (self._hdr[oid] >> _FC_SHIFT) & _FC_MASK
+        slots = self._slots
+        return [
+            (slot, slots[base + slot])
+            for slot in range(count)
+            if type(slots[base + slot]) is int
+        ]
+
+    def space_if_live(self, oid: int) -> FlatSpace | None:
+        """The space of ``oid``, or None if freed/detached/dangling."""
+        state = self._state
+        if type(oid) is not int or not 0 <= oid < len(state):
+            return None
+        packed = state[oid]
+        if packed == _DEAD or packed == _DETACHED:
+            return None
+        return self._space_by_token[packed & _TOKEN_MASK]
+
+    def slot_ref(self, obj_id: int, slot: int) -> tuple[FlatSpace, int] | None:
+        """``(source_space, ref_id)`` for a remset probe, else None.
+
+        None when the source is dead/detached, the slot is out of
+        range, or the slot holds a non-reference.
+        """
+        space = self.space_if_live(obj_id)
+        if space is None:
+            return None
+        count = (self._hdr[obj_id] >> _FC_SHIFT) & _FC_MASK
+        if slot >= count:
+            return None
+        ref = self._slots[self._slot_base[obj_id] + slot]
+        if type(ref) is not int:
+            return None
+        return space, ref
+
+    def place_id(self, oid: int, space: FlatSpace, size: int | None = None) -> None:
+        """Attach a detached object to ``space`` (no capacity check)."""
+        if size is None:
+            size = self._hdr[oid] & _SIZE_MASK
+        ids = space._ids
+        self._state[oid] = (len(ids) << _POS_SHIFT) | space._token
+        ids.append(oid)
+        space._count += 1
+        space.used += size
+
+    def move_ids(self, oids: Iterable[int], target: FlatSpace) -> int:
+        """Move resident objects to ``target`` (no capacity check).
+
+        Returns the words moved.  Source-space occupancy is updated;
+        stale source id-list entries are invalidated lazily by the
+        state rewrite.
+        """
+        state = self._state
+        hdr = self._hdr
+        by_token = self._space_by_token
+        tids = target._ids
+        append = tids.append
+        stride = 1 << _POS_SHIFT
+        packed_target = (len(tids) << _POS_SHIFT) | target._token
+        # Movers overwhelmingly arrive grouped by source space
+        # (survivor lists are per-space), so cache the token lookup.
+        last_token = -1
+        source: FlatSpace | None = None
+        moved = 0
+        count = 0
+        touched: list[FlatSpace] = []
+        for oid in oids:
+            packed = state[oid]
+            size = hdr[oid] & _SIZE_MASK
+            if packed != _DETACHED:
+                token = packed & _TOKEN_MASK
+                if token != last_token:
+                    last_token = token
+                    source = by_token[token]
+                    touched.append(source)
+                source.used -= size
+                source._count -= 1
+            state[oid] = packed_target
+            packed_target += stride
+            append(oid)
+            moved += size
+            count += 1
+        target._count += count
+        target.used += moved
+        # Source id-lists now carry stale entries for every mover;
+        # compact eagerly-enough that the sweep kernels' no-stale fast
+        # paths stay available (emptied spaces compact in O(1)).
+        for space in touched:
+            if space is not target:
+                self._maybe_compact(space)
+        return moved
+
+    def count_slot_refs_into(
+        self, oids: Iterable[int], spaces: "set[FlatSpace]"
+    ) -> int:
+        """Count reference slots of ``oids`` that point into ``spaces``."""
+        state = self._state
+        hdr = self._hdr
+        sbase = self._slot_base
+        slots = self._slots
+        by_token = self._space_by_token
+        n = len(state)
+        total = 0
+        for oid in oids:
+            count = (hdr[oid] >> _FC_SHIFT) & _FC_MASK
+            if not count:
+                continue
+            base = sbase[oid]
+            for ref in slots[base:base + count]:
+                if type(ref) is not int:
+                    continue
+                if not 0 <= ref < n:
+                    raise HeapError(f"dangling object id {ref}")
+                packed = state[ref]
+                if packed == _DEAD:
+                    raise HeapError(f"dangling object id {ref}")
+                if packed != _DETACHED and by_token[packed & _TOKEN_MASK] in spaces:
+                    total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Collection kernels
+    # ------------------------------------------------------------------
+
+    def trace_region(
+        self, region: Iterable[FlatSpace], seed_ids: Iterable[int]
+    ) -> tuple[set[int], int]:
+        """Mark the closure of ``seed_ids`` restricted to ``region``.
+
+        Returns ``(marked_ids, words_marked)``.  References leaving the
+        region are not followed; dangling seeds or slots raise
+        :class:`HeapError` exactly like the object backend's trace.
+        """
+        state = self._state
+        hdr = self._hdr
+        sbase = self._slot_base
+        slots = self._slots
+        tokens = frozenset(space._token for space in region)
+        n = len(state)
+        marked: set[int] = set()
+        mark = marked.add
+        stack: list[int] = []
+        push = stack.append
+        pop = stack.pop
+        words = 0
+        for oid in seed_ids:
+            if oid not in marked:
+                if not 0 <= oid < n:
+                    raise HeapError(f"dangling object id {oid}")
+                packed = state[oid]
+                if packed == _DEAD:
+                    raise HeapError(f"dangling object id {oid}")
+                if packed & _TOKEN_MASK in tokens:
+                    mark(oid)
+                    push(oid)
+        while stack:
+            oid = pop()
+            header = hdr[oid]
+            words += header & _SIZE_MASK
+            count = (header >> _FC_SHIFT) & _FC_MASK
+            if count:
+                base = sbase[oid]
+                for ref in slots[base:base + count]:
+                    if type(ref) is int and ref not in marked:
+                        if not 0 <= ref < n:
+                            raise HeapError(f"dangling object id {ref}")
+                        packed = state[ref]
+                        if packed == _DEAD:
+                            raise HeapError(f"dangling object id {ref}")
+                        if packed & _TOKEN_MASK in tokens:
+                            mark(ref)
+                            push(ref)
+        return marked, words
+
+    def cheney_evacuate(
+        self,
+        from_space: FlatSpace,
+        to_space: FlatSpace,
+        root_ids: Iterable[int],
+    ) -> tuple[int, int]:
+        """Copy the live closure out of ``from_space`` into ``to_space``.
+
+        Breadth-first (Cheney order), abandoning everything left in
+        ``from_space`` afterwards.  Returns ``(words_copied,
+        words_reclaimed)``; occupancies are updated and ``from_space``
+        is left empty.
+        """
+        state = self._state
+        hdr = self._hdr
+        sbase = self._slot_base
+        slots = self._slots
+        ftoken = from_space._token
+        ttoken = to_space._token
+        tids = to_space._ids
+        append = tids.append
+        stride = 1 << _POS_SHIFT
+        packed_target = (len(tids) << _POS_SHIFT) | ttoken
+        n = len(state)
+        copied: set[int] = set()
+        mark = copied.add
+        queue: deque[int] = deque()
+        push = queue.append
+        pop = queue.popleft
+        work = 0
+        for oid in root_ids:
+            if oid in copied:
+                continue
+            if not 0 <= oid < n:
+                raise HeapError(f"dangling object id {oid}")
+            packed = state[oid]
+            if packed == _DEAD:
+                raise HeapError(f"dangling object id {oid}")
+            if packed & _TOKEN_MASK != ftoken:
+                continue
+            state[oid] = packed_target
+            packed_target += stride
+            append(oid)
+            mark(oid)
+            push(oid)
+            work += hdr[oid] & _SIZE_MASK
+        while queue:
+            oid = pop()
+            count = (hdr[oid] >> _FC_SHIFT) & _FC_MASK
+            if not count:
+                continue
+            base = sbase[oid]
+            for ref in slots[base:base + count]:
+                if type(ref) is int and ref not in copied:
+                    if not 0 <= ref < n:
+                        raise HeapError(f"dangling object id {ref}")
+                    packed = state[ref]
+                    if packed == _DEAD:
+                        raise HeapError(f"dangling object id {ref}")
+                    if packed & _TOKEN_MASK == ftoken:
+                        state[ref] = packed_target
+                        packed_target += stride
+                        append(ref)
+                        mark(ref)
+                        push(ref)
+                        work += hdr[ref] & _SIZE_MASK
+        payloads = self._payloads or None
+        fids = from_space._ids
+        if payloads is None and from_space._count == len(fids):
+            # No stale entries: whatever was not copied is dead, so the
+            # reclaimed total needs no per-corpse header reads and the
+            # residency test is a bare token compare.
+            reclaimed = from_space.used - work
+            for oid in fids:
+                if state[oid] & _TOKEN_MASK == ftoken:
+                    state[oid] = _DEAD
+        else:
+            reclaimed = 0
+            for pos, oid in enumerate(fids):
+                if state[oid] == (pos << _POS_SHIFT) | ftoken:
+                    state[oid] = _DEAD
+                    reclaimed += hdr[oid] & _SIZE_MASK
+                    if payloads is not None:
+                        payloads.pop(oid, None)
+        self._live_count -= from_space._count - len(copied)
+        from_space._ids = []
+        from_space._count = 0
+        from_space.used = 0
+        to_space._count += len(copied)
+        to_space.used += work
+        return work, reclaimed
+
+    def free_unmarked(self, space: FlatSpace, marked: "set[int]") -> int:
+        """Sweep ``space`` in place, freeing unmarked objects.
+
+        Returns words reclaimed.  Survivors keep their relative order
+        (positions are renumbered, which is unobservable).
+        """
+        state = self._state
+        hdr = self._hdr
+        payloads = self._payloads or None
+        token = space._token
+        ids = space._ids
+        if payloads is None and space._count == len(ids):
+            fresh = [oid for oid in ids if oid in marked]
+            survivor_words = sum(hdr[oid] & _SIZE_MASK for oid in fresh)
+            reclaimed = space.used - survivor_words
+            if len(fresh) != len(ids):
+                # Distinct ids (no stale entries), so max-min+1 == len
+                # proves the set is exactly an interval in any order;
+                # kill it as one slice, re-pointing survivors below.
+                lo, hi = min(ids), max(ids)
+                if hi - lo + 1 == len(ids):
+                    state[lo:hi + 1] = array("q", bytes(8 * len(ids)))
+                else:
+                    for oid in ids:
+                        if oid not in marked:
+                            state[oid] = _DEAD
+            packed = token
+            stride = 1 << _POS_SHIFT
+            for oid in fresh:
+                state[oid] = packed
+                packed += stride
+            self._live_count -= space._count - len(fresh)
+            space._ids = fresh
+            space._count = len(fresh)
+            space.used -= reclaimed
+            return reclaimed
+        fresh = []
+        append = fresh.append
+        reclaimed = 0
+        for pos, oid in enumerate(ids):
+            if state[oid] == (pos << _POS_SHIFT) | token:
+                if oid in marked:
+                    state[oid] = (len(fresh) << _POS_SHIFT) | token
+                    append(oid)
+                else:
+                    state[oid] = _DEAD
+                    reclaimed += hdr[oid] & _SIZE_MASK
+                    if payloads is not None:
+                        payloads.pop(oid, None)
+        self._live_count -= space._count - len(fresh)
+        space._ids = fresh
+        space._count = len(fresh)
+        space.used -= reclaimed
+        return reclaimed
+
+    def partition_space(
+        self, space: FlatSpace, marked: "set[int]"
+    ) -> tuple[list[int], int]:
+        """Free dead objects; return surviving ids in space order.
+
+        Survivors remain resident in ``space`` — callers move some of
+        them out afterwards (generational promotion).
+        """
+        state = self._state
+        hdr = self._hdr
+        # The payload side-table is almost always empty; skipping the
+        # per-corpse dict.pop when it is keeps the sweep loop tight.
+        payloads = self._payloads or None
+        token = space._token
+        ids = space._ids
+        if payloads is None and space._count == len(ids):
+            # No stale entries: every listed id is resident, so the
+            # classification collapses to C-speed comprehensions.
+            fresh = [oid for oid in ids if oid in marked]
+            survivor_words = sum(hdr[oid] & _SIZE_MASK for oid in fresh)
+            reclaimed = space.used - survivor_words
+            if len(fresh) != len(ids):
+                # Distinct ids (no stale entries), so max-min+1 == len
+                # proves the set is exactly an interval regardless of
+                # order (a freshly bump-allocated space, typically):
+                # kill the whole range in one slice store, then
+                # re-point the survivors below.
+                lo, hi = min(ids), max(ids)
+                if hi - lo + 1 == len(ids):
+                    state[lo:hi + 1] = array("q", bytes(8 * len(ids)))
+                else:
+                    for oid in ids:
+                        if oid not in marked:
+                            state[oid] = _DEAD
+            packed = token
+            stride = 1 << _POS_SHIFT
+            for oid in fresh:
+                state[oid] = packed
+                packed += stride
+            self._live_count -= space._count - len(fresh)
+            space._ids = list(fresh)
+            space._count = len(fresh)
+            space.used -= reclaimed
+            return fresh, reclaimed
+        fresh = []
+        append = fresh.append
+        reclaimed = 0
+        for pos, oid in enumerate(ids):
+            if state[oid] == (pos << _POS_SHIFT) | token:
+                if oid in marked:
+                    state[oid] = (len(fresh) << _POS_SHIFT) | token
+                    append(oid)
+                else:
+                    state[oid] = _DEAD
+                    reclaimed += hdr[oid] & _SIZE_MASK
+                    if payloads is not None:
+                        payloads.pop(oid, None)
+        self._live_count -= space._count - len(fresh)
+        space._ids = list(fresh)
+        space._count = len(fresh)
+        space.used -= reclaimed
+        return fresh, reclaimed
+
+    def extract_live(
+        self, space: FlatSpace, marked: "set[int]"
+    ) -> tuple[list[int], int]:
+        """Empty ``space``: free the dead, detach survivors in order.
+
+        Returns ``(survivor_ids, words_reclaimed)``.  Survivors are
+        left detached for the caller to repack (evacuation/renumbering
+        in the non-predictive and hybrid collectors).
+        """
+        state = self._state
+        hdr = self._hdr
+        payloads = self._payloads or None
+        token = space._token
+        ids = space._ids
+        if payloads is None and space._count == len(ids):
+            survivors = [oid for oid in ids if oid in marked]
+            survivor_words = sum(
+                hdr[oid] & _SIZE_MASK for oid in survivors
+            )
+            reclaimed = space.used - survivor_words
+            if len(survivors) != len(ids):
+                # No stale entries means the ids are distinct, so
+                # max-min+1 == len proves they are exactly an interval
+                # (in any order) and the whole range can be zeroed as
+                # one slice; survivors are re-pointed just below.
+                lo, hi = min(ids), max(ids)
+                if hi - lo + 1 == len(ids):
+                    state[lo:hi + 1] = array("q", bytes(8 * len(ids)))
+                else:
+                    for oid in ids:
+                        if oid not in marked:
+                            state[oid] = _DEAD
+            for oid in survivors:
+                state[oid] = _DETACHED
+            self._live_count -= space._count - len(survivors)
+            space._ids = []
+            space._count = 0
+            space.used = 0
+            return survivors, reclaimed
+        survivors = []
+        append = survivors.append
+        reclaimed = 0
+        for pos, oid in enumerate(ids):
+            if state[oid] == (pos << _POS_SHIFT) | token:
+                if oid in marked:
+                    state[oid] = _DETACHED
+                    append(oid)
+                else:
+                    state[oid] = _DEAD
+                    reclaimed += hdr[oid] & _SIZE_MASK
+                    if payloads is not None:
+                        payloads.pop(oid, None)
+        self._live_count -= space._count - len(survivors)
+        space._ids = []
+        space._count = 0
+        space.used = 0
+        return survivors, reclaimed
+
+    def extract_all(self, space: FlatSpace) -> list[int]:
+        """Detach every resident of ``space`` in order (compaction)."""
+        state = self._state
+        token = space._token
+        out: list[int] = []
+        append = out.append
+        for pos, oid in enumerate(space._ids):
+            if state[oid] == (pos << _POS_SHIFT) | token:
+                state[oid] = _DETACHED
+                append(oid)
+        space._ids = []
+        space._count = 0
+        space.used = 0
+        return out
+
+    # ------------------------------------------------------------------
+    # Tracing / integrity
+    # ------------------------------------------------------------------
+
+    def reachable_from(
+        self,
+        root_ids: Iterable[int],
+        *,
+        visit: Callable[[FlatObject], None] | None = None,
+    ) -> set[int]:
+        """Transitive closure of the reference graph from the roots."""
+        state = self._state
+        hdr = self._hdr
+        sbase = self._slot_base
+        slots = self._slots
+        n = len(state)
+        reached: set[int] = set()
+        add = reached.add
+        stack: list[int] = []
+        push = stack.append
+        pop = stack.pop
+        for obj_id in root_ids:
+            if obj_id not in reached:
+                add(obj_id)
+                push(obj_id)
+        while stack:
+            oid = pop()
+            if (
+                type(oid) is not int
+                or not 0 <= oid < n
+                or state[oid] == _DEAD
+            ):
+                raise HeapError(f"dangling object id {oid}")
+            if visit is not None:
+                visit(FlatObject(self, oid))
+            count = (hdr[oid] >> _FC_SHIFT) & _FC_MASK
+            if count:
+                base = sbase[oid]
+                for ref in slots[base:base + count]:
+                    if type(ref) is int and ref not in reached:
+                        add(ref)
+                        push(ref)
+        return reached
+
+    def check_integrity(self) -> None:
+        """Validate structural invariants; raises HeapError on violation."""
+        state = self._state
+        hdr = self._hdr
+        n = len(state)
+        seen: set[int] = set()
+        for space in self._spaces.values():
+            used = 0
+            count = 0
+            token = space._token
+            for pos, oid in enumerate(space._ids):
+                if state[oid] != (pos << _POS_SHIFT) | token:
+                    continue
+                if oid in seen:
+                    raise HeapError(f"object {oid} resides in two spaces")
+                seen.add(oid)
+                used += hdr[oid] & _SIZE_MASK
+                count += 1
+            if used != space.used:
+                raise HeapError(
+                    f"space {space.name!r} accounting off: tracked "
+                    f"{space.used}, actual {used}"
+                )
+            if count != space._count:
+                raise HeapError(
+                    f"space {space.name!r} object count off: tracked "
+                    f"{space._count}, actual {count}"
+                )
+        live = 0
+        for oid in range(n):
+            packed = state[oid]
+            if packed == _DEAD:
+                continue
+            live += 1
+            if oid not in seen:
+                if packed == _DETACHED:
+                    raise HeapError(f"object {oid} is in no space")
+                space = self._space_by_token[packed & _TOKEN_MASK]
+                where = "a removed space" if space is None else (
+                    f"space {space.name!r} without a valid id entry"
+                )
+                raise HeapError(f"object {oid} claims {where}")
+            for ref in FlatObject(self, oid).references():
+                if not (0 <= ref < n and state[ref] != _DEAD):
+                    raise HeapError(
+                        f"object {oid} points at freed object {ref}"
+                    )
+        if live != self._live_count:
+            raise HeapError(
+                f"live object count off: tracked {self._live_count}, "
+                f"actual {live}"
+            )

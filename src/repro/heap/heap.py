@@ -13,6 +13,7 @@ top of it in :mod:`repro.gc`.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterable, Iterator
 
 from repro.heap.object_model import HeapObject
@@ -26,7 +27,14 @@ class HeapError(Exception):
 
 
 class SimulatedHeap:
-    """A word-accurate simulated heap.
+    """A word-accurate simulated heap (the *object* backend).
+
+    One Python :class:`~repro.heap.object_model.HeapObject` per heap
+    object.  The struct-of-arrays alternative is
+    :class:`repro.heap.flat.FlatHeap`; both implement the same public
+    surface plus the shared collection kernels (``trace_region``,
+    ``cheney_evacuate``, ``free_unmarked``, ...), which is what lets
+    the five collectors run unmodified on either backend.
 
     Attributes:
         clock: total words allocated so far — the reproduction's time
@@ -40,6 +48,8 @@ class SimulatedHeap:
             auditor) turns it on; ``check_integrity`` catches dangling
             slots after the fact either way.
     """
+
+    backend_name = "object"
 
     __slots__ = (
         "_objects",
@@ -150,6 +160,34 @@ class SimulatedHeap:
             self.clock += size
             self.objects_allocated += 1
         return obj
+
+    def allocate_id(
+        self,
+        size: int,
+        field_count: int,
+        space: Space,
+        kind: str = "data",
+        *,
+        advance_clock: bool = True,
+    ) -> int:
+        """Allocate and return the raw id (see :meth:`allocate`)."""
+        return self.allocate(
+            size, field_count, space, kind, advance_clock=advance_clock
+        ).obj_id
+
+    def bulk_allocate(self, count: int, size: int, space: Space) -> tuple[int, int]:
+        """Allocate ``count`` field-less ``data`` objects.
+
+        Returns the half-open id range.  The flat backend materializes
+        the range at C speed; here it is a plain loop — the caller (a
+        collector allocation window) has already reserved capacity.
+        """
+        if count <= 0:
+            raise ValueError(f"window must cover >= 1 object, got {count!r}")
+        first = self._next_id
+        for _ in range(count):
+            self.allocate(size, 0, space)
+        return first, first + count
 
     def free(self, obj: HeapObject) -> None:
         """Remove a dead object from the heap entirely."""
@@ -290,6 +328,291 @@ class SimulatedHeap:
         ):
             raise HeapError(f"cannot store dangling object id {value}")
         obj.fields[slot] = value
+
+    # ------------------------------------------------------------------
+    # Id-level accessors (shared kernel surface)
+    # ------------------------------------------------------------------
+
+    def size_of(self, oid: int) -> int:
+        return self._objects[oid].size
+
+    def birth_of(self, oid: int) -> int:
+        return self._objects[oid].birth
+
+    def slot_count_of(self, oid: int) -> int:
+        return len(self._objects[oid].fields)
+
+    def slots_of(self, oid: int) -> list[object]:
+        """A snapshot copy of the object's raw slot values."""
+        return list(self._objects[oid].fields)
+
+    def ref_slots(self, oid: int) -> list[tuple[int, int]]:
+        """``(slot, ref_id)`` pairs for reference-holding slots."""
+        return [
+            (slot, ref)
+            for slot, ref in enumerate(self._objects[oid].fields)
+            if type(ref) is int
+        ]
+
+    def space_if_live(self, oid: int) -> Space | None:
+        """The space of ``oid``, or None if freed/detached/dangling."""
+        obj = self._objects.get(oid)
+        return None if obj is None else obj.space
+
+    def slot_ref(self, obj_id: int, slot: int) -> tuple[Space, int] | None:
+        """``(source_space, ref_id)`` for a remset probe, else None.
+
+        None when the source is dead/detached, the slot is out of
+        range, or the slot holds a non-reference.
+        """
+        obj = self._objects.get(obj_id)
+        if obj is None or obj.space is None:
+            return None
+        fields = obj.fields
+        if slot >= len(fields):
+            return None
+        ref = fields[slot]
+        if type(ref) is not int:
+            return None
+        return obj.space, ref
+
+    def place_id(self, oid: int, space: Space, size: int | None = None) -> None:
+        """Attach a detached object to ``space`` (no capacity check)."""
+        obj = self._objects[oid]
+        space._objects[oid] = obj
+        space.used += obj.size if size is None else size
+        obj.space = space
+
+    def move_ids(self, oids: Iterable[int], target: Space) -> int:
+        """Move resident objects to ``target`` (no capacity check).
+
+        Returns the words moved; source-space occupancy is updated.
+        """
+        objects = self._objects
+        target_objects = target._objects
+        moved = 0
+        for oid in oids:
+            obj = objects[oid]
+            source = obj.space
+            size = obj.size
+            if source is not None:
+                del source._objects[oid]
+                source.used -= size
+            target_objects[oid] = obj
+            obj.space = target
+            moved += size
+        target.used += moved
+        return moved
+
+    def count_slot_refs_into(
+        self, oids: Iterable[int], spaces: "set[Space]"
+    ) -> int:
+        """Count reference slots of ``oids`` that point into ``spaces``."""
+        objects = self._objects
+        total = 0
+        for oid in oids:
+            for ref in objects[oid].fields:
+                if type(ref) is not int:
+                    continue
+                try:
+                    target = objects[ref]
+                except KeyError:
+                    raise HeapError(f"dangling object id {ref}") from None
+                if target.space in spaces:
+                    total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Collection kernels
+    # ------------------------------------------------------------------
+
+    def trace_region(
+        self, region: Iterable[Space], seed_ids: Iterable[int]
+    ) -> tuple[set[int], int]:
+        """Mark the closure of ``seed_ids`` restricted to ``region``.
+
+        Returns ``(marked_ids, words_marked)``.  References leaving the
+        region are not followed; dangling seeds or slots raise
+        :class:`HeapError`.
+        """
+        if not isinstance(region, (set, frozenset)):
+            region = set(region)
+        objects = self._objects
+        marked: set[int] = set()
+        mark = marked.add
+        stack: list[int] = []
+        push = stack.append
+        pop = stack.pop
+        words = 0
+        for oid in seed_ids:
+            if oid not in marked:
+                try:
+                    obj = objects[oid]
+                except KeyError:
+                    raise HeapError(f"dangling object id {oid}") from None
+                if obj.space in region:
+                    mark(oid)
+                    push(oid)
+        while stack:
+            oid = pop()
+            obj = objects[oid]
+            words += obj.size
+            for ref in obj.fields:
+                if type(ref) is int and ref not in marked:
+                    try:
+                        target = objects[ref]
+                    except KeyError:
+                        raise HeapError(
+                            f"dangling object id {ref}"
+                        ) from None
+                    if target.space in region:
+                        mark(ref)
+                        push(ref)
+        return marked, words
+
+    def cheney_evacuate(
+        self,
+        from_space: Space,
+        to_space: Space,
+        root_ids: Iterable[int],
+    ) -> tuple[int, int]:
+        """Copy the live closure out of ``from_space`` into ``to_space``.
+
+        Breadth-first (Cheney order), abandoning everything left in
+        ``from_space`` afterwards.  Returns ``(words_copied,
+        words_reclaimed)``; occupancies are updated and ``from_space``
+        is left empty.
+        """
+        objects = self._objects
+        condemned = from_space._objects
+        survivors = to_space._objects
+        copied: set[int] = set()
+        mark = copied.add
+        queue: deque[int] = deque()
+        push = queue.append
+        pop = queue.popleft
+        work = 0
+        for oid in root_ids:
+            if oid in copied:
+                continue
+            try:
+                obj = objects[oid]
+            except KeyError:
+                raise HeapError(f"dangling object id {oid}") from None
+            if obj.space is not from_space:
+                continue
+            del condemned[oid]
+            survivors[oid] = obj
+            obj.space = to_space
+            mark(oid)
+            push(oid)
+            work += obj.size
+        while queue:
+            oid = pop()
+            for ref in objects[oid].fields:
+                if type(ref) is int and ref not in copied:
+                    try:
+                        target = objects[ref]
+                    except KeyError:
+                        raise HeapError(
+                            f"dangling object id {ref}"
+                        ) from None
+                    if target.space is from_space:
+                        del condemned[ref]
+                        survivors[ref] = target
+                        target.space = to_space
+                        mark(ref)
+                        push(ref)
+                        work += target.size
+        reclaimed = 0
+        for obj in condemned.values():
+            reclaimed += obj.size
+            obj.space = None
+            del objects[obj.obj_id]
+        condemned.clear()
+        from_space.used = 0
+        to_space.used += work
+        return work, reclaimed
+
+    def free_unmarked(self, space: Space, marked: "set[int]") -> int:
+        """Sweep ``space`` in place, freeing unmarked objects.
+
+        Returns words reclaimed; survivors keep their relative order.
+        """
+        objects = self._objects
+        space_objects = space._objects
+        dead = [
+            obj for obj in space_objects.values() if obj.obj_id not in marked
+        ]
+        reclaimed = 0
+        for obj in dead:
+            oid = obj.obj_id
+            del objects[oid]
+            del space_objects[oid]
+            obj.space = None
+            reclaimed += obj.size
+        space.used -= reclaimed
+        return reclaimed
+
+    def partition_space(
+        self, space: Space, marked: "set[int]"
+    ) -> tuple[list[int], int]:
+        """Free dead objects; return surviving ids in space order.
+
+        Survivors remain resident in ``space``.
+        """
+        objects = self._objects
+        space_objects = space._objects
+        survivors: list[int] = []
+        dead: list[HeapObject] = []
+        for obj in space_objects.values():
+            if obj.obj_id in marked:
+                survivors.append(obj.obj_id)
+            else:
+                dead.append(obj)
+        reclaimed = 0
+        for obj in dead:
+            oid = obj.obj_id
+            del objects[oid]
+            del space_objects[oid]
+            obj.space = None
+            reclaimed += obj.size
+        space.used -= reclaimed
+        return survivors, reclaimed
+
+    def extract_live(
+        self, space: Space, marked: "set[int]"
+    ) -> tuple[list[int], int]:
+        """Empty ``space``: free the dead, detach survivors in order.
+
+        Returns ``(survivor_ids, words_reclaimed)``; survivors are left
+        detached for the caller to repack.
+        """
+        objects = self._objects
+        space_objects = space._objects
+        survivors: list[int] = []
+        reclaimed = 0
+        for obj in list(space_objects.values()):
+            if obj.obj_id in marked:
+                obj.space = None
+                survivors.append(obj.obj_id)
+            else:
+                del objects[obj.obj_id]
+                obj.space = None
+                reclaimed += obj.size
+        space_objects.clear()
+        space.used = 0
+        return survivors, reclaimed
+
+    def extract_all(self, space: Space) -> list[int]:
+        """Detach every resident of ``space`` in order (compaction)."""
+        out: list[int] = []
+        for obj in space._objects.values():
+            obj.space = None
+            out.append(obj.obj_id)
+        space._objects.clear()
+        space.used = 0
+        return out
 
     # ------------------------------------------------------------------
     # Tracing

@@ -45,12 +45,12 @@ QUICK_ALLOC_WORDS = 20_000
 
 def _build_cell(kind: str, seed: int):
     from repro.experiments.harness import collector_factory
-    from repro.heap.heap import SimulatedHeap
+    from repro.heap.backend import make_heap
     from repro.heap.roots import RootSet
     from repro.mutator.base import LifetimeDrivenMutator
     from repro.mutator.decay_mutator import DecaySchedule
 
-    heap = SimulatedHeap()
+    heap = make_heap()
     roots = RootSet()
     collector = collector_factory(kind, None)(heap, roots)
     mutator = LifetimeDrivenMutator(

@@ -1,12 +1,16 @@
 """The ``repro-gc bench`` performance suite and its persistent record.
 
-Two microbenchmarks per collector, both driven by the radioactive
-decay workload (half-life 2000 words, the experiments' canonical
-regime) on the stock :class:`~repro.experiments.harness.GcGeometry`:
+Two microbenchmarks per collector per heap backend, both driven by
+the radioactive decay workload (half-life 2000 words, the
+experiments' canonical regime) on the stock
+:class:`~repro.experiments.harness.GcGeometry`:
 
-* **allocation throughput** — sustained words/second through
-  :meth:`Collector.allocate`, collections included, measured over a
-  long mutator run at equilibrium;
+* **allocation throughput** — sustained words/second of lifetime-
+  driven allocation, collections included.  The death/slot
+  choreography of the workload is precomputed untimed
+  (:mod:`repro.perf.plan`), so the timed region is collector work —
+  reservation windows, collections, copying — plus minimal root
+  stores, not Python-level workload bookkeeping;
 * **full-collection latency** — wall-clock seconds per call to
   :meth:`Collector.collect` against the equilibrium live graph.
 
@@ -17,14 +21,16 @@ carries the serial seed baseline (the pre-optimisation wall-clock of
 ``repro-gc all`` runs, so speedups are recorded next to the numbers
 they are measured against.
 
-Schema (``"schema": 2`` — v2 added the pause-percentile columns,
+Schema (``"schema": 3`` — v3 added the heap-backend axis and made
+the timed loop plan-driven; v2 added the pause-percentile columns,
 in words of work, from the :mod:`repro.metrics` plane)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "quick": bool,            # quick mode shrinks the workloads ~8x
-      "collectors": {
-        "<kind>": {
+      "heap_backend": "flat",   # backend behind "collectors"
+      "collectors": {           # primary (flat) backend — the axis
+        "<kind>": {             # the CI regression gate reads
           "alloc_words": int,
           "alloc_seconds": float,
           "alloc_words_per_sec": float,
@@ -36,6 +42,13 @@ in words of work, from the :mod:`repro.metrics` plane)::
           "pause_words_p95": int,
           "pause_words_max": int
         }, ...
+      },
+      "backends": {             # every non-primary backend measured
+        "object": {"<kind>": {same columns}, ...}
+      },
+      "backend_speedup": {      # flat vs object, when both ran
+        "per_collector": {"<kind>": float, ...},
+        "mean": float
       },
       "serial_baseline": {      # preserved across rewrites
         "total_seconds": float, # seed-tree `repro-gc all`, serial
@@ -58,14 +71,15 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.harness import GcGeometry, collector_factory
-from repro.heap.heap import SimulatedHeap
+from repro.heap.backend import make_heap, resolve_backend_name
 from repro.heap.roots import RootSet
 from repro.metrics.instrument import instrument_collector
-from repro.mutator.base import LifetimeDrivenMutator
 from repro.mutator.decay_mutator import DecaySchedule
+from repro.perf.plan import build_allocation_plan, execute_plan
 
 __all__ = [
     "BENCH_FILENAME",
+    "BENCH_BACKENDS",
     "BENCH_COLLECTORS",
     "CollectorBench",
     "bench_collector",
@@ -78,7 +92,10 @@ __all__ = [
 ]
 
 BENCH_FILENAME = "BENCH_perf.json"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: Backends the suite measures, primary (report axis) first.
+BENCH_BACKENDS: tuple[str, ...] = ("flat", "object")
 
 BENCH_COLLECTORS: tuple[str, ...] = (
     "mark-sweep",
@@ -100,9 +117,10 @@ QUICK_COLLECT_ROUNDS = 5
 
 @dataclass(frozen=True)
 class CollectorBench:
-    """One collector's measurements for one suite run."""
+    """One collector's measurements on one backend, one suite run."""
 
     collector: str
+    backend: str
     alloc_words: int
     alloc_seconds: float
     alloc_words_per_sec: float
@@ -139,31 +157,48 @@ class CollectorBench:
 def bench_collector(
     kind: str,
     *,
+    backend: str | None = None,
     alloc_words: int = BENCH_ALLOC_WORDS,
     collect_rounds: int = BENCH_COLLECT_ROUNDS,
     half_life: float = BENCH_HALF_LIFE,
     seed: int = 0,
     geometry: GcGeometry | None = None,
+    repeats: int = 1,
 ) -> CollectorBench:
-    """Measure one collector.
+    """Measure one collector on one heap backend.
 
-    Throughput is measured over the whole mutator run, collections
-    included — it is the sustained allocation rate a client of this
-    collector observes, not the pause-free peak.
+    Throughput is measured over the whole lifetime-driven run,
+    collections included — it is the sustained allocation rate a
+    client of this collector observes, not the pause-free peak.  The
+    workload choreography is precomputed untimed; the differential
+    plan-equivalence tests pin that the collector cannot tell the
+    difference from per-object mutation.
+
+    With ``repeats > 1`` the whole run executes that many times on
+    fresh heaps and the fastest one is reported: the workload is
+    deterministic, so every repeat does identical work and the
+    minimum wall-clock is the least-interfered measurement of it.
     """
-    heap = SimulatedHeap()
-    roots = RootSet()
-    collector = collector_factory(kind, geometry)(heap, roots)
-    # The pause-percentile columns come from the metrics plane; its
-    # per-collection cost is bounded by the ≤5% overhead acceptance
-    # test, an order of magnitude inside the 30% regression tolerance.
-    instrumentation = instrument_collector(collector)
-    mutator = LifetimeDrivenMutator(
-        collector, roots, DecaySchedule(half_life, seed=seed)
+    backend = resolve_backend_name(backend)
+    plan = build_allocation_plan(
+        DecaySchedule(half_life, seed=seed), alloc_words
     )
-    start = time.perf_counter()
-    mutator.run(alloc_words)
-    alloc_seconds = time.perf_counter() - start
+    best = None
+    for _ in range(max(1, repeats)):
+        heap = make_heap(backend)
+        roots = RootSet()
+        collector = collector_factory(kind, geometry)(heap, roots)
+        # The pause-percentile columns come from the metrics plane;
+        # its per-collection cost is bounded by the ≤5% overhead
+        # acceptance test, an order of magnitude inside the 30%
+        # regression tolerance.
+        instrumentation = instrument_collector(collector)
+        start = time.perf_counter()
+        frame = execute_plan(collector, plan)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, collector, roots, frame, instrumentation)
+    alloc_seconds, collector, roots, frame, instrumentation = best
     collections_during_alloc = collector.stats.collections
 
     timings: list[float] = []
@@ -171,12 +206,13 @@ def bench_collector(
         start = time.perf_counter()
         collector.collect()
         timings.append(time.perf_counter() - start)
-    mutator.release_all()
+    roots.pop_frame(frame)
 
     pauses = instrumentation.registry.histogram("pause_words")
     return CollectorBench(
         collector=kind,
-        alloc_words=alloc_words,
+        backend=backend,
+        alloc_words=plan.total_words,
         alloc_seconds=alloc_seconds,
         alloc_words_per_sec=(
             alloc_words / alloc_seconds if alloc_seconds > 0 else 0.0
@@ -198,18 +234,28 @@ def run_perf_suite(
     *,
     quick: bool = False,
     seed: int = 0,
+    backends: Sequence[str] = BENCH_BACKENDS,
 ) -> list[CollectorBench]:
-    """Bench every collector kind; always serial (timing fidelity)."""
+    """Bench every collector kind on every requested backend; always
+    serial (timing fidelity).  Backends are measured back-to-back per
+    collector, so slow-host episodes land on both sides of a
+    throughput ratio instead of skewing one whole backend sweep; the
+    full suite additionally takes the best of three repeats per cell
+    (see :func:`bench_collector`)."""
     alloc_words = QUICK_ALLOC_WORDS if quick else BENCH_ALLOC_WORDS
     rounds = QUICK_COLLECT_ROUNDS if quick else BENCH_COLLECT_ROUNDS
+    repeats = 1 if quick else 3
     return [
         bench_collector(
             kind,
+            backend=backend,
             alloc_words=alloc_words,
             collect_rounds=rounds,
             seed=seed,
+            repeats=repeats,
         )
         for kind in kinds
+        for backend in backends
     ]
 
 
@@ -233,14 +279,54 @@ def build_report(
     quick: bool,
     previous: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """A fresh report, carrying forward the baseline and run log."""
+    """A fresh report, carrying forward the baseline and run log.
+
+    The primary backend (``flat`` when present, else the first
+    measured) fills the top-level ``"collectors"`` mapping the CI
+    regression gate reads; every other backend lands under
+    ``"backends"``, and when both ``flat`` and ``object`` ran, the
+    per-collector throughput ratio is summarised in
+    ``"backend_speedup"``.
+    """
+    by_backend: dict[str, list[CollectorBench]] = {}
+    for bench in results:
+        by_backend.setdefault(bench.backend, []).append(bench)
+    primary = "flat" if "flat" in by_backend else results[0].backend
     report: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "quick": quick,
+        "heap_backend": primary,
         "collectors": {
-            bench.collector: bench.to_jsonable() for bench in results
+            bench.collector: bench.to_jsonable()
+            for bench in by_backend[primary]
         },
     }
+    secondary = {
+        backend: {
+            bench.collector: bench.to_jsonable() for bench in benches
+        }
+        for backend, benches in by_backend.items()
+        if backend != primary
+    }
+    if secondary:
+        report["backends"] = secondary
+    if primary == "flat" and "object" in by_backend:
+        object_rates = {
+            bench.collector: bench.alloc_words_per_sec
+            for bench in by_backend["object"]
+        }
+        speedups = {
+            bench.collector: round(
+                bench.alloc_words_per_sec / object_rates[bench.collector], 2
+            )
+            for bench in by_backend["flat"]
+            if object_rates.get(bench.collector)
+        }
+        if speedups:
+            report["backend_speedup"] = {
+                "per_collector": speedups,
+                "mean": round(sum(speedups.values()) / len(speedups), 2),
+            }
     if previous:
         for key in ("serial_baseline", "all_runs"):
             if key in previous:

@@ -43,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from repro.experiments.harness import GcGeometry, collector_factory
 from repro.heap.barrier import WriteBarrier
-from repro.heap.heap import SimulatedHeap
+from repro.heap.backend import make_heap
 from repro.heap.roots import RootSet
 from repro.resilience.faults import (
     FAULT_KINDS,
@@ -330,7 +330,7 @@ def _run_cell(
 
     # Applicability is a property of the collector family; probe a
     # fresh instance rather than special-casing kind names here.
-    probe = factory(SimulatedHeap(), RootSet())
+    probe = factory(make_heap(), RootSet())
     if not fault_applies(fault, probe):
         return outcome(
             "n/a", detail=f"{fault} does not apply to {collector_kind}"
@@ -340,7 +340,7 @@ def _run_cell(
     ops = script.ops
     inject_at = rng.randrange(len(ops) // 4, max(len(ops) // 4 + 1, (3 * len(ops)) // 4))
 
-    heap = SimulatedHeap()
+    heap = make_heap()
     roots = RootSet()
     collector = factory(heap, roots)
     enable_checked_mode(collector)

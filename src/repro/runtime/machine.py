@@ -25,6 +25,7 @@ from typing import Callable, Iterable
 
 from repro.gc.collector import Collector
 from repro.gc.stats import GcStats
+from repro.heap.backend import make_heap
 from repro.heap.barrier import WriteBarrier
 from repro.heap.heap import HeapError, SimulatedHeap
 from repro.heap.object_model import HeapObject
@@ -49,8 +50,13 @@ CollectorFactory = Callable[[SimulatedHeap, RootSet], Collector]
 class Machine:
     """A complete simulated runtime for one benchmark execution."""
 
-    def __init__(self, collector_factory: CollectorFactory) -> None:
-        self.heap = SimulatedHeap()
+    def __init__(
+        self,
+        collector_factory: CollectorFactory,
+        *,
+        heap_backend: str | None = None,
+    ) -> None:
+        self.heap = make_heap(heap_backend)
         self.roots = RootSet()
         self.collector = collector_factory(self.heap, self.roots)
         self.barrier = WriteBarrier(self.collector.remember_store)
@@ -115,12 +121,7 @@ class Machine:
     def _decode(self, slot_value: object) -> SchemeValue:
         """Slot value -> program value (ids become fresh handles)."""
         if type(slot_value) is int:
-            try:
-                return Ref(self, self.heap._objects[slot_value])
-            except KeyError:
-                raise HeapError(
-                    f"dangling object id {slot_value}"
-                ) from None
+            return Ref(self, self.heap.get(slot_value))
         return slot_value
 
     # ------------------------------------------------------------------
@@ -269,10 +270,7 @@ class Machine:
             raise TypeError(f"expected a pair, got {pair!r}")
         value = pair.obj.fields[0]
         if type(value) is int:
-            try:
-                return Ref(self, self.heap._objects[value])
-            except KeyError:
-                raise HeapError(f"dangling object id {value}") from None
+            return Ref(self, self.heap.get(value))
         return value
 
     def cdr(self, pair: SchemeValue) -> SchemeValue:
@@ -281,10 +279,7 @@ class Machine:
             raise TypeError(f"expected a pair, got {pair!r}")
         value = pair.obj.fields[1]
         if type(value) is int:
-            try:
-                return Ref(self, self.heap._objects[value])
-            except KeyError:
-                raise HeapError(f"dangling object id {value}") from None
+            return Ref(self, self.heap.get(value))
         return value
 
     def set_car(self, pair: SchemeValue, value: SchemeValue) -> None:
@@ -309,10 +304,7 @@ class Machine:
             )
         value = obj.fields[index]
         if type(value) is int:
-            try:
-                return Ref(self, self.heap._objects[value])
-            except KeyError:
-                raise HeapError(f"dangling object id {value}") from None
+            return Ref(self, self.heap.get(value))
         return value
 
     def vector_set(

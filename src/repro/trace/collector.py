@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from repro.gc.collector import Collector
 from repro.heap.heap import SimulatedHeap
-from repro.heap.object_model import HeapObject
 from repro.heap.roots import RootSet
+from repro.heap.space import Space
 
 __all__ = ["TracingCollector"]
 
@@ -27,12 +27,8 @@ class TracingCollector(Collector):
         super().__init__(heap, roots)
         self.space = heap.add_space("trace-heap", None)
 
-    def allocate(
-        self, size: int, field_count: int = 0, kind: str = "data"
-    ) -> HeapObject:
-        obj = self.heap.allocate(size, field_count, self.space, kind)
-        self._record_allocation(obj)
-        return obj
+    def _reserve(self, size: int) -> Space:
+        return self.space
 
     def managed_spaces(self) -> None:
         """Unknown by design: the LifetimeRecorder frees objects behind

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.experiments.harness import GcGeometry, collector_factory
+from repro.heap.backend import HEAP_BACKENDS
+from repro.metrics.instrument import metrics_session
 from repro.verify.replay import (
     CollectorFactory,
     MutatorScript,
@@ -36,6 +38,7 @@ __all__ = [
     "VERIFY_GEOMETRY",
     "DifferentialReport",
     "Divergence",
+    "run_backend_differential",
     "run_differential",
 ]
 
@@ -182,6 +185,184 @@ def run_differential(
         script=script,
         results=results,
         divergences=tuple(divergences),
+    )
+
+
+def run_backend_differential(
+    script: MutatorScript,
+    kinds: Sequence[str] = DEFAULT_COLLECTORS,
+    *,
+    backends: Sequence[str] = HEAP_BACKENDS,
+    geometry: GcGeometry | None = None,
+    factories: Mapping[str, CollectorFactory] | None = None,
+    checked: bool = True,
+) -> DifferentialReport:
+    """Replay ``script`` per collector under every heap backend.
+
+    The object-versus-flat axis is stricter than the cross-collector
+    one: two backends running the *same* collector must agree not only
+    on the live graph at every checkpoint but on every
+    :class:`~repro.gc.stats.GcStats` counter, the full pause log, and
+    the complete metrics event stream.  ``backends[0]`` is the
+    reference; results are keyed ``"<kind>@<backend>"``.
+    """
+    if not kinds:
+        raise ValueError("need at least one collector kind")
+    if len(backends) < 2:
+        raise ValueError("need at least two backends to compare")
+    geometry = geometry if geometry is not None else VERIFY_GEOMETRY
+    factories = dict(factories or {})
+
+    results: dict[str, ReplayResult | None] = {}
+    divergences: list[Divergence] = []
+    reference_backend = backends[0]
+    for kind in kinds:
+        factory = factories.get(kind) or collector_factory(kind, geometry)
+        replays: dict[str, ReplayResult | None] = {}
+        events: dict[str, tuple] = {}
+        for backend in backends:
+            label = f"{kind}@{backend}"
+            try:
+                with metrics_session() as session:
+                    result = replay(
+                        script,
+                        factory,
+                        checked=checked,
+                        name=label,
+                        backend=backend,
+                    )
+            except ReplayCrash as crash:
+                replays[backend] = None
+                results[label] = None
+                divergences.append(
+                    Divergence(
+                        kind="crash",
+                        collector=label,
+                        reference=f"{kind}@{reference_backend}",
+                        checkpoint_index=None,
+                        op_index=crash.op_index,
+                        detail=str(crash),
+                    )
+                )
+                continue
+            replays[backend] = result
+            results[label] = result
+            events[backend] = tuple(
+                _freeze(record) for record in session.stream.events()
+            )
+
+        base = replays.get(reference_backend)
+        if base is None:
+            continue
+        reference = f"{kind}@{reference_backend}"
+        for backend in backends[1:]:
+            candidate = replays.get(backend)
+            if candidate is None:
+                continue  # already reported as a crash
+            label = f"{kind}@{backend}"
+            divergence = _compare(base, candidate, reference, label)
+            if divergence is None:
+                divergence = _compare_work(
+                    base, candidate, reference, label
+                )
+            if divergence is None:
+                divergence = _compare_events(
+                    events[reference_backend],
+                    events[backend],
+                    reference,
+                    label,
+                )
+            if divergence is not None:
+                divergences.append(divergence)
+
+    return DifferentialReport(
+        script=script,
+        results=results,
+        divergences=tuple(divergences),
+    )
+
+
+def _freeze(value):
+    """Recursively hashable/comparable form of an event record."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _compare_work(
+    base: ReplayResult,
+    candidate: ReplayResult,
+    reference: str,
+    kind: str,
+) -> Divergence | None:
+    """GcStats counters and the pause log must match exactly."""
+    if base.stats != candidate.stats:
+        diffs = [
+            f"{key}: {dict(candidate.stats)[key]} != {value}"
+            for key, value in base.stats
+            if dict(candidate.stats)[key] != value
+        ]
+        return Divergence(
+            kind="gc-stats",
+            collector=kind,
+            reference=reference,
+            checkpoint_index=None,
+            op_index=None,
+            detail="; ".join(diffs) or "stat key sets differ",
+        )
+    if base.pauses != candidate.pauses:
+        index = next(
+            (
+                i
+                for i, (a, b) in enumerate(zip(base.pauses, candidate.pauses))
+                if a != b
+            ),
+            min(len(base.pauses), len(candidate.pauses)),
+        )
+        return Divergence(
+            kind="pause-log",
+            collector=kind,
+            reference=reference,
+            checkpoint_index=None,
+            op_index=None,
+            detail=(
+                f"pause logs differ at collection {index} "
+                f"({len(base.pauses)} vs {len(candidate.pauses)} pauses)"
+            ),
+        )
+    return None
+
+
+def _compare_events(
+    base_events: tuple,
+    candidate_events: tuple,
+    reference: str,
+    kind: str,
+) -> Divergence | None:
+    """The two metrics event streams must be identical, record for
+    record, in order."""
+    if base_events == candidate_events:
+        return None
+    index = next(
+        (
+            i
+            for i, (a, b) in enumerate(zip(base_events, candidate_events))
+            if a != b
+        ),
+        min(len(base_events), len(candidate_events)),
+    )
+    return Divergence(
+        kind="event-stream",
+        collector=kind,
+        reference=reference,
+        checkpoint_index=None,
+        op_index=None,
+        detail=(
+            f"event streams differ at record {index} "
+            f"({len(base_events)} vs {len(candidate_events)} events)"
+        ),
     )
 
 

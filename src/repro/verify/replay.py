@@ -35,6 +35,7 @@ from typing import Callable, Iterable
 
 from repro.gc.collector import Collector
 from repro.heap.barrier import WriteBarrier
+from repro.heap.backend import make_heap
 from repro.heap.heap import SimulatedHeap
 from repro.heap.roots import RootSet
 from repro.verify.audit import enable_checked_mode
@@ -132,12 +133,20 @@ class Checkpoint:
 
 @dataclass(frozen=True)
 class ReplayResult:
-    """One collector's replay of one script."""
+    """One collector's replay of one script.
+
+    ``stats`` (the sorted :meth:`~repro.gc.stats.GcStats.snapshot`
+    items) and ``pauses`` (the full pause log) let the backend
+    differential assert that two heap backends do byte-identical
+    *work*, not merely that they keep the same objects alive.
+    """
 
     collector: str
     checkpoints: tuple[Checkpoint, ...]
     words_allocated: int
     collections: int
+    stats: tuple[tuple[str, int], ...] = ()
+    pauses: tuple = ()
 
 
 # ----------------------------------------------------------------------
@@ -358,6 +367,7 @@ def replay(
     *,
     checked: bool = False,
     name: str = "",
+    backend: str | None = None,
 ) -> ReplayResult:
     """Replay a script under a freshly built collector.
 
@@ -367,6 +377,8 @@ def replay(
         checked: install the heap auditor as a post-collection hook,
             so every collection is audited as it completes.
         name: label for the result (defaults to the collector's name).
+        backend: heap backend to replay on (``"object"``/``"flat"``);
+            None resolves the environment/default selection.
 
     Raises:
         ReplayCrash: an op raised inside the collector or heap —
@@ -374,7 +386,7 @@ def replay(
             checked mode.
         ReplayError: the script itself is malformed.
     """
-    heap = SimulatedHeap()
+    heap = make_heap(backend)
     roots = RootSet()
     collector = factory(heap, roots)
     if checked:
@@ -444,6 +456,8 @@ def replay(
         checkpoints=tuple(checkpoints),
         words_allocated=collector.stats.words_allocated,
         collections=collector.stats.collections,
+        stats=tuple(sorted(collector.stats.snapshot().items())),
+        pauses=tuple(collector.stats.pauses),
     )
 
 

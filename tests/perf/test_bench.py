@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.perf.bench import (
+    BENCH_BACKENDS,
     BENCH_COLLECTORS,
     bench_collector,
     build_report,
@@ -17,7 +18,10 @@ from repro.perf.bench import (
 def _tiny_suite():
     # Small enough for a unit test, big enough to force collections.
     return [
-        bench_collector(kind, alloc_words=4_000, collect_rounds=2)
+        bench_collector(
+            kind, backend=backend, alloc_words=4_000, collect_rounds=2
+        )
+        for backend in BENCH_BACKENDS
         for kind in BENCH_COLLECTORS
     ]
 
@@ -27,6 +31,7 @@ def test_bench_collector_measures_throughput_and_latency() -> None:
         "stop-and-copy", alloc_words=4_000, collect_rounds=3
     )
     assert bench.collector == "stop-and-copy"
+    assert bench.backend in BENCH_BACKENDS
     assert bench.alloc_words == 4_000
     assert bench.alloc_seconds > 0
     assert bench.alloc_words_per_sec > 0
@@ -46,7 +51,12 @@ def test_report_roundtrip_preserves_baseline_and_runs(tmp_path) -> None:
 
     loaded = load_report(path)
     assert loaded is not None
+    assert loaded["heap_backend"] == "flat"
     assert set(loaded["collectors"]) == set(BENCH_COLLECTORS)
+    assert set(loaded["backends"]["object"]) == set(BENCH_COLLECTORS)
+    speedup = loaded["backend_speedup"]
+    assert set(speedup["per_collector"]) == set(BENCH_COLLECTORS)
+    assert speedup["mean"] > 0
 
     entry = record_all_run(
         path, jobs=4, seconds=40.0, experiments=18, cache_hits=0
@@ -97,7 +107,13 @@ def test_compare_to_baseline_flags_only_large_slowdowns() -> None:
     assert compare_to_baseline(current, baseline, tolerance=0.40) == []
 
 
-def test_run_perf_suite_quick_covers_every_collector() -> None:
+def test_run_perf_suite_quick_covers_every_collector_and_backend() -> None:
     results = run_perf_suite(quick=True)
-    assert [bench.collector for bench in results] == list(BENCH_COLLECTORS)
+    # Backends are paired per collector so throughput ratios compare
+    # temporally adjacent measurements.
+    assert [(bench.collector, bench.backend) for bench in results] == [
+        (kind, backend)
+        for kind in BENCH_COLLECTORS
+        for backend in BENCH_BACKENDS
+    ]
     assert all(bench.collections_during_alloc > 0 for bench in results)
