@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare all five collectors on a real benchmark program.
+"""Compare all six collectors on a real benchmark program.
 
 Runs the lattice benchmark (a purely functional workload: high
 allocation, almost nothing long-lived) under every collector the
@@ -19,16 +19,11 @@ from __future__ import annotations
 import sys
 
 from repro.experiments.harness import GcGeometry, run_benchmark_under
+from repro.gc.registry import COLLECTOR_KINDS
 from repro.programs.registry import benchmark_names, get_benchmark
 from repro.trace.render import TextTable
 
-COLLECTORS = (
-    "mark-sweep",
-    "stop-and-copy",
-    "generational",
-    "non-predictive",
-    "hybrid",
-)
+COLLECTORS = COLLECTOR_KINDS
 
 
 def main() -> None:

@@ -19,7 +19,9 @@ Subcommands:
   mid-replay (dangling slots, dropped remset entries, stale forwards,
   skipped roots, mis-renumbered steps) and require the verify layer to
   detect every corruption, printing the fault x collector detection
-  matrix (``--output`` exports it as JSON);
+  matrix (``--output`` exports it as JSON; ``--safepoint`` defers each
+  injection to a mutator safepoint with a live incremental mark
+  wavefront);
 * ``bench`` — the performance suite: allocation throughput and
   full-collection latency per collector, persisted to
   ``BENCH_perf.json`` (``--quick`` for the CI smoke variant, which
@@ -39,7 +41,13 @@ Subcommands:
 * ``validate`` — run the reproduction self-check;
 * ``verify`` — differential GC testing: replay one deterministic
   mutator script under every collector and require identical live
-  graphs (shrinking any counterexample).
+  graphs (shrinking any counterexample); ``--budgets`` runs the
+  incremental collector's interruption-equivalence suite instead,
+  replaying the script at several mark-slice budgets on both heap
+  backends and requiring identical graphs, stats, and survivor sets;
+* ``slo`` — the pause SLO gate: p99 incremental pause at most 1/50 of
+  mark-sweep's full-collection p99 on the decay and gcbench
+  workloads, persisted to ``SLO_pause.json``.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ from repro.experiments.export import to_jsonable
 from repro.experiments.harness import run_benchmark_under
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.validate import run_validation
+from repro.gc.registry import COLLECTOR_KINDS
 from repro.programs.registry import (
     BENCHMARKS,
     EXTRA_BENCHMARKS,
@@ -62,13 +71,7 @@ from repro.programs.registry import (
 
 __all__ = ["main"]
 
-_COLLECTORS = (
-    "mark-sweep",
-    "stop-and-copy",
-    "generational",
-    "non-predictive",
-    "hybrid",
-)
+_COLLECTORS = COLLECTOR_KINDS
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -224,13 +227,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         from repro.metrics.events import EventStream
 
         events = EventStream()
+    if args.collectors:
+        collectors = tuple(args.collectors)
+    elif args.safepoint:
+        # Safepoint windows only open while an incremental wavefront
+        # is live, so the mode targets the incremental collector.
+        collectors = ("incremental",)
+    else:
+        collectors = _COLLECTORS
     try:
         matrix = run_chaos_matrix(
             seed=args.seed,
             op_count=args.ops,
-            collectors=tuple(args.collectors),
+            collectors=collectors,
             quick=args.quick,
             events=events,
+            safepoint=args.safepoint,
         )
     except ValueError as exc:
         print(f"repro-gc chaos: error: {exc}", file=sys.stderr)
@@ -487,6 +499,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"repro-gc verify: error: {exc}", file=sys.stderr)
         return 2
     checked = not args.unchecked
+    if args.budgets is not None:
+        return _verify_budgets(args, script, checked)
     if args.backends:
         from repro.verify.differential import run_backend_differential
 
@@ -534,6 +548,78 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _verify_budgets(args: argparse.Namespace, script, checked: bool) -> int:
+    """``verify --budgets``: the interruption-equivalence suite."""
+    from repro.verify import shrink_script
+    from repro.verify.budget import (
+        DEFAULT_BUDGETS,
+        run_budget_differential,
+        run_budget_differential_all_backends,
+    )
+
+    budgets: tuple[int | None, ...]
+    if args.budgets:
+        parsed = []
+        for token in args.budgets:
+            if token in ("inf", "none"):
+                parsed.append(None)
+            else:
+                try:
+                    value = int(token)
+                except ValueError:
+                    print(
+                        f"repro-gc verify: error: bad budget {token!r} "
+                        f"(want a positive integer or 'inf')",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if value < 1:
+                    print(
+                        f"repro-gc verify: error: budget must be "
+                        f"positive, got {value}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                parsed.append(value)
+        budgets = tuple(parsed)
+    else:
+        budgets = DEFAULT_BUDGETS
+
+    reports = run_budget_differential_all_backends(
+        script, budgets=budgets, checked=checked
+    )
+    failing = {
+        backend: report
+        for backend, report in reports.items()
+        if not report.ok
+    }
+    if not failing:
+        for backend, report in sorted(reports.items()):
+            print(f"[PASS] backend {backend}: {report.summary()}")
+        return 0
+    for backend, report in sorted(failing.items()):
+        print(f"[FAIL] backend {backend}: {report.summary()}")
+    if not args.no_shrink:
+        backend = sorted(failing)[0]
+        print()
+        print(f"shrinking the counterexample (backend {backend}) ...")
+
+        def fails(candidate) -> bool:
+            return not run_budget_differential(
+                candidate, budgets=budgets, backend=backend, checked=checked
+            ).ok
+
+        small = shrink_script(script, fails)
+        print(f"minimal failing script ({len(small.ops)} ops):")
+        print(small.to_text())
+        final = run_budget_differential(
+            small, budgets=budgets, backend=backend, checked=checked
+        )
+        print()
+        print(final.summary())
+    return 1
+
+
 def _cmd_validate(_: argparse.Namespace) -> int:
     results = run_validation()
     failures = 0
@@ -548,6 +634,41 @@ def _cmd_validate(_: argparse.Namespace) -> int:
         f"{len(results) - failures}/{len(results)} paper claims verified"
     )
     return 1 if failures else 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf.slo import (
+        SLO_FACTOR,
+        SLO_FILENAME,
+        run_pause_slo,
+        write_slo_report,
+    )
+
+    mode = "quick" if args.quick else "full"
+    print(
+        f"pause SLO ({mode}): incremental p99 pause * {SLO_FACTOR} <= "
+        f"mark-sweep full-collection p99, in words of work"
+    )
+    report = run_pause_slo(quick=args.quick, seed=args.seed)
+    for name, verdict in report["workloads"].items():
+        inc = verdict["incremental"]
+        ratio = verdict["ratio"]
+        mark = "PASS" if verdict["pass"] else "FAIL"
+        print(
+            f"[{mark}] {name:<8} incremental p99 "
+            f"{inc['p99_pause_words']:>6} words over {inc['pauses']} "
+            f"pauses vs full-GC p99 {verdict['full_p99_pause_words']:>6} "
+            f"words (ratio 1/{ratio:.0f})"
+            if ratio is not None
+            else f"[{mark}] {name:<8} unmeasured — no pauses recorded"
+        )
+    if not args.no_write:
+        path = Path(args.output) if args.output else Path.cwd() / SLO_FILENAME
+        write_slo_report(path, report)
+        print(f"written to {path.name}")
+    return 0 if report["pass"] else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -687,8 +808,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--collectors",
         nargs="+",
         choices=_COLLECTORS,
-        default=list(_COLLECTORS),
-        help="collectors to target",
+        default=None,
+        help=(
+            "collectors to target (default: all, or just incremental "
+            "with --safepoint)"
+        ),
+    )
+    sub.add_argument(
+        "--safepoint",
+        action="store_true",
+        help=(
+            "defer each injection to the first mutator safepoint where "
+            "an incremental mark wavefront is live (gray stack non-"
+            "empty), corrupting the collector mid-cycle"
+        ),
     )
     sub.add_argument(
         "--output",
@@ -906,7 +1039,47 @@ def build_parser() -> argparse.ArgumentParser:
             "metrics event streams"
         ),
     )
+    sub.add_argument(
+        "--budgets",
+        nargs="*",
+        default=None,
+        metavar="BUDGET",
+        help=(
+            "interruption-equivalence suite: replay the script under "
+            "mark-sweep and under the incremental collector at each "
+            "slice budget ('inf' = unbounded; default 1 7 64 inf), on "
+            "both heap backends, and require identical graphs, stats, "
+            "and survivor sets at every budget"
+        ),
+    )
     sub.set_defaults(func=_cmd_verify)
+
+    sub = subparsers.add_parser(
+        "slo",
+        help=(
+            "pause SLO gate: require the incremental collector's p99 "
+            "pause to be at most 1/50 of mark-sweep's full-collection "
+            "p99 on the decay and gcbench workloads, and write the "
+            "measured report to SLO_pause.json"
+        ),
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--quick",
+        action="store_true",
+        help="~3x smaller decay workload (CI smoke mode)",
+    )
+    sub.add_argument(
+        "--output",
+        default=None,
+        help="report path (default: ./SLO_pause.json)",
+    )
+    sub.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and judge without touching the report file",
+    )
+    sub.set_defaults(func=_cmd_slo)
 
     sub = subparsers.add_parser(
         "analyze", help="print Section 5 quantities for (g, L)"

@@ -12,16 +12,9 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Callable
 
-from repro.gc.collector import Collector
-from repro.gc.generational import GenerationalCollector
-from repro.gc.hybrid import HybridCollector
-from repro.gc.marksweep import MarkSweepCollector
-from repro.gc.nonpredictive import NonPredictiveCollector
+from repro.gc.registry import GcGeometry, collector_factory
 from repro.gc.stopcopy import StopAndCopyCollector
-from repro.heap.heap import SimulatedHeap
-from repro.heap.roots import RootSet
 from repro.programs.registry import Benchmark
 from repro.runtime.machine import Machine
 
@@ -34,72 +27,6 @@ __all__ = [
 
 #: Deep if-trees in the Boyer benchmark need generous Python recursion.
 _RECURSION_LIMIT = 200_000
-
-
-@dataclass(frozen=True)
-class GcGeometry:
-    """Scaled-down heap geometry for the Table 3 experiment.
-
-    The paper used a 1 MB youngest generation over programs with
-    1-10 MB peaks; the simulator default keeps a comparable
-    nursery-to-peak ratio at word scale.
-    """
-
-    nursery_words: int = 8_192
-    semispace_words: int = 16_384
-    step_words: int = 4_096
-    step_count: int = 8
-    load_factor: float = 2.0
-    #: The paper adjusted the generational collector's dynamic area
-    #: "to ensure that the generational collector would touch a little
-    #: less storage than the stop-and-copy collector"; a lighter load
-    #: factor on the oldest generation is that adjustment.
-    gen_oldest_load_factor: float = 3.0
-
-
-def collector_factory(
-    kind: str, geometry: GcGeometry | None = None
-) -> Callable[[SimulatedHeap, RootSet], Collector]:
-    """A machine-compatible factory for one of the five collectors."""
-    geometry = geometry if geometry is not None else GcGeometry()
-
-    def build(heap: SimulatedHeap, roots: RootSet) -> Collector:
-        if kind == "mark-sweep":
-            return MarkSweepCollector(
-                heap,
-                roots,
-                2 * geometry.semispace_words,
-                load_factor=geometry.load_factor,
-            )
-        if kind == "stop-and-copy":
-            return StopAndCopyCollector(
-                heap,
-                roots,
-                geometry.semispace_words,
-                load_factor=geometry.load_factor,
-            )
-        if kind == "generational":
-            return GenerationalCollector(
-                heap,
-                roots,
-                [geometry.nursery_words, 4 * geometry.nursery_words],
-                oldest_load_factor=geometry.gen_oldest_load_factor,
-            )
-        if kind == "non-predictive":
-            return NonPredictiveCollector(
-                heap, roots, geometry.step_count, geometry.step_words
-            )
-        if kind == "hybrid":
-            return HybridCollector(
-                heap,
-                roots,
-                geometry.nursery_words,
-                geometry.step_count,
-                geometry.step_words,
-            )
-        raise ValueError(f"unknown collector kind {kind!r}")
-
-    return build
 
 
 @dataclass(frozen=True)

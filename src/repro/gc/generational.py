@@ -195,9 +195,11 @@ class GenerationalCollector(Collector):
     # ------------------------------------------------------------------
 
     def remember_store(
-        self, obj: HeapObject, slot: int, target: HeapObject
+        self, obj: HeapObject, slot: int, target: HeapObject | None
     ) -> None:
         """Remember old-to-young pointer stores (situation 3 of §8.4)."""
+        if target is None:
+            return
         src_gen = self.generation_index(obj)
         dst_gen = self.generation_index(target)
         if src_gen is None or dst_gen is None:

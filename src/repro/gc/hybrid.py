@@ -205,8 +205,10 @@ class HybridCollector(Collector):
     # ------------------------------------------------------------------
 
     def remember_store(
-        self, obj: HeapObject, slot: int, target: HeapObject
+        self, obj: HeapObject, slot: int, target: HeapObject | None
     ) -> None:
+        if target is None:
+            return
         src_space = obj.space
         if src_space is None:
             return

@@ -1,0 +1,415 @@
+"""Incremental tri-color mark/sweep with bounded pauses.
+
+The stop-the-world mark/sweep collector pays one pause proportional to
+the live storage; under the paper's decay model the long-lived tail
+makes that pause arbitrarily expensive.  This collector splits the
+same mark work into *slices* bounded by a configurable word budget,
+run at allocation safepoints, so every mutator-visible pause is
+``O(budget)`` instead of ``O(live)``.
+
+The algorithm is snapshot-at-the-beginning (SATB) tri-color marking:
+
+* **Cycle open** (a safepoint where occupancy crosses
+  ``trigger_fraction`` of capacity): reset every color to white via
+  :meth:`~repro.heap.heap.SimulatedHeap.begin_mark_epoch`, record the
+  epoch clock, and gray every root id.  The collection's obligation is
+  fixed here: everything reachable *at this instant* will be marked.
+* **Slices** (every later allocation safepoint while the cycle is
+  open): pop gray objects, scan their current fields, gray white
+  in-space targets, stop after ``slice_budget`` words of scanning.
+  Each slice records a ``"slice"`` pause and emits a ``slice`` event.
+* **Write barrier** (SATB deletion barrier): before any mutator store
+  overwrites a slot, :meth:`remember_store` grays the slot's *old*
+  referent if it is still white — a deleted edge can never hide a
+  snapshot-reachable object from the wavefront.  The barrier fires for
+  every store, including overwrites with non-pointers.
+* **Allocate-black**: objects born while a cycle is open are
+  classified by birth clock (``birth >= epoch``) and survive the
+  cycle's sweep unconditionally; they are never pushed, scanned, or
+  recolored, so allocation stays barrier-free.
+* **Cycle close** (an explicit ``collect()`` or an allocation that no
+  longer fits): drain the remaining wavefront, then sweep the space,
+  freeing exactly the objects that are white *and* pre-epoch.
+
+Because marking always drains before sweeping, the set of objects
+scanned in one cycle is exactly the set reachable at the cycle's open
+— independent of the slice budget and of how mutation interleaves
+with the slices.  Every :class:`~repro.gc.stats.GcStats` counter is
+therefore *budget-invariant*: replaying one script at budgets 1, 7,
+64 and unbounded produces identical stats, survivor sets, and final
+graphs (the oracle of :mod:`repro.verify.budget`).  Only the pause
+*log* differs — which is the point.
+
+SATB keeps objects that die mid-cycle ("floating garbage") until the
+next cycle, so when a finished cycle still cannot satisfy an
+allocation the collector runs a second, now-precise collection from
+the quiescent heap before expanding — the same degradation ladder as
+mark-sweep, one rung longer.
+"""
+
+from __future__ import annotations
+
+from repro.gc.collector import Collector, HeapExhausted
+from repro.heap.heap import HeapError, SimulatedHeap
+from repro.heap.object_model import HeapObject
+from repro.heap.roots import RootSet
+from repro.heap.space import Space
+
+__all__ = ["BLACK", "GRAY", "WHITE", "IncrementalCollector"]
+
+#: Tri-color mark states as stored in the heap's color word.
+WHITE, GRAY, BLACK = 0, 1, 2
+
+
+class IncrementalCollector(Collector):
+    """Tri-color incremental mark/sweep over one bounded space.
+
+    Args:
+        heap: the simulated heap (the collector registers one space).
+        roots: the machine root set.
+        heap_words: initial capacity of the heap space in words.
+        slice_budget: words of marking per slice; ``None`` drains the
+            whole wavefront in one pause (stop-the-world behaviour
+            with incremental bookkeeping).
+        trigger_fraction: occupancy fraction at which a mark cycle
+            opens, in ``(0, 1]``.
+        auto_expand / load_factor / max_heap_words: the mark-sweep
+            expansion policy, unchanged.
+    """
+
+    name = "incremental"
+
+    def __init__(
+        self,
+        heap: SimulatedHeap,
+        roots: RootSet,
+        heap_words: int,
+        *,
+        slice_budget: int | None = 64,
+        trigger_fraction: float = 0.5,
+        auto_expand: bool = True,
+        load_factor: float = 2.0,
+        max_heap_words: int | None = None,
+    ) -> None:
+        super().__init__(heap, roots)
+        if heap_words <= 0:
+            raise ValueError(f"heap size must be positive, got {heap_words!r}")
+        if slice_budget is not None and slice_budget < 1:
+            raise ValueError(
+                f"slice budget must be >= 1 word or None, got {slice_budget!r}"
+            )
+        if not 0.0 < trigger_fraction <= 1.0:
+            raise ValueError(
+                f"trigger fraction must be in (0, 1], got {trigger_fraction!r}"
+            )
+        if load_factor <= 1.0:
+            raise ValueError(
+                f"load factor must exceed 1, got {load_factor!r}"
+            )
+        if max_heap_words is not None and max_heap_words < heap_words:
+            raise ValueError(
+                f"expansion cap {max_heap_words} is below the initial "
+                f"heap size {heap_words}"
+            )
+        self.space = heap.add_space("inc-heap", heap_words)
+        self.slice_budget = slice_budget
+        self.trigger_fraction = trigger_fraction
+        self.auto_expand = auto_expand
+        self.load_factor = load_factor
+        self.max_heap_words = max_heap_words
+        #: True while a mark cycle is in progress (the heap is then an
+        #: "in-cycle" snapshot: some garbage may be resident, and the
+        #: auditor switches to the tri-color invariant checks).
+        self.cycle_open = False
+        #: Heap clock at the current cycle's open; objects with
+        #: ``birth >= epoch_clock`` are allocate-black.
+        self.epoch_clock = 0
+        #: Gray wavefront: ids graying-marked but not yet scanned.
+        self.gray_stack: list[int] = []
+        #: Collector-side telemetry (deliberately *not* GcStats fields:
+        #: slice/barrier activity depends on the budget, and GcStats
+        #: must stay budget-invariant).
+        self.cycles_opened = 0
+        self.slices_run = 0
+        self.satb_grays = 0
+
+    def managed_spaces(self) -> frozenset:
+        return frozenset((self.space,))
+
+    # ------------------------------------------------------------------
+    # Allocation (every call is a safepoint)
+    # ------------------------------------------------------------------
+
+    def _reserve(self, size: int) -> Space:
+        space = self.space
+        capacity = space.capacity
+        if capacity is not None and space.used + size > capacity:
+            was_open = self.cycle_open
+            self.collect()
+            if (
+                was_open
+                and space.capacity is not None
+                and space.used + size > space.capacity
+            ):
+                # The finished cycle swept only to its snapshot, so
+                # SATB floating garbage survived; a second collection
+                # from the now-quiescent heap is precise.
+                self.collect()
+            if (
+                space.capacity is not None
+                and space.used + size > space.capacity
+            ):
+                if self.auto_expand:
+                    self._expand(size)
+                if (
+                    space.capacity is not None
+                    and space.used + size > space.capacity
+                ):
+                    raise HeapExhausted(self, size)
+        elif self.cycle_open:
+            self._mark_slice()
+        elif capacity is not None and space.used + size > int(
+            capacity * self.trigger_fraction
+        ):
+            self._open_cycle("incremental")
+            self._mark_slice()
+        return space
+
+    def reserve_window(self, max_objects: int, size: int = 1) -> tuple[int, int]:
+        """Bump windows, capped so no per-object safepoint is skipped.
+
+        The base window covers the space's whole free room, which
+        would silently jump over the allocation that crosses the mark
+        trigger and over every slice a per-object run would have
+        paused for.  Three regimes keep windowed allocation
+        observably identical to ``max_objects`` individual
+        :meth:`allocate_id` calls (the plan-equivalence pin):
+
+        * cycle open, wavefront live — every later allocation would
+          run its own slice, so the window is one object;
+        * cycle open, wavefront drained — later safepoints are no-ops
+          (nothing between window allocations can re-gray: there are
+          no heap stores inside a window), so the full window is safe;
+        * cycle closed — the window stops at the last object that
+          keeps occupancy at or under the trigger; the next
+          reservation then opens the cycle exactly where a per-object
+          run would have.
+        """
+        if max_objects <= 0:
+            raise ValueError(
+                f"window must cover >= 1 object, got {max_objects!r}"
+            )
+        space = self._reserve(size)
+        count = space.free // size
+        if count > max_objects:
+            count = max_objects
+        if self.cycle_open:
+            if self.gray_stack:
+                count = 1
+        else:
+            capacity = space.capacity
+            if capacity is not None:
+                room = (
+                    int(capacity * self.trigger_fraction) - space.used
+                ) // size
+                if room < count:
+                    # _reserve just declined to open a cycle, so this
+                    # first object fits under the trigger: room >= 1.
+                    count = max(1, room)
+        first, end = self.heap.bulk_allocate(count, size, space)
+        stats = self.stats
+        stats.words_allocated += count * size
+        stats.objects_allocated += count
+        return first, end
+
+    def _expand(self, pending: int) -> None:
+        """Grow the heap to restore the target inverse load factor."""
+        needed = self.space.used + pending
+        target = max(int(needed * self.load_factor), self.space.capacity or 0)
+        if self.max_heap_words is not None:
+            target = min(target, self.max_heap_words)
+        if target > (self.space.capacity or 0):
+            if self.metrics is not None:
+                self.metrics.event(
+                    "heap-expansion",
+                    space=self.space.name,
+                    old_capacity=self.space.capacity or 0,
+                    new_capacity=target,
+                )
+            self.space.capacity = target
+
+    # ------------------------------------------------------------------
+    # The tri-color cycle
+    # ------------------------------------------------------------------
+
+    def _open_cycle(self, kind: str) -> None:
+        """Snapshot the roots and begin a new mark epoch."""
+        heap = self.heap
+        heap.begin_mark_epoch()
+        self.epoch_clock = heap.clock
+        self.cycle_open = True
+        self.cycles_opened += 1
+        gray = self.gray_stack
+        gray.clear()
+        space = self.space
+        for rid in self._root_ids():
+            if (
+                heap.space_if_live(rid) is space
+                and heap.color_of(rid) == WHITE
+            ):
+                heap.set_color(rid, GRAY)
+                gray.append(rid)
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start", kind=kind, clock=heap.clock
+            )
+
+    def _scan(self, limit: int | None) -> int:
+        """Scan gray objects until the wavefront drains or ``limit``
+        words have been examined; returns the words scanned."""
+        heap = self.heap
+        space = self.space
+        gray = self.gray_stack
+        epoch = self.epoch_clock
+        work = 0
+        while gray and (limit is None or work < limit):
+            oid = gray.pop()
+            if heap.color_of(oid) != GRAY:
+                continue  # conservative duplicate entry; already scanned
+            heap.set_color(oid, BLACK)
+            for _slot, ref in heap.ref_slots(oid):
+                ref_space = heap.space_if_live(ref)
+                if ref_space is None:
+                    if not heap.contains_id(ref):
+                        raise HeapError(f"dangling object id {ref}")
+                    continue  # detached: boundary, like trace_region
+                if (
+                    ref_space is space
+                    and heap.birth_of(ref) < epoch
+                    and heap.color_of(ref) == WHITE
+                ):
+                    heap.set_color(ref, GRAY)
+                    gray.append(ref)
+            work += heap.size_of(oid)
+        self.stats.words_marked += work
+        return work
+
+    def _mark_slice(self) -> None:
+        """One budgeted mark increment at an allocation safepoint."""
+        if not self.gray_stack:
+            return  # wavefront drained; the cycle awaits its sweep
+        heap = self.heap
+        work = self._scan(self.slice_budget)
+        self.slices_run += 1
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="slice",
+            work=work,
+            reclaimed=0,
+            live=self.space.used,
+        )
+        if self.metrics is not None:
+            self.metrics.event(
+                "slice",
+                clock=heap.clock,
+                budget=self.slice_budget,
+                work=work,
+                backlog=len(self.gray_stack),
+                live=self.space.used,
+            )
+        self._finish_collection()
+
+    # ------------------------------------------------------------------
+    # Write barrier (SATB deletion barrier)
+    # ------------------------------------------------------------------
+
+    def remember_store(
+        self, obj: HeapObject, slot: int, target: HeapObject | None
+    ) -> None:
+        """Gray the overwritten slot's old referent while marking.
+
+        ``target`` (the new value) is irrelevant to SATB — only the
+        edge being *deleted* can hide a snapshot-reachable object.
+        """
+        if not self.cycle_open:
+            return
+        heap = self.heap
+        entry = heap.slot_ref(obj.obj_id, slot)
+        if entry is None:
+            return  # old value was not a pointer
+        old_ref = entry[1]
+        if (
+            heap.space_if_live(old_ref) is self.space
+            and heap.birth_of(old_ref) < self.epoch_clock
+            and heap.color_of(old_ref) == WHITE
+        ):
+            heap.set_color(old_ref, GRAY)
+            self.gray_stack.append(old_ref)
+            self.satb_grays += 1
+
+    # ------------------------------------------------------------------
+    # Collection (cycle close)
+    # ------------------------------------------------------------------
+
+    def collect(self) -> None:
+        """Finish the open cycle (or run a whole one) and sweep."""
+        heap = self.heap
+        space = self.space
+        if not self.cycle_open:
+            self._open_cycle("full")
+        work = self._scan(None)
+
+        epoch = self.epoch_clock
+        marked = {
+            oid
+            for oid in space.object_ids()
+            if heap.color_of(oid) != WHITE or heap.birth_of(oid) >= epoch
+        }
+        self.stats.words_swept += space.used
+        reclaimed = heap.free_unmarked(space, marked)
+        live = space.used
+
+        self.stats.words_reclaimed += reclaimed
+        self.stats.collections += 1
+        self.stats.major_collections += 1
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="full",
+            work=work,
+            reclaimed=reclaimed,
+            live=live,
+        )
+        self.cycle_open = False
+        self.gray_stack.clear()
+        if self.auto_expand:
+            minimum = int(live * self.load_factor)
+            if self.max_heap_words is not None:
+                minimum = min(minimum, self.max_heap_words)
+            if (space.capacity or 0) < minimum:
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "heap-expansion",
+                        space=space.name,
+                        old_capacity=space.capacity or 0,
+                        new_capacity=minimum,
+                    )
+                space.capacity = minimum
+        self._finish_collection()
+
+    def on_static_promotion(self) -> None:
+        """A full static promotion moved/freed everything under us;
+        abandon any in-progress cycle (its snapshot is meaningless)."""
+        self.cycle_open = False
+        self.gray_stack.clear()
+
+    def describe(self) -> str:
+        budget = (
+            "unbounded"
+            if self.slice_budget is None
+            else f"{self.slice_budget}w"
+        )
+        return (
+            f"incremental tri-color mark-sweep, heap "
+            f"{self.space.capacity} words, slice budget {budget}, "
+            f"trigger {self.trigger_fraction}"
+        )

@@ -296,7 +296,7 @@ class NonPredictiveCollector(Collector):
     # ------------------------------------------------------------------
 
     def remember_store(
-        self, obj: HeapObject, slot: int, target: HeapObject
+        self, obj: HeapObject, slot: int, target: HeapObject | None
     ) -> None:
         """Remember protected-to-collectable stores (situation 6 of §8.4).
 
@@ -305,7 +305,7 @@ class NonPredictiveCollector(Collector):
         stores crossing the boundary in the young-to-old direction are
         recorded.
         """
-        if not self.use_remset:
+        if target is None or not self.use_remset:
             return
         index_of = self._step_index_of
         src_space = obj.space

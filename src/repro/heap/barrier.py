@@ -21,8 +21,9 @@ from repro.heap.object_model import HeapObject
 
 __all__ = ["WriteBarrier"]
 
-#: Signature of the collector hook invoked on every pointer store.
-RememberStoreHook = Callable[[HeapObject, int, HeapObject], None]
+#: Signature of the collector hook invoked on every store (the target
+#: is None when the new value is not a pointer).
+RememberStoreHook = Callable[[HeapObject, int, "HeapObject | None"], None]
 
 
 class WriteBarrier:
@@ -47,11 +48,18 @@ class WriteBarrier:
     def on_store(
         self, obj: HeapObject, slot: int, target: HeapObject | None
     ) -> None:
-        """Record one mutator store; called before the heap write."""
+        """Record one mutator store; called before the heap write.
+
+        The hook fires for *every* store — including overwrites with
+        ``None`` — because a snapshot-at-the-beginning collector must
+        see the deleted old value of a slot even when the new value is
+        not a pointer.  Hooks that only care about pointer creation
+        (the remembered-set collectors) return immediately on a None
+        target.
+        """
         self.stores += 1
-        if target is None:
-            return
-        self.pointer_stores += 1
+        if target is not None:
+            self.pointer_stores += 1
         if self._hook is not None:
             self._hook(obj, slot, target)
 

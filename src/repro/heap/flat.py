@@ -332,6 +332,7 @@ class FlatHeap:
         "_hdr",
         "_birth",
         "_state",
+        "_color",
         "_slot_base",
         "_slots",
         "_payloads",
@@ -350,6 +351,11 @@ class FlatHeap:
         self._hdr = array("q")
         self._birth = array("q")
         self._state = array("q")
+        #: Tri-color mark-state arena (one word per id), sized lazily
+        #: at each ``begin_mark_epoch`` so the allocation hot path
+        #: never touches it; ids past its end are white, and objects
+        #: born inside an epoch are classified by birth clock instead.
+        self._color = array("q")
         self._slot_base = array("q")
         self._slots: list[object] = []
         self._payloads: dict[int, object] = {}
@@ -709,6 +715,28 @@ class FlatHeap:
         if type(ref) is not int:
             return None
         return space, ref
+
+    # ------------------------------------------------------------------
+    # Tri-color mark state (incremental collector)
+    # ------------------------------------------------------------------
+
+    def begin_mark_epoch(self) -> None:
+        """Reset every object's mark color to white (0).
+
+        Rebuilds the color arena zeroed over every id allocated so
+        far; ids allocated after the call fall off its end and read as
+        white (the incremental collector treats them as allocate-black
+        via the birth clock, so they are never recolored).
+        """
+        self._color = array("q", bytes(8 * len(self._hdr)))
+
+    def color_of(self, oid: int) -> int:
+        """The object's mark color: 0 white, 1 gray, 2 black."""
+        color = self._color
+        return color[oid] if oid < len(color) else 0
+
+    def set_color(self, oid: int, color: int) -> None:
+        self._color[oid] = color
 
     def place_id(self, oid: int, space: FlatSpace, size: int | None = None) -> None:
         """Attach a detached object to ``space`` (no capacity check)."""

@@ -55,6 +55,7 @@ class SimulatedHeap:
         "_objects",
         "_spaces",
         "_next_id",
+        "_colors",
         "clock",
         "objects_allocated",
         "checked",
@@ -65,6 +66,11 @@ class SimulatedHeap:
         self._objects: dict[int, HeapObject] = {}
         self._spaces: dict[str, Space] = {}
         self._next_id = 0
+        #: Tri-color mark state for the incremental collector; absent
+        #: ids are white.  Reset per mark epoch, never on allocation —
+        #: objects born inside an epoch are classified by birth clock,
+        #: so the allocation hot path stays untouched.
+        self._colors: dict[int, int] = {}
         self.clock = 0
         self.objects_allocated = 0
         self.checked = checked
@@ -375,6 +381,25 @@ class SimulatedHeap:
         if type(ref) is not int:
             return None
         return obj.space, ref
+
+    # ------------------------------------------------------------------
+    # Tri-color mark state (incremental collector)
+    # ------------------------------------------------------------------
+
+    def begin_mark_epoch(self) -> None:
+        """Reset every object's mark color to white (0).
+
+        The incremental collector calls this when it opens a mark
+        cycle; colors written before the call are stale and discarded.
+        """
+        self._colors.clear()
+
+    def color_of(self, oid: int) -> int:
+        """The object's mark color: 0 white, 1 gray, 2 black."""
+        return self._colors.get(oid, 0)
+
+    def set_color(self, oid: int, color: int) -> None:
+        self._colors[oid] = color
 
     def place_id(self, oid: int, space: Space, size: int | None = None) -> None:
         """Attach a detached object to ``space`` (no capacity check)."""

@@ -9,6 +9,8 @@ instrumentation plane:
 
 * ``collection-start`` / ``collection-end`` — spans around every
   collection, with the work decomposition on the end record;
+* ``slice`` — one bounded mark increment of the incremental
+  collector, with its budget, actual work, and gray backlog;
 * ``promotion`` — survivors moved to an older generation or step;
 * ``renumbering`` — a non-predictive step renumbering (§4);
 * ``heap-expansion`` — a space's capacity grew;
@@ -33,8 +35,11 @@ __all__ = [
 ]
 
 #: Bump when a breaking change lands in the record layout; additive
-#: payload fields do not require a bump.
-EVENT_SCHEMA_VERSION = 1
+#: payload fields do not require a bump.  v2 added the ``slice``
+#: record kind (incremental mark increments) and the kind
+#: ``"incremental"`` on ``collection-start`` for safepoint-opened
+#: cycles, both of which v1 consumers would misgroup.
+EVENT_SCHEMA_VERSION = 2
 
 
 class EventStream:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from typing import Any, Sequence
 
+from repro.gc.registry import COLLECTOR_KINDS
 from repro.metrics.events import EventStream
 from repro.metrics.instrument import instrument_collector
 from repro.metrics.registry import MetricRegistry, merge_registries
@@ -28,13 +29,7 @@ __all__ = [
     "run_metrics_sweep",
 ]
 
-SWEEP_COLLECTORS: tuple[str, ...] = (
-    "mark-sweep",
-    "stop-and-copy",
-    "generational",
-    "non-predictive",
-    "hybrid",
-)
+SWEEP_COLLECTORS: tuple[str, ...] = COLLECTOR_KINDS
 
 #: Decay half-life of the sweep workload (the experiments' canonical
 #: regime, same as the bench suite).
@@ -44,7 +39,7 @@ QUICK_ALLOC_WORDS = 20_000
 
 
 def _build_cell(kind: str, seed: int):
-    from repro.experiments.harness import collector_factory
+    from repro.gc.registry import collector_factory
     from repro.heap.backend import make_heap
     from repro.heap.roots import RootSet
     from repro.mutator.base import LifetimeDrivenMutator

@@ -70,7 +70,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.experiments.harness import GcGeometry, collector_factory
+from repro.gc.registry import COLLECTOR_KINDS, GcGeometry, collector_factory
 from repro.heap.backend import make_heap, resolve_backend_name
 from repro.heap.roots import RootSet
 from repro.metrics.instrument import instrument_collector
@@ -92,18 +92,13 @@ __all__ = [
 ]
 
 BENCH_FILENAME = "BENCH_perf.json"
-SCHEMA_VERSION = 3
+#: Bumped 3 -> 4 when the incremental collector joined the matrix.
+SCHEMA_VERSION = 4
 
 #: Backends the suite measures, primary (report axis) first.
 BENCH_BACKENDS: tuple[str, ...] = ("flat", "object")
 
-BENCH_COLLECTORS: tuple[str, ...] = (
-    "mark-sweep",
-    "stop-and-copy",
-    "generational",
-    "non-predictive",
-    "hybrid",
-)
+BENCH_COLLECTORS: tuple[str, ...] = COLLECTOR_KINDS
 
 #: Decay half-life of the bench workload, in allocation words.
 BENCH_HALF_LIFE = 2_000.0

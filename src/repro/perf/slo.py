@@ -1,0 +1,183 @@
+"""The incremental collector's pause SLO and its persistent record.
+
+Slicing the mark phase is only worth its barrier and bookkeeping cost
+if it actually bounds pauses, so this module turns "incremental pauses
+are short" into a measured, CI-enforced service-level objective:
+
+    **p99 incremental pause ≤ 1/50 of the mark-sweep full-collection
+    pause**, in words of collector work, on the same workload and the
+    same heap geometry.
+
+Two workloads are measured, chosen to stress the two pause regimes:
+
+* **decay** — the experiments' canonical radioactive-decay workload
+  (half-life 2000 words).  Its equilibrium live graph is large and
+  churning, so mark-sweep's full collections mark thousands of words
+  while the incremental collector spreads the same marking over
+  budget-bounded slices.
+* **gcbench** — the classic tree-building benchmark on the stacked
+  VM, whose deep temporary trees produce the suite's largest live
+  spikes (and therefore the worst-case full-collection pauses).
+
+For fairness the incremental side is judged on its *combined* pause
+histogram — mark slices **and** cycle-close drains — so a collector
+that defers all marking to the closing collection cannot pass.  The
+mark-sweep side is judged on its full-collection pauses.  Both are
+p99s from the :mod:`repro.metrics` plane's ``pause_words`` histograms
+(bucket-resolution, clamped to the observed max).
+
+Results persist to ``SLO_pause.json`` at the repo root; the
+``pause-slo`` CI job re-measures in quick mode and fails on any
+violation.  Pauses are denominated in words of collector work, not
+wall-clock seconds, so the gate is deterministic and immune to CI
+scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.gc.registry import GcGeometry, collector_factory
+from repro.heap.backend import make_heap
+from repro.heap.roots import RootSet
+from repro.metrics.instrument import instrument_collector
+from repro.metrics.registry import MetricRegistry
+from repro.mutator.base import LifetimeDrivenMutator
+from repro.mutator.decay_mutator import DecaySchedule
+
+__all__ = [
+    "SLO_FACTOR",
+    "SLO_FILENAME",
+    "SLO_GEOMETRY",
+    "load_slo_report",
+    "run_pause_slo",
+    "write_slo_report",
+]
+
+SLO_FILENAME = "SLO_pause.json"
+SCHEMA_VERSION = 1
+
+#: The objective: incremental p99 pause * factor <= full-GC p99 pause.
+SLO_FACTOR = 50
+
+#: Decay half-life of the SLO workload (the canonical regime).
+SLO_HALF_LIFE = 2_000.0
+#: Decay allocation volume: enough for ~20 mark-sweep collections at
+#: this geometry, so the p99 is taken over a real pause population.
+SLO_ALLOC_WORDS = 60_000
+QUICK_ALLOC_WORDS = 20_000
+#: gcbench scale (see :mod:`repro.programs.registry`): scale 1 builds
+#: trees to depth 10 — big enough for several full collections.
+SLO_GCBENCH_SCALE = 1
+
+#: SLO measurement geometry.  The semispace is sized so both workloads
+#: trigger many collections (heap = 2 * semispace = 4096 words against
+#: a ~2900-word decay equilibrium), and the slice budget is 32 words —
+#: small enough that a budget-bounded slice is two orders of magnitude
+#: below a full mark of the equilibrium graph.
+SLO_GEOMETRY = GcGeometry(
+    nursery_words=512,
+    semispace_words=2_048,
+    step_words=256,
+    step_count=8,
+    slice_budget=32,
+)
+
+
+def _decay_registry(kind: str, *, alloc_words: int, seed: int) -> MetricRegistry:
+    """One instrumented decay-workload run of ``kind``."""
+    heap = make_heap()
+    roots = RootSet()
+    collector = collector_factory(kind, SLO_GEOMETRY)(heap, roots)
+    instrument = instrument_collector(collector)
+    mutator = LifetimeDrivenMutator(
+        collector, roots, DecaySchedule(SLO_HALF_LIFE, seed=seed)
+    )
+    mutator.run(alloc_words)
+    mutator.release_all()
+    return instrument.registry
+
+
+def _gcbench_registry(kind: str, *, scale: int) -> MetricRegistry:
+    """One instrumented gcbench run of ``kind`` on the stacked VM."""
+    from repro.programs.registry import get_benchmark
+    from repro.runtime.machine import Machine
+
+    machine = Machine(collector_factory(kind, SLO_GEOMETRY))
+    instrument = instrument_collector(machine.collector)
+    get_benchmark("gcbench").run(machine, scale)
+    return instrument.registry
+
+
+def _pause_columns(registry: MetricRegistry) -> dict[str, Any]:
+    """The pause histograms of one run, flattened for the report."""
+    combined = registry.histogram("pause_words")
+    return {
+        "pauses": combined.count,
+        "slice_pauses": registry.histogram("pause_words.slice").count,
+        "full_pauses": registry.histogram("pause_words.full").count,
+        "p99_pause_words": combined.quantile(0.99),
+        "max_pause_words": combined.max,
+    }
+
+
+def _judge(
+    incremental: MetricRegistry, reference: MetricRegistry
+) -> dict[str, Any]:
+    """One workload's verdict: combined incremental p99 vs full p99.
+
+    The workload only counts as *measured* when both sides produced
+    pauses — a silent no-collection run must not pass the gate.
+    """
+    inc = _pause_columns(incremental)
+    ref = _pause_columns(reference)
+    inc_p99 = inc["p99_pause_words"]
+    full_p99 = reference.histogram("pause_words.full").quantile(0.99)
+    measured = inc["pauses"] > 0 and full_p99 > 0
+    return {
+        "incremental": inc,
+        "mark-sweep": ref,
+        "full_p99_pause_words": full_p99,
+        "ratio": (full_p99 / inc_p99) if inc_p99 > 0 else None,
+        "measured": measured,
+        "pass": measured and inc_p99 * SLO_FACTOR <= full_p99,
+    }
+
+
+def run_pause_slo(*, quick: bool = False, seed: int = 0) -> dict[str, Any]:
+    """Measure both workloads under both collectors; return the report."""
+    alloc_words = QUICK_ALLOC_WORDS if quick else SLO_ALLOC_WORDS
+    workloads = {
+        "decay": _judge(
+            _decay_registry("incremental", alloc_words=alloc_words, seed=seed),
+            _decay_registry("mark-sweep", alloc_words=alloc_words, seed=seed),
+        ),
+        "gcbench": _judge(
+            _gcbench_registry("incremental", scale=SLO_GCBENCH_SCALE),
+            _gcbench_registry("mark-sweep", scale=SLO_GCBENCH_SCALE),
+        ),
+    }
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "slo_factor": SLO_FACTOR,
+        "slice_budget": SLO_GEOMETRY.slice_budget,
+        "semispace_words": SLO_GEOMETRY.semispace_words,
+        "workloads": workloads,
+        "pass": all(w["pass"] for w in workloads.values()),
+    }
+
+
+def load_slo_report(path: Path | str) -> dict[str, Any] | None:
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_slo_report(path: Path | str, report: Mapping[str, Any]) -> None:
+    from repro.resilience.atomic import atomic_write_json
+
+    atomic_write_json(Path(path), report)

@@ -35,13 +35,13 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.events import EventStream
 
-from repro.experiments.harness import GcGeometry, collector_factory
+from repro.gc.registry import GcGeometry, collector_factory
 from repro.heap.barrier import WriteBarrier
 from repro.heap.backend import make_heap
 from repro.heap.roots import RootSet
@@ -223,6 +223,7 @@ def run_chaos_matrix(
     geometry: GcGeometry | None = None,
     quick: bool = False,
     events: "EventStream | None" = None,
+    safepoint: bool = False,
 ) -> DetectionMatrix:
     """Run the full fault-kind x collector chaos sweep.
 
@@ -239,10 +240,21 @@ def run_chaos_matrix(
             fired detection channel a ``fault-detected`` record, so
             the safety net's verdicts land in the same NDJSON
             telemetry as the collectors' own spans.
+        safepoint: delay every injection until the targeted collector
+            is *mid-gray-wavefront* — an incremental mark cycle open
+            with gray entries outstanding — so faults land between
+            slices, the window the tri-color audit exists to defend.
+            Collectors with no such window never inject (``n/a``).
     """
     if quick:
         op_count = min(op_count, QUICK_OP_COUNT)
-    geometry = geometry if geometry is not None else VERIFY_GEOMETRY
+    if geometry is None:
+        # A 1-word slice budget keeps the incremental collector's gray
+        # wavefront alive across many op boundaries, so wavefront
+        # faults (and safepoint mode as a whole) have a window to
+        # inject into.  Budget-invariance guarantees this changes no
+        # checkpoint fingerprint for any collector.
+        geometry = replace(VERIFY_GEOMETRY, slice_budget=1)
     script = generate_script(op_count, seed)
 
     outcomes: list[ChaosOutcome] = []
@@ -259,6 +271,7 @@ def run_chaos_matrix(
                     seed,
                     reference,
                     events=events,
+                    safepoint=safepoint,
                 )
             )
     return DetectionMatrix(
@@ -297,6 +310,7 @@ def _run_cell(
     seed: int,
     reference: ReplayResult,
     events: "EventStream | None" = None,
+    safepoint: bool = False,
 ) -> ChaosOutcome:
     expectation = fault_expectation(fault)
 
@@ -401,8 +415,18 @@ def _run_cell(
             ),
         )
 
+    def at_injection_window() -> bool:
+        if not safepoint:
+            return True
+        # Mid-gray-wavefront only: a mark cycle is open and there are
+        # gray entries the next slices still owe.
+        return bool(
+            getattr(collector, "cycle_open", False)
+            and getattr(collector, "gray_stack", None)
+        )
+
     for op_index, op in enumerate(ops):
-        if injection is None and op_index >= inject_at:
+        if injection is None and op_index >= inject_at and at_injection_window():
             injection = inject_fault(fault, collector, rng)
             if injection is not None:
                 injected_at = op_index

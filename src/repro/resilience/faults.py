@@ -12,7 +12,10 @@ kind                      models / should be caught by
                           buggy copy phase — heap-integrity
 ``drop-remset``           a missed write barrier: a live
                           cross-boundary pointer loses its remembered
-                          slot — remset-completeness
+                          slot — remset-completeness; against the
+                          incremental collector, a gray wavefront
+                          entry is forgotten mid-mark —
+                          tri-color-wavefront
 ``dup-remset``           a *conservative* spurious remembered slot —
                           **benign by design**: remsets may
                           over-approximate, so nothing must fire
@@ -45,6 +48,7 @@ from dataclasses import dataclass
 from repro.gc.collector import Collector
 from repro.gc.generational import GenerationalCollector
 from repro.gc.hybrid import HybridCollector
+from repro.gc.incremental import IncrementalCollector
 from repro.gc.nonpredictive import NonPredictiveCollector
 from repro.heap.remset import RememberedSet
 
@@ -93,6 +97,10 @@ def fault_applies(kind: str, collector: Collector) -> bool:
         raise ValueError(f"unknown fault kind {kind!r}")
     if kind in ("drop-remset", "dup-remset"):
         if isinstance(collector, (GenerationalCollector, HybridCollector)):
+            return True
+        # The incremental collector's gray stack plays the remembered
+        # set's role: losing an entry loses part of the mark obligation.
+        if isinstance(collector, IncrementalCollector):
             return True
         return (
             isinstance(collector, NonPredictiveCollector)
@@ -266,6 +274,23 @@ def _inject_drop_remset(
     removing an already-stale entry would be a legal prune, not a
     fault.
     """
+    if isinstance(collector, IncrementalCollector):
+        # The incremental analogue: forget one gray wavefront entry.
+        # The object keeps its gray color (the corruption is a *lost
+        # stack entry*, not a recolor), so its subtree silently falls
+        # out of the remaining mark obligation — exactly what the
+        # auditor's tri-color-wavefront check must notice.
+        if not (collector.cycle_open and collector.gray_stack):
+            return None
+        victim = _pick(rng, sorted(set(collector.gray_stack)))
+        collector.gray_stack.remove(victim)
+        return FaultInjection(
+            kind="drop-remset",
+            detail=(
+                f"gray-stack entry {victim} dropped mid-wavefront "
+                f"(object stays colored gray)"
+            ),
+        )
     required = _required_entries(collector)
     if not required:
         return None
@@ -292,6 +317,18 @@ def _inject_dup_remset(
     Remembered sets are allowed to over-approximate (§8.4), so a
     correct collector must neither crash nor diverge.
     """
+    if isinstance(collector, IncrementalCollector):
+        # Benign control: re-push an entry already on the gray stack.
+        # The scan skips pops whose color is no longer gray, so a
+        # duplicate must cost nothing and trip nothing.
+        if not (collector.cycle_open and collector.gray_stack):
+            return None
+        entry = _pick(rng, sorted(set(collector.gray_stack)))
+        collector.gray_stack.append(entry)
+        return FaultInjection(
+            kind="dup-remset",
+            detail=f"gray-stack entry {entry} re-pushed (duplicate)",
+        )
     remsets = _collector_remsets(collector)
     if remsets is None:
         return None

@@ -148,6 +148,12 @@ class Machine:
         else:
             encoded = self._encode(value)
             barrier.stores += 1
+            hook = barrier._hook
+            if hook is not None:
+                # The SATB barrier must see pointer *deletions* too:
+                # overwriting a reference slot with an immediate kills
+                # an edge just as surely as storing None.
+                hook(obj, slot, None)
             self.heap.write_slot(obj, slot, encoded)
 
     def _require(self, value: SchemeValue, kind: str) -> HeapObject:

@@ -6,9 +6,11 @@ Two independent oracles over the collectors in :mod:`repro.gc`:
   single collector ("checked mode", installable as a post-collection
   hook);
 * :mod:`repro.verify.differential` — replay one deterministic mutator
-  script (:mod:`repro.verify.replay`) under all five collectors and
-  require identical live graphs at every checkpoint, with
+  script (:mod:`repro.verify.replay`) under every registered collector
+  and require identical live graphs at every checkpoint, with
   :mod:`repro.verify.shrink` minimizing any counterexample.
+  :mod:`repro.verify.budget` specializes the same machinery into the
+  incremental collector's interruption-equivalence suite.
 
 The CLI front end is ``repro-gc verify``.
 """
@@ -20,6 +22,12 @@ from repro.verify.audit import (
     audit_collector,
     disable_checked_mode,
     enable_checked_mode,
+)
+from repro.verify.budget import (
+    DEFAULT_BUDGETS,
+    budget_label,
+    run_budget_differential,
+    run_budget_differential_all_backends,
 )
 from repro.verify.differential import (
     DEFAULT_COLLECTORS,
@@ -44,6 +52,7 @@ __all__ = [
     "AuditError",
     "AuditReport",
     "Checkpoint",
+    "DEFAULT_BUDGETS",
     "DEFAULT_COLLECTORS",
     "DifferentialReport",
     "Divergence",
@@ -52,6 +61,9 @@ __all__ = [
     "ReplayError",
     "ReplayResult",
     "VERIFY_GEOMETRY",
+    "budget_label",
+    "run_budget_differential",
+    "run_budget_differential_all_backends",
     "assert_heap_invariants",
     "audit_collector",
     "disable_checked_mode",

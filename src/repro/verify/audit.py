@@ -25,6 +25,12 @@ correct collector in this reproduction must maintain:
   non-predictive collector's stop-and-copy mode, objects allocated
   since the last collection sit in non-increasing step order
   (allocation fills the steps from the top down);
+* **tri-color wavefront** — for the incremental collector the audit
+  accepts *in-cycle* snapshots (where garbage is legitimately still
+  resident) and instead proves that an immediate drain-and-sweep
+  would be safe: every gray object is on the wavefront, the predicted
+  survivor set covers all root-reachable objects, and that set is
+  closed under in-space references;
 * **root-witness coverage** (optional) — when the caller supplies an
   independent ``expected_roots`` witness (ids the *mutator* believes
   are rooted), every witnessed id must be present in the collector's
@@ -53,6 +59,7 @@ from dataclasses import dataclass
 from repro.gc.collector import Collector
 from repro.gc.generational import GenerationalCollector
 from repro.gc.hybrid import HybridCollector
+from repro.gc.incremental import GRAY, WHITE, IncrementalCollector
 from repro.gc.nonpredictive import NonPredictiveCollector
 from repro.heap.heap import HeapError
 
@@ -145,6 +152,17 @@ def audit_collector(
         _check_hybrid_structure(collector, violations)
         checks.append("remset-completeness")
         _check_hybrid_remsets(collector, violations)
+    elif isinstance(collector, IncrementalCollector):
+        if collector.cycle_open:
+            checks.append("tri-color-wavefront")
+            _check_incremental_wavefront(collector, violations)
+        else:
+            checks.append("tri-color-quiescent")
+            if collector.gray_stack:
+                violations.append(
+                    f"tri-color: closed cycle left {len(collector.gray_stack)} "
+                    f"entries on the gray stack"
+                )
 
     return AuditReport(
         collector=collector.name,
@@ -356,6 +374,94 @@ def _check_np_structure(
                 f"older object born at clock {birth_a}"
             )
             return
+
+
+def _check_incremental_wavefront(
+    collector: IncrementalCollector, violations: list[str]
+) -> None:
+    """The SATB tri-color invariants of an *in-cycle* heap snapshot.
+
+    Mid-cycle the heap legitimately holds garbage (SATB sweeps only to
+    the cycle's snapshot), so the audit cannot demand resident ==
+    reachable.  What it can demand is that closing the cycle *right
+    now* would be safe.  Concretely:
+
+    * every gray-stack entry resolves to a live in-space object that
+      is not white (black entries are tolerated: conservative
+      duplicates get skipped by the scan);
+    * every gray-*colored* object is on the stack — a gray object the
+      wavefront has forgotten would be swept while reachable, which is
+      exactly the corruption the chaos harness's drop-remset fault
+      models;
+    * the predicted survivor set — non-white objects, objects born
+      since the epoch, plus everything the remaining wavefront would
+      mark through *current* fields — covers every root-reachable
+      in-space object and is closed under in-space references, i.e.
+      an immediate drain-and-sweep would free no reachable object and
+      dangle no surviving slot.
+    """
+    heap = collector.heap
+    space = collector.space
+    epoch = collector.epoch_clock
+    stack = list(collector.gray_stack)
+    stack_set = set(stack)
+
+    for oid in stack_set:
+        if heap.space_if_live(oid) is not space:
+            violations.append(
+                f"tri-color: gray-stack id {oid} does not resolve to a "
+                f"live object in the collector's space"
+            )
+        elif heap.color_of(oid) == WHITE:
+            violations.append(
+                f"tri-color: gray-stack id {oid} is colored white"
+            )
+    if violations:
+        return
+
+    resident = list(space.object_ids())
+    for oid in resident:
+        if heap.color_of(oid) == GRAY and oid not in stack_set:
+            violations.append(
+                f"tri-color: object {oid} is colored gray but absent "
+                f"from the gray stack (lost wavefront entry)"
+            )
+    if violations:
+        return
+
+    # Predicted survivors of an immediate drain-and-sweep.
+    survivors = {
+        oid
+        for oid in resident
+        if heap.color_of(oid) != WHITE or heap.birth_of(oid) >= epoch
+    }
+    frontier = list(stack_set)
+    while frontier:
+        oid = frontier.pop()
+        for _slot, ref in heap.ref_slots(oid):
+            if (
+                ref not in survivors
+                and heap.space_if_live(ref) is space
+                and heap.birth_of(ref) < epoch
+            ):
+                survivors.add(ref)
+                frontier.append(ref)
+
+    for oid in heap.reachable_from(collector.roots.ids()):
+        if heap.space_if_live(oid) is space and oid not in survivors:
+            violations.append(
+                f"tri-color: root-reachable object {oid} would be swept "
+                f"by an immediate cycle close"
+            )
+            return
+    for oid in survivors:
+        for slot, ref in heap.ref_slots(oid):
+            if heap.space_if_live(ref) is space and ref not in survivors:
+                violations.append(
+                    f"tri-color: surviving object {oid} slot {slot} "
+                    f"would dangle — its target {ref} would be swept"
+                )
+                return
 
 
 def _check_hybrid_remsets(

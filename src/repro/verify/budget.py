@@ -1,0 +1,264 @@
+"""The interruption-equivalence oracle for incremental collection.
+
+The incremental collector's correctness claim is *budget-invariance*:
+because every cycle snapshots its obligation at open (roots grayed
+eagerly, the SATB barrier graying every overwritten referent), the set
+of objects a cycle marks — and therefore every
+:class:`~repro.gc.stats.GcStats` counter, every checkpointed live
+graph, and the final survivor set — is independent of how the marking
+is sliced.  Only the pause *log* may differ between budgets, which is
+the collector's entire purpose.
+
+:func:`run_budget_differential` turns that claim into a differential
+test.  One script is replayed five ways — under mark-sweep (the
+reference) and under the incremental collector at every budget in
+:data:`DEFAULT_BUDGETS` — after appending two quiescing ``collect``
+ops:
+
+* the first closes any cycle the script left open (sweeping to that
+  cycle's snapshot, so SATB floating garbage may survive it);
+* the second runs from the quiescent heap and is therefore *precise* —
+  after it, the incremental heap holds exactly the reachable objects,
+  same as mark-sweep.
+
+The oracle then requires, for every budget:
+
+1. checkpointed live graphs and clocks identical to mark-sweep's
+   (the existing differential comparison, at every ``check`` op);
+2. GcStats and checkpoints identical *across budgets* (strict
+   interruption equivalence — budget 1 does exactly the work of
+   budget infinity, just in more pieces);
+3. the final resident object set identical across budgets *and* equal
+   to mark-sweep's (survivor-set equivalence, stronger than graph
+   equality: it also proves no floating garbage outlives the
+   quiescing collections).
+
+Failures shrink with the standard ddmin shrinker — the predicate is
+just "this report is not ok".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+from repro.gc.collector import Collector
+from repro.gc.registry import GcGeometry, collector_factory
+from repro.heap.backend import HEAP_BACKENDS
+from repro.verify.differential import (
+    VERIFY_GEOMETRY,
+    DifferentialReport,
+    Divergence,
+    _compare,
+)
+from repro.verify.replay import (
+    MutatorScript,
+    ReplayCrash,
+    ReplayResult,
+    replay,
+)
+
+__all__ = [
+    "DEFAULT_BUDGETS",
+    "budget_label",
+    "run_budget_differential",
+    "run_budget_differential_all_backends",
+]
+
+#: Slice budgets the suite sweeps: pathological (1 word per slice),
+#: small prime (maximally misaligned with object sizes), the default,
+#: and unbounded (degenerate stop-the-world, the sanity anchor).
+DEFAULT_BUDGETS: tuple[int | None, ...] = (1, 7, 64, None)
+
+#: The reference collector; its replay defines the expected graphs.
+_REFERENCE = "mark-sweep"
+
+
+def budget_label(budget: int | None) -> str:
+    """The result-map key for one budget's replay."""
+    return f"incremental@b={'inf' if budget is None else budget}"
+
+
+def _quiesce(script: MutatorScript) -> MutatorScript:
+    """The script plus the two cycle-closing collections (see module
+    docstring); the replay's implicit final checkpoint then observes a
+    precise heap under every collector."""
+    return replace(
+        script,
+        ops=script.ops + (("collect",), ("collect",)),
+        note=(script.note + "; " if script.note else "") + "quiesced",
+    )
+
+
+def run_budget_differential(
+    script: MutatorScript,
+    *,
+    budgets: Sequence[int | None] = DEFAULT_BUDGETS,
+    backend: str | None = None,
+    geometry: GcGeometry | None = None,
+    checked: bool = True,
+) -> DifferentialReport:
+    """Replay ``script`` under mark-sweep and every incremental budget.
+
+    Args:
+        script: a valid mutator script (quiescing collects are
+            appended internally; pass the raw script).
+        budgets: slice budgets to sweep; ``None`` means unbounded.
+        backend: heap backend for every replay (None = the session
+            default); run once per backend for full coverage.
+        geometry: heap geometry (defaults to the verify geometry).
+        checked: audit heap invariants after every collection and
+            every slice.
+    """
+    if not budgets:
+        raise ValueError("need at least one slice budget")
+    geometry = geometry if geometry is not None else VERIFY_GEOMETRY
+    quiesced = _quiesce(script)
+
+    collectors: dict[str, Collector] = {}
+
+    def capturing(label: str, inner):
+        def build(heap, roots) -> Collector:
+            built = inner(heap, roots)
+            collectors[label] = built
+            return built
+
+        return build
+
+    results: dict[str, ReplayResult | None] = {}
+    divergences: list[Divergence] = []
+
+    def run(label: str, factory) -> ReplayResult | None:
+        try:
+            result = replay(
+                quiesced,
+                capturing(label, factory),
+                checked=checked,
+                name=label,
+                backend=backend,
+            )
+        except ReplayCrash as crash:
+            results[label] = None
+            divergences.append(
+                Divergence(
+                    kind="crash",
+                    collector=label,
+                    reference=_REFERENCE,
+                    checkpoint_index=None,
+                    op_index=crash.op_index,
+                    detail=str(crash),
+                )
+            )
+            return None
+        results[label] = result
+        return result
+
+    reference = run(_REFERENCE, collector_factory(_REFERENCE, geometry))
+    replays: dict[str, ReplayResult] = {}
+    for budget in budgets:
+        label = budget_label(budget)
+        result = run(
+            label,
+            collector_factory(
+                "incremental", replace(geometry, slice_budget=budget)
+            ),
+        )
+        if result is not None:
+            replays[label] = result
+
+    # 1. Graph equivalence with mark-sweep, at every checkpoint.
+    if reference is not None:
+        for label, result in replays.items():
+            divergence = _compare(reference, result, _REFERENCE, label)
+            if divergence is not None:
+                divergences.append(divergence)
+
+    # 2. Strict interruption equivalence across budgets: identical
+    #    GcStats and checkpoints (pauses excluded — slicing exists to
+    #    change them).
+    if replays:
+        base_label = next(iter(replays))
+        base = replays[base_label]
+        for label, result in replays.items():
+            if label == base_label:
+                continue
+            if result.stats != base.stats:
+                base_stats = dict(base.stats)
+                diffs = [
+                    f"{key}: {value} != {base_stats[key]}"
+                    for key, value in result.stats
+                    if base_stats.get(key) != value
+                ]
+                divergences.append(
+                    Divergence(
+                        kind="budget-stats",
+                        collector=label,
+                        reference=base_label,
+                        checkpoint_index=None,
+                        op_index=None,
+                        detail="; ".join(diffs) or "stat key sets differ",
+                    )
+                )
+            divergence = _compare(base, result, base_label, label)
+            if divergence is not None:
+                divergences.append(divergence)
+
+    # 3. Survivor-set equivalence: after the quiescing collections the
+    #    resident set must match across every run, reference included.
+    survivors = {
+        label: tuple(sorted(collectors[label].space.object_ids()))
+        for label in results
+        if results[label] is not None
+    }
+    if _REFERENCE in survivors:
+        expected = survivors[_REFERENCE]
+        for label, resident in survivors.items():
+            if label == _REFERENCE or resident == expected:
+                continue
+            extra = sorted(set(resident) - set(expected))
+            missing = sorted(set(expected) - set(resident))
+            parts = [
+                f"{len(resident)} resident objects vs "
+                f"{_REFERENCE}'s {len(expected)}"
+            ]
+            if extra:
+                parts.append(f"{label} alone retains ids {extra[:5]}")
+            if missing:
+                parts.append(f"{label} is missing ids {missing[:5]}")
+            divergences.append(
+                Divergence(
+                    kind="survivor-set",
+                    collector=label,
+                    reference=_REFERENCE,
+                    checkpoint_index=None,
+                    op_index=None,
+                    detail="; ".join(parts),
+                )
+            )
+
+    return DifferentialReport(
+        script=quiesced,
+        results=results,
+        divergences=tuple(divergences),
+    )
+
+
+def run_budget_differential_all_backends(
+    script: MutatorScript,
+    *,
+    budgets: Sequence[int | None] = DEFAULT_BUDGETS,
+    backends: Sequence[str] = HEAP_BACKENDS,
+    geometry: GcGeometry | None = None,
+    checked: bool = True,
+) -> Mapping[str, DifferentialReport]:
+    """:func:`run_budget_differential` once per heap backend."""
+    return {
+        backend: run_budget_differential(
+            script,
+            budgets=budgets,
+            backend=backend,
+            geometry=geometry,
+            checked=checked,
+        )
+        for backend in backends
+    }

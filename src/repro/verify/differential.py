@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
-from repro.experiments.harness import GcGeometry, collector_factory
+from repro.gc.registry import COLLECTOR_KINDS, GcGeometry, collector_factory
 from repro.heap.backend import HEAP_BACKENDS
 from repro.metrics.instrument import metrics_session
 from repro.verify.replay import (
@@ -43,13 +43,9 @@ __all__ = [
 ]
 
 #: Canonical collector names, in comparison order (first = reference).
-DEFAULT_COLLECTORS: tuple[str, ...] = (
-    "mark-sweep",
-    "stop-and-copy",
-    "generational",
-    "non-predictive",
-    "hybrid",
-)
+#: The registry keeps mark-sweep first precisely so differential
+#: comparisons use it as the reference implementation.
+DEFAULT_COLLECTORS: tuple[str, ...] = COLLECTOR_KINDS
 
 #: Small heap geometry sized for verification scripts: big enough that
 #: a script honouring the generator's default live budget never

@@ -18,14 +18,19 @@ class TestBarrier:
         assert barrier.stores == 2
         assert barrier.pointer_stores == 1
 
-    def test_hook_called_for_pointer_stores_only(self):
+    def test_hook_fires_for_every_store_including_none(self):
+        # A snapshot-at-the-beginning collector must see the deleted
+        # old value even when the new value is not a pointer, so the
+        # hook fires on every store; None marks a non-pointer value.
         seen = []
         barrier = WriteBarrier(
-            lambda src, slot, dst: seen.append((src.obj_id, slot, dst.obj_id))
+            lambda src, slot, dst: seen.append(
+                (src.obj_id, slot, dst.obj_id if dst else None)
+            )
         )
         barrier.on_store(obj(1), 0, obj(2))
         barrier.on_store(obj(1), 1, None)
-        assert seen == [(1, 0, 2)]
+        assert seen == [(1, 0, 2), (1, 1, None)]
 
     def test_hook_can_be_swapped(self):
         first, second = [], []

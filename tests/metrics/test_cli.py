@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.metrics.events import parse_ndjson
+from repro.metrics.events import EVENT_SCHEMA_VERSION, parse_ndjson
 
 
 class TestParser:
@@ -77,7 +77,9 @@ class TestExperimentMode:
         )
         records = parse_ndjson(events.read_text(encoding="utf-8"))
         assert records
-        assert all(record["v"] == 1 for record in records)
+        assert all(
+            record["v"] == EVENT_SCHEMA_VERSION == 2 for record in records
+        )
         kinds = {record["event"] for record in records}
         assert "collection-end" in kinds
         payload = json.loads(artifact.read_text(encoding="utf-8"))

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.metrics.events import EventStream, parse_ndjson
+from repro.metrics.events import (
+    EVENT_SCHEMA_VERSION,
+    EventStream,
+    parse_ndjson,
+)
 from repro.resilience.chaos import run_chaos_matrix
 from repro.resilience.faults import CORRUPTION_FAULTS
 
@@ -102,10 +106,10 @@ class TestFaultEvents:
         ):
             assert record["op_index"] == outcome.op_index
 
-    def test_schema_v1_record_layout_is_pinned(self, chaos_run):
+    def test_schema_record_layout_is_pinned(self, chaos_run):
         _, stream = chaos_run
         for record in stream.events("fault-detected"):
-            assert record["v"] == 1
+            assert record["v"] == EVENT_SCHEMA_VERSION == 2
             assert set(record) == DETECTED_KEYS
             assert record["status"] in (
                 "detected",
@@ -115,7 +119,7 @@ class TestFaultEvents:
             )
             assert record["channel"] in ("audit", "crash", "divergence")
         for record in stream.events("fault-injected"):
-            assert record["v"] == 1
+            assert record["v"] == EVENT_SCHEMA_VERSION == 2
             assert set(record) == INJECTED_KEYS
 
     def test_stream_round_trips_through_ndjson(self, chaos_run, tmp_path):

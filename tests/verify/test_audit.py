@@ -150,3 +150,56 @@ class TestUnmanagedCollectors:
         assert report.ok
         assert "stats-conservation" not in report.checks
         assert "heap-integrity" in report.checks
+
+
+class TestIncrementalModes:
+    """Both incremental audit modes are pinned: a mid-cycle heap is an
+    accepted "in-cycle" snapshot checked against the tri-color
+    invariants, and a quiescent heap must carry no leftover wavefront.
+    """
+
+    def _mid_cycle(self):
+        heap, roots, collector = build("incremental")
+        frame = roots.push_frame()
+        while not (collector.cycle_open and collector.gray_stack):
+            frame.push(collector.allocate(3))
+        return heap, roots, collector
+
+    def test_in_cycle_snapshot_is_accepted(self):
+        heap, roots, collector = self._mid_cycle()
+        report = audit_collector(collector)
+        assert report.ok, report.summary()
+        assert "tri-color-wavefront" in report.checks
+        assert "tri-color-quiescent" not in report.checks
+
+    def test_quiescent_mode_is_pinned(self):
+        heap, roots, collector = build("incremental")
+        churn(heap, roots, collector)
+        collector.collect()
+        report = audit_collector(collector)
+        assert report.ok, report.summary()
+        assert "tri-color-quiescent" in report.checks
+        assert "tri-color-wavefront" not in report.checks
+
+    def test_checked_mode_is_silent_across_slices(self):
+        # The regression this guards: checked mode used to reject any
+        # heap observed mid-cycle (garbage still resident looked like
+        # a reachability leak).  Slices run the hook too, so a whole
+        # churn under checked mode exercises both audit modes.
+        heap, roots, collector = build("incremental")
+        enable_checked_mode(collector)
+        churn(heap, roots, collector)
+        collector.collect()
+
+    def test_whitened_reachable_object_is_caught(self):
+        from repro.gc.incremental import WHITE
+
+        heap, roots, collector = self._mid_cycle()
+        # Corrupt the wavefront: recolor a gray root white and drop it
+        # from the stack — an immediate cycle close would sweep it.
+        victim = collector.gray_stack[0]
+        heap.set_color(victim, WHITE)
+        collector.gray_stack.remove(victim)
+        report = audit_collector(collector)
+        assert not report.ok
+        assert any("swept" in v for v in report.violations)
