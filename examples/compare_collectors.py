@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare all six collectors on a real benchmark program.
+"""Compare all seven collectors on a real benchmark program.
 
 Runs the lattice benchmark (a purely functional workload: high
 allocation, almost nothing long-lived) under every collector the

@@ -20,8 +20,9 @@ Subcommands:
   skipped roots, mis-renumbered steps) and require the verify layer to
   detect every corruption, printing the fault x collector detection
   matrix (``--output`` exports it as JSON; ``--safepoint`` defers each
-  injection to a mutator safepoint with a live incremental mark
-  wavefront);
+  injection to a mutator safepoint with a live mark wavefront — an
+  incremental gray stack or a concurrent marker holding its
+  snapshot);
 * ``bench`` — the performance suite: allocation throughput and
   full-collection latency per collector, persisted to
   ``BENCH_perf.json`` (``--quick`` for the CI smoke variant, which
@@ -45,9 +46,14 @@ Subcommands:
   incremental collector's interruption-equivalence suite instead,
   replaying the script at several mark-slice budgets on both heap
   backends and requiring identical graphs, stats, and survivor sets;
+  ``--concurrent`` runs the concurrent collector's off-thread-marking
+  equivalence suite the same way (inline and worker-process markers
+  must match the unbounded incremental run exactly);
 * ``slo`` — the pause SLO gate: p99 incremental pause at most 1/50 of
-  mark-sweep's full-collection p99 on the decay and gcbench
-  workloads, persisted to ``SLO_pause.json``.
+  mark-sweep's full-collection p99, and p99 concurrent
+  mutator-visible pause (handoff + reconcile) at most the incremental
+  p99, on the decay and gcbench workloads, persisted to
+  ``SLO_pause.json``.
 """
 
 from __future__ import annotations
@@ -230,9 +236,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.collectors:
         collectors = tuple(args.collectors)
     elif args.safepoint:
-        # Safepoint windows only open while an incremental wavefront
-        # is live, so the mode targets the incremental collector.
-        collectors = ("incremental",)
+        # Safepoint windows only open while a mark wavefront is live —
+        # an in-thread incremental wavefront, or a concurrent cycle
+        # whose marker holds the snapshot — so the mode targets the
+        # two collectors that have one.
+        collectors = ("incremental", "concurrent")
     else:
         collectors = _COLLECTORS
     try:
@@ -501,6 +509,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     checked = not args.unchecked
     if args.budgets is not None:
         return _verify_budgets(args, script, checked)
+    if args.concurrent:
+        return _verify_concurrent(args, script, checked)
     if args.backends:
         from repro.verify.differential import run_backend_differential
 
@@ -620,6 +630,47 @@ def _verify_budgets(args: argparse.Namespace, script, checked: bool) -> int:
     return 1
 
 
+def _verify_concurrent(args: argparse.Namespace, script, checked: bool) -> int:
+    """``verify --concurrent``: the off-thread-marking equivalence suite."""
+    from repro.verify import shrink_script
+    from repro.verify.concurrent import (
+        run_concurrent_differential,
+        run_concurrent_differential_all_backends,
+    )
+
+    reports = run_concurrent_differential_all_backends(script, checked=checked)
+    failing = {
+        backend: report
+        for backend, report in reports.items()
+        if not report.ok
+    }
+    if not failing:
+        for backend, report in sorted(reports.items()):
+            print(f"[PASS] backend {backend}: {report.summary()}")
+        return 0
+    for backend, report in sorted(failing.items()):
+        print(f"[FAIL] backend {backend}: {report.summary()}")
+    if not args.no_shrink:
+        backend = sorted(failing)[0]
+        print()
+        print(f"shrinking the counterexample (backend {backend}) ...")
+
+        def fails(candidate) -> bool:
+            return not run_concurrent_differential(
+                candidate, backend=backend, checked=checked
+            ).ok
+
+        small = shrink_script(script, fails)
+        print(f"minimal failing script ({len(small.ops)} ops):")
+        print(small.to_text())
+        final = run_concurrent_differential(
+            small, backend=backend, checked=checked
+        )
+        print()
+        print(final.summary())
+    return 1
+
+
 def _cmd_validate(_: argparse.Namespace) -> int:
     results = run_validation()
     failures = 0
@@ -664,6 +715,18 @@ def _cmd_slo(args: argparse.Namespace) -> int:
             if ratio is not None
             else f"[{mark}] {name:<8} unmeasured — no pauses recorded"
         )
+        conc = verdict.get("concurrent")
+        if conc is not None:
+            cmark = "PASS" if conc["pass"] else "FAIL"
+            print(
+                f"[{cmark}] {name:<8} concurrent mutator-visible p99 "
+                f"{conc['p99_mutator_visible_pause_words']:>6} words over "
+                f"{conc['pauses']} pauses vs incremental p99 "
+                f"{conc['incremental_p99_pause_words']:>6} words"
+                if conc["measured"]
+                else f"[{cmark}] {name:<8} concurrent unmeasured — "
+                f"no handoff pauses recorded"
+            )
     if not args.no_write:
         path = Path(args.output) if args.output else Path.cwd() / SLO_FILENAME
         write_slo_report(path, report)
@@ -810,8 +873,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_COLLECTORS,
         default=None,
         help=(
-            "collectors to target (default: all, or just incremental "
-            "with --safepoint)"
+            "collectors to target (default: all, or incremental and "
+            "concurrent with --safepoint)"
         ),
     )
     sub.add_argument(
@@ -819,8 +882,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "defer each injection to the first mutator safepoint where "
-            "an incremental mark wavefront is live (gray stack non-"
-            "empty), corrupting the collector mid-cycle"
+            "a mark wavefront is live (incremental gray stack non-"
+            "empty, or a concurrent marker holding its snapshot), "
+            "corrupting the collector mid-cycle"
         ),
     )
     sub.add_argument(
@@ -1050,6 +1114,17 @@ def build_parser() -> argparse.ArgumentParser:
             "slice budget ('inf' = unbounded; default 1 7 64 inf), on "
             "both heap backends, and require identical graphs, stats, "
             "and survivor sets at every budget"
+        ),
+    )
+    sub.add_argument(
+        "--concurrent",
+        action="store_true",
+        help=(
+            "concurrent-equivalence suite: replay the script under "
+            "mark-sweep, the unbounded incremental collector, and the "
+            "concurrent collector with both inline and worker-process "
+            "markers, on both heap backends, and require identical "
+            "graphs, stats, pause logs, and survivor sets"
         ),
     )
     sub.set_defaults(func=_cmd_verify)

@@ -1,0 +1,570 @@
+"""Concurrent marking: the incremental wavefront, off the mutator.
+
+The incremental collector bounded pauses by slicing the mark loop, but
+every slice still runs on the mutator's critical path.  This collector
+moves the whole mark phase into a worker process:
+
+* **Cycle open (handoff)**: begin a mark epoch exactly like the
+  incremental collector, snapshot the roots plus the heap's
+  reachability-relevant state (:meth:`export_mark_snapshot` on either
+  backend — the flat backend ships its packed ``array('q')`` arenas as
+  raw bytes, one memcpy per arena; the object backend pickles a plain
+  dict), and hand it to :func:`_mark_snapshot_task`.  With
+  ``marker_workers == 0`` the task runs inline at the handoff — the
+  deterministic reference mode every oracle uses; with workers it is
+  submitted to a lazily created :class:`ProcessPoolExecutor` reusing
+  the hardened machinery of :mod:`repro.perf.parallel` (env-tunable
+  timeout, attempt-salted retries via ``derive_seed(seed, cycle,
+  attempt)``, worker-crash recovery, inline serial fallback).
+* **While the marker runs** the mutator proceeds untouched: allocation
+  is allocate-black via the birth clock (nothing born after the epoch
+  is ever scanned), and the SATB deletion barrier grays overwritten
+  pre-epoch referents onto ``gray_stack`` exactly as the incremental
+  collector does.  Allocation safepoints merely poll the marker future
+  (overlap telemetry only — polls are observably free).
+* **Reconciliation (cycle close)**: drain the marker's reachable set
+  ``R``, then re-mark from the SATB log and the current roots until
+  quiescent, treating every id in ``R`` as already black.  Because
+  mutator reachability between mutations only shrinks relative to the
+  snapshot, every SATB entry and every pre-epoch root is already in
+  ``R`` on a clean run — the reconcile scan does zero words of work —
+  and the survivor set ``R ∪ non-white ∪ born-in-epoch`` is exactly
+  what the incremental collector computes for the same script.  Every
+  ``GcStats`` counter is therefore identical to incremental's at any
+  slice budget (the oracle of :mod:`repro.verify.concurrent`); only
+  the pause *log* differs: the mutator sees a ``handoff`` and a
+  ``reconcile`` pause instead of mark slices, with the mark work
+  itself priced off-thread.
+
+Pause accounting stays in words (the repo-wide currency): the handoff
+is 0 words of mark work (arena memcpy is not mark work, and the flat
+export is O(arena bytes) precisely so it stays off the words ledger),
+and the reconcile pause carries only the words the reconcile scan
+itself marked — 0 on clean runs, which is the mutator-visible win the
+SLO report gates.
+"""
+
+from __future__ import annotations
+
+from repro.gc.incremental import BLACK, GRAY, WHITE, IncrementalCollector
+from repro.heap.heap import HeapError, SimulatedHeap
+from repro.heap.roots import RootSet
+
+__all__ = ["ConcurrentCollector"]
+
+
+def _trace_flat_snapshot(snapshot: dict, roots: list[int]) -> tuple[set[int], int]:
+    """Mark a flat-backend snapshot: the ``trace_region`` kernel over
+    rehydrated arenas, with non-resident roots skipped silently (the
+    cycle-open contract) and dangling *references* raised."""
+    from array import array
+
+    from repro.heap.flat import (
+        _DEAD,
+        _DETACHED,
+        _FC_MASK,
+        _FC_SHIFT,
+        _SIZE_MASK,
+        _TOKEN_MASK,
+    )
+
+    hdr = array("q")
+    hdr.frombytes(snapshot["hdr"])
+    state = array("q")
+    state.frombytes(snapshot["state"])
+    sbase = array("q")
+    sbase.frombytes(snapshot["slot_base"])
+    refs = array("q")
+    refs.frombytes(snapshot["refs"])
+    token = snapshot["token"]
+    n = len(state)
+    marked: set[int] = set()
+    mark = marked.add
+    stack: list[int] = []
+    push = stack.append
+    pop = stack.pop
+    words = 0
+    for oid in roots:
+        if oid not in marked and 0 <= oid < n:
+            packed = state[oid]
+            if (
+                packed != _DEAD
+                and packed != _DETACHED
+                and packed & _TOKEN_MASK == token
+            ):
+                mark(oid)
+                push(oid)
+    while stack:
+        oid = pop()
+        header = hdr[oid]
+        words += header & _SIZE_MASK
+        count = (header >> _FC_SHIFT) & _FC_MASK
+        if count:
+            base = sbase[oid]
+            for ref in refs[base:base + count]:
+                if ref >= 0 and ref not in marked:
+                    if ref >= n:
+                        raise HeapError(f"dangling object id {ref}")
+                    packed = state[ref]
+                    if packed == _DEAD:
+                        raise HeapError(f"dangling object id {ref}")
+                    if (
+                        packed != _DETACHED
+                        and packed & _TOKEN_MASK == token
+                    ):
+                        mark(ref)
+                        push(ref)
+    return marked, words
+
+
+def _trace_object_snapshot(
+    snapshot: dict, roots: list[int]
+) -> tuple[set[int], int]:
+    """Mark an object-backend snapshot (the pickle fallback): residents
+    are ``oid -> (size, refs)``; a reference outside the space but in
+    ``known`` is a boundary (skip), anything else dangles (raise)."""
+    objects = snapshot["objects"]
+    known = snapshot["known"]
+    marked: set[int] = set()
+    mark = marked.add
+    stack: list[int] = []
+    push = stack.append
+    pop = stack.pop
+    words = 0
+    for oid in roots:
+        if oid not in marked and oid in objects:
+            mark(oid)
+            push(oid)
+    while stack:
+        oid = pop()
+        size, oid_refs = objects[oid]
+        words += size
+        for ref in oid_refs:
+            if ref not in marked:
+                entry = objects.get(ref)
+                if entry is None:
+                    if ref not in known:
+                        raise HeapError(f"dangling object id {ref}")
+                    continue
+                mark(ref)
+                push(ref)
+    return marked, words
+
+
+def _mark_snapshot_task(payload: tuple, attempt: int = 0) -> dict:
+    """Worker entry point: trace one heap snapshot to a reachable set.
+
+    ``payload`` is ``(snapshot, base_seed, cycle_index)``.  The root
+    order is shuffled by ``derive_seed(base_seed, cycle_index,
+    attempt)`` — the attempt salt keeps retried tasks distinct (the
+    ``resilient_map`` discipline) while the result stays order-free
+    (a set and a word total), so retries are byte-identical.
+    Errors travel back as data: a dangling reference inside the
+    snapshot is deterministic, so the parent raises it at
+    reconciliation instead of burning retries on it.
+    """
+    import random
+
+    from repro.perf.parallel import derive_seed
+
+    snapshot, base_seed, cycle_index = payload
+    roots = list(snapshot["roots"])
+    random.Random(derive_seed(base_seed, cycle_index, attempt)).shuffle(roots)
+    try:
+        if snapshot["backend"] == "flat":
+            marked, words = _trace_flat_snapshot(snapshot, roots)
+        else:
+            marked, words = _trace_object_snapshot(snapshot, roots)
+    except HeapError as exc:
+        return {"error": str(exc)}
+    return {"ids": sorted(marked), "words": words}
+
+
+class ConcurrentCollector(IncrementalCollector):
+    """Tri-color mark/sweep with the mark phase in a worker process.
+
+    Args:
+        heap / roots / heap_words: as the incremental collector.
+        marker_workers: ``0`` runs the marker inline at the handoff
+            (the deterministic reference mode); ``>= 1`` submits it to
+            a persistent process pool so marking overlaps the mutator.
+        marker_seed: base seed for the marker's traversal-order salt.
+        marker_timeout: seconds to wait at reconciliation before
+            declaring the worker hung (default: ``REPRO_TASK_TIMEOUT``).
+        marker_retries: resubmissions after a timeout/crash before the
+            inline fallback runs (default: ``REPRO_TASK_RETRIES``).
+        trigger_fraction / auto_expand / load_factor / max_heap_words:
+            the incremental collector's policy, unchanged.
+    """
+
+    name = "concurrent"
+
+    def __init__(
+        self,
+        heap: SimulatedHeap,
+        roots: RootSet,
+        heap_words: int,
+        *,
+        marker_workers: int = 0,
+        marker_seed: int = 0,
+        marker_timeout: float | None = None,
+        marker_retries: int | None = None,
+        trigger_fraction: float = 0.5,
+        auto_expand: bool = True,
+        load_factor: float = 2.0,
+        max_heap_words: int | None = None,
+    ) -> None:
+        super().__init__(
+            heap,
+            roots,
+            heap_words,
+            slice_budget=None,
+            trigger_fraction=trigger_fraction,
+            auto_expand=auto_expand,
+            load_factor=load_factor,
+            max_heap_words=max_heap_words,
+        )
+        if marker_workers < 0:
+            raise ValueError(
+                f"marker workers must be >= 0, got {marker_workers!r}"
+            )
+        self.marker_workers = marker_workers
+        self.marker_seed = marker_seed
+        self._marker_timeout = marker_timeout
+        self._marker_retries = marker_retries
+        self._pool = None
+        #: Payload of the in-flight marker task (None when quiescent).
+        self._payload: tuple | None = None
+        self._future = None
+        self._attempt = 0
+        #: Cached marker result dict once drained (or when inline).
+        self._result: dict | None = None
+        self._done_early = False
+        #: Overlap telemetry (pool mode; wall-clock, so deliberately
+        #: *not* part of GcStats, pauses, or events).
+        self.marker_cycles = 0
+        self.overlapped_cycles = 0
+        self.marker_words_total = 0
+        self.overlapped_words = 0
+
+    # ------------------------------------------------------------------
+    # Marker lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def marker_inflight(self) -> bool:
+        """True while a marker holds a snapshot for the open cycle."""
+        return self.cycle_open and self._payload is not None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.marker_workers)
+        return self._pool
+
+    def _submit_marker(self, snapshot: dict) -> None:
+        payload = (snapshot, self.marker_seed, self.cycles_opened)
+        self._payload = payload
+        self._result = None
+        self._attempt = 0
+        self._done_early = False
+        if self.marker_workers == 0:
+            self._result = _mark_snapshot_task(payload)
+            self._future = None
+        else:
+            self._future = self._ensure_pool().submit(
+                _mark_snapshot_task, payload, 0
+            )
+
+    def _drain_pending(self) -> dict:
+        """The marker's result dict, waiting/retrying as needed.
+
+        Timeouts and pool crashes follow the ``resilient_map`` ladder:
+        terminate the poisoned pool, resubmit with the attempt salt
+        bumped, and after ``marker_retries`` resubmissions run the task
+        inline — the serial path is always the reference semantics, so
+        a lost worker degrades throughput, never correctness.
+        """
+        if self._result is not None:
+            return self._result
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.perf.parallel import (
+            _terminate_pool,
+            task_retries,
+            task_timeout,
+        )
+
+        timeout = (
+            self._marker_timeout
+            if self._marker_timeout is not None
+            else task_timeout()
+        )
+        retries = (
+            self._marker_retries
+            if self._marker_retries is not None
+            else task_retries()
+        )
+        future = self._future
+        attempt = self._attempt
+        while True:
+            if not self._done_early and future.done():
+                self._done_early = True
+            try:
+                result = future.result(timeout=timeout)
+                break
+            except (TimeoutError, BrokenProcessPool):
+                attempt += 1
+                pool = self._pool
+                self._pool = None
+                if pool is not None:
+                    _terminate_pool(pool)
+                if attempt > retries:
+                    result = _mark_snapshot_task(self._payload, attempt)
+                    break
+                future = self._ensure_pool().submit(
+                    _mark_snapshot_task, self._payload, attempt
+                )
+                self._future = future
+                self._attempt = attempt
+        self._future = None
+        self._result = result
+        return result
+
+    def _await_marker(self) -> tuple[set[int], int]:
+        result = self._drain_pending()
+        if "error" in result:
+            raise HeapError(
+                f"concurrent marker failed: {result['error']}"
+            )
+        words = result["words"]
+        self.marker_cycles += 1
+        self.marker_words_total += words
+        if self._done_early:
+            self.overlapped_cycles += 1
+            self.overlapped_words += words
+        return set(result["ids"]), words
+
+    def pending_marked_ids(self) -> frozenset[int]:
+        """The in-flight marker's reachable set (for the auditor and
+        the chaos injectors); blocks in pool mode, empty on error."""
+        if not self.marker_inflight:
+            return frozenset()
+        result = self._drain_pending()
+        if "error" in result:
+            return frozenset()
+        return frozenset(result["ids"])
+
+    def marker_overlap(self) -> float:
+        """Fraction of mark work whose worker finished while the
+        mutator was still running (0.0 in inline mode)."""
+        if not self.marker_words_total:
+            return 0.0
+        return self.overlapped_words / self.marker_words_total
+
+    def _discard_pending(self) -> None:
+        future = self._future
+        self._future = None
+        self._payload = None
+        self._result = None
+        self._attempt = 0
+        self._done_early = False
+        if future is not None:
+            future.cancel()
+
+    def close(self) -> None:
+        """Release the marker pool (idempotent)."""
+        self._discard_pending()
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # The concurrent cycle
+    # ------------------------------------------------------------------
+
+    def _open_cycle(self, kind: str) -> None:
+        """Snapshot, hand off to the marker, and record the handoff.
+
+        The inherited allocation ladder opens trigger cycles under the
+        incremental collector's kind string; remap it so event streams
+        name the collector doing the work.
+        """
+        if kind == "incremental":
+            kind = "concurrent"
+        heap = self.heap
+        heap.begin_mark_epoch()
+        self.epoch_clock = heap.clock
+        self.cycle_open = True
+        self.cycles_opened += 1
+        self.gray_stack.clear()
+        root_ids = self._root_ids()
+        snapshot = heap.export_mark_snapshot(self.space, root_ids)
+        self._submit_marker(snapshot)
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="handoff",
+            work=0,
+            reclaimed=0,
+            live=self.space.used,
+        )
+        if self.metrics is not None:
+            self.metrics.event(
+                "collection-start", kind=kind, clock=heap.clock
+            )
+            self.metrics.event(
+                "handoff",
+                clock=heap.clock,
+                roots=len(root_ids),
+                snapshot_words=self.space.used,
+                epoch=self.epoch_clock,
+            )
+        self._finish_collection()
+
+    def _mark_slice(self) -> None:
+        """Allocation safepoints only poll the marker (overlap
+        telemetry); they do no mark work and record no pause."""
+        future = self._future
+        if future is not None and not self._done_early and future.done():
+            self._done_early = True
+
+    def reserve_window(self, max_objects: int, size: int = 1) -> tuple[int, int]:
+        """Bump windows; with the wavefront off-thread every mid-cycle
+        safepoint is a free poll, so an open cycle admits the whole
+        window (the incremental base class throttles to one object per
+        live-wavefront slice; here that would only repeat the poll).
+        The closed-cycle trigger clamp is unchanged."""
+        if max_objects <= 0:
+            raise ValueError(
+                f"window must cover >= 1 object, got {max_objects!r}"
+            )
+        space = self._reserve(size)
+        count = space.free // size
+        if count > max_objects:
+            count = max_objects
+        if not self.cycle_open:
+            capacity = space.capacity
+            if capacity is not None:
+                room = (
+                    int(capacity * self.trigger_fraction) - space.used
+                ) // size
+                if room < count:
+                    count = max(1, room)
+        first, end = self.heap.bulk_allocate(count, size, space)
+        stats = self.stats
+        stats.words_allocated += count * size
+        stats.objects_allocated += count
+        return first, end
+
+    def _reconcile_scan(self, marked_ids: set[int]) -> int:
+        """Re-mark from the SATB log and the current roots, treating
+        the marker's set as black; returns the words scanned (0 on a
+        clean run — every SATB entry and pre-epoch root is already in
+        the marker's set, by the shrinking-reachability argument)."""
+        heap = self.heap
+        space = self.space
+        epoch = self.epoch_clock
+        gray = self.gray_stack
+        for rid in self.roots.ids():
+            if (
+                rid not in marked_ids
+                and heap.space_if_live(rid) is space
+                and heap.birth_of(rid) < epoch
+                and heap.color_of(rid) == WHITE
+            ):
+                heap.set_color(rid, GRAY)
+                gray.append(rid)
+        work = 0
+        while gray:
+            oid = gray.pop()
+            if oid in marked_ids or heap.color_of(oid) != GRAY:
+                continue
+            heap.set_color(oid, BLACK)
+            for _slot, ref in heap.ref_slots(oid):
+                ref_space = heap.space_if_live(ref)
+                if ref_space is None:
+                    if not heap.contains_id(ref):
+                        raise HeapError(f"dangling object id {ref}")
+                    continue
+                if (
+                    ref_space is space
+                    and ref not in marked_ids
+                    and heap.birth_of(ref) < epoch
+                    and heap.color_of(ref) == WHITE
+                ):
+                    heap.set_color(ref, GRAY)
+                    gray.append(ref)
+            work += heap.size_of(oid)
+        return work
+
+    def collect(self) -> None:
+        """Reconcile the marker's set with the SATB log and sweep."""
+        heap = self.heap
+        space = self.space
+        if not self.cycle_open:
+            self._open_cycle("full")
+        marked_ids, marker_words = self._await_marker()
+        self.stats.words_marked += marker_words
+        work = self._reconcile_scan(marked_ids)
+        self.stats.words_marked += work
+
+        marked = heap.survivor_ids(space, self.epoch_clock)
+        marked |= marked_ids
+        self.stats.words_swept += space.used
+        reclaimed = heap.free_unmarked(space, marked)
+        live = space.used
+
+        self.stats.words_reclaimed += reclaimed
+        self.stats.collections += 1
+        self.stats.major_collections += 1
+        self.stats.record_pause(
+            clock=heap.clock,
+            kind="reconcile",
+            work=work,
+            reclaimed=reclaimed,
+            live=live,
+        )
+        if self.metrics is not None:
+            self.metrics.event(
+                "reconcile",
+                clock=heap.clock,
+                marker_words=marker_words,
+                satb_scan_words=work,
+                reclaimed=reclaimed,
+                live=live,
+            )
+        self.cycle_open = False
+        self.gray_stack.clear()
+        self._discard_pending()
+        if self.auto_expand:
+            minimum = int(live * self.load_factor)
+            if self.max_heap_words is not None:
+                minimum = min(minimum, self.max_heap_words)
+            if (space.capacity or 0) < minimum:
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "heap-expansion",
+                        space=space.name,
+                        old_capacity=space.capacity or 0,
+                        new_capacity=minimum,
+                    )
+                space.capacity = minimum
+        self._finish_collection()
+
+    def on_static_promotion(self) -> None:
+        super().on_static_promotion()
+        self._discard_pending()
+
+    def describe(self) -> str:
+        mode = (
+            "inline marker"
+            if self.marker_workers == 0
+            else f"{self.marker_workers}-worker marker pool"
+        )
+        return (
+            f"concurrent tri-color mark-sweep, heap "
+            f"{self.space.capacity} words, {mode}, "
+            f"trigger {self.trigger_fraction}"
+        )

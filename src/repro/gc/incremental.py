@@ -50,7 +50,7 @@ mark-sweep, one rung longer.
 from __future__ import annotations
 
 from repro.gc.collector import Collector, HeapExhausted
-from repro.heap.heap import HeapError, SimulatedHeap
+from repro.heap.heap import SimulatedHeap
 from repro.heap.object_model import HeapObject
 from repro.heap.roots import RootSet
 from repro.heap.space import Space
@@ -266,31 +266,16 @@ class IncrementalCollector(Collector):
 
     def _scan(self, limit: int | None) -> int:
         """Scan gray objects until the wavefront drains or ``limit``
-        words have been examined; returns the words scanned."""
-        heap = self.heap
-        space = self.space
-        gray = self.gray_stack
-        epoch = self.epoch_clock
-        work = 0
-        while gray and (limit is None or work < limit):
-            oid = gray.pop()
-            if heap.color_of(oid) != GRAY:
-                continue  # conservative duplicate entry; already scanned
-            heap.set_color(oid, BLACK)
-            for _slot, ref in heap.ref_slots(oid):
-                ref_space = heap.space_if_live(ref)
-                if ref_space is None:
-                    if not heap.contains_id(ref):
-                        raise HeapError(f"dangling object id {ref}")
-                    continue  # detached: boundary, like trace_region
-                if (
-                    ref_space is space
-                    and heap.birth_of(ref) < epoch
-                    and heap.color_of(ref) == WHITE
-                ):
-                    heap.set_color(ref, GRAY)
-                    gray.append(ref)
-            work += heap.size_of(oid)
+        words have been examined; returns the words scanned.
+
+        The loop lives in the heap backends (``drain_gray``) so the
+        flat backend can hoist its arena lookups — the per-ref method
+        calls here used to keep flat's incremental speedup at half of
+        every other collector's.
+        """
+        work = self.heap.drain_gray(
+            self.gray_stack, self.space, self.epoch_clock, limit
+        )
         self.stats.words_marked += work
         return work
 
@@ -359,12 +344,7 @@ class IncrementalCollector(Collector):
             self._open_cycle("full")
         work = self._scan(None)
 
-        epoch = self.epoch_clock
-        marked = {
-            oid
-            for oid in space.object_ids()
-            if heap.color_of(oid) != WHITE or heap.birth_of(oid) >= epoch
-        }
+        marked = heap.survivor_ids(space, self.epoch_clock)
         self.stats.words_swept += space.used
         reclaimed = heap.free_unmarked(space, marked)
         live = space.used

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.gc.collector import Collector
+from repro.gc.concurrent import ConcurrentCollector
 from repro.gc.generational import GenerationalCollector
 from repro.gc.hybrid import HybridCollector
 from repro.gc.incremental import IncrementalCollector
@@ -45,6 +46,7 @@ COLLECTOR_KINDS: tuple[str, ...] = (
     "non-predictive",
     "hybrid",
     "incremental",
+    "concurrent",
 )
 
 
@@ -70,6 +72,10 @@ class GcGeometry:
     #: Mark words per incremental slice; ``None`` drains the whole
     #: wavefront in one pause (the degenerate stop-the-world budget).
     slice_budget: int | None = 64
+    #: Worker processes for the concurrent collector's marker; ``0``
+    #: runs the marker inline at the handoff, which is the
+    #: deterministic reference mode the oracles replay.
+    marker_workers: int = 0
 
 
 def make_collector(
@@ -120,6 +126,16 @@ def make_collector(
             roots,
             2 * geometry.semispace_words,
             slice_budget=geometry.slice_budget,
+            load_factor=geometry.load_factor,
+        )
+    if kind == "concurrent":
+        # The incremental geometry with the mark phase off-thread, so
+        # pause comparisons between the two measure concurrency.
+        return ConcurrentCollector(
+            heap,
+            roots,
+            2 * geometry.semispace_words,
+            marker_workers=geometry.marker_workers,
             load_factor=geometry.load_factor,
         )
     raise ValueError(f"unknown collector kind {kind!r}")

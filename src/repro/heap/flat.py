@@ -738,6 +738,108 @@ class FlatHeap:
     def set_color(self, oid: int, color: int) -> None:
         self._color[oid] = color
 
+    def drain_gray(
+        self,
+        gray: list[int],
+        space: FlatSpace,
+        epoch: int,
+        limit: int | None = None,
+    ) -> int:
+        """Scan gray objects until the wavefront drains or ``limit``
+        words have been examined; returns the words scanned.
+
+        The flat kernel behind the incremental collector's mark loop:
+        identical semantics to popping ``gray`` and walking
+        ``ref_slots``/``space_if_live``/``birth_of``/``color_of`` one
+        call at a time, with the arena lookups hoisted out of the loop.
+        Colors: 0 white, 1 gray, 2 black.  Every id on ``gray`` was
+        recolored through :meth:`set_color` and every grayed ref is
+        pre-epoch, so direct color-arena indexing is in range.
+        """
+        state = self._state
+        hdr = self._hdr
+        birth = self._birth
+        color = self._color
+        sbase = self._slot_base
+        slots = self._slots
+        token = space._token
+        n = len(state)
+        pop = gray.pop
+        push = gray.append
+        work = 0
+        while gray and (limit is None or work < limit):
+            oid = pop()
+            if color[oid] != 1:
+                continue  # conservative duplicate entry; already scanned
+            color[oid] = 2
+            header = hdr[oid]
+            count = (header >> _FC_SHIFT) & _FC_MASK
+            if count:
+                base = sbase[oid]
+                for ref in slots[base:base + count]:
+                    if type(ref) is int:
+                        if not 0 <= ref < n:
+                            raise HeapError(f"dangling object id {ref}")
+                        packed = state[ref]
+                        if packed == _DEAD:
+                            raise HeapError(f"dangling object id {ref}")
+                        if (
+                            packed != _DETACHED
+                            and packed & _TOKEN_MASK == token
+                            and birth[ref] < epoch
+                            and color[ref] == 0
+                        ):
+                            color[ref] = 1
+                            push(ref)
+            work += header & _SIZE_MASK
+        return work
+
+    def survivor_ids(self, space: FlatSpace, epoch: int) -> set[int]:
+        """Resident ids that survive a tri-color sweep: colored
+        non-white, or born at/after the mark epoch."""
+        state = self._state
+        birth = self._birth
+        color = self._color
+        ncolor = len(color)
+        stride = 1 << _POS_SHIFT
+        packed = space._token
+        out: set[int] = set()
+        add = out.add
+        for oid in space._ids:
+            if state[oid] == packed and (
+                (oid < ncolor and color[oid]) or birth[oid] >= epoch
+            ):
+                add(oid)
+            packed += stride
+        return out
+
+    def export_mark_snapshot(
+        self, space: FlatSpace, root_ids: Iterable[int]
+    ) -> dict:
+        """Package the reachability-relevant arenas for an off-process
+        marker (:mod:`repro.gc.concurrent`).
+
+        The header/state/slot-base arenas ship as raw ``array('q')``
+        bytes — one memcpy each, O(arena bytes).  The slot arena is a
+        Python list (it holds ids, ``None``, and immediates), so it is
+        lowered to a packed ref arena with non-references encoded as
+        ``-1``; ids are non-negative, so the encoding is unambiguous.
+        Birth clocks are deliberately absent: every snapshot-resident
+        id is pre-epoch by construction (the epoch opens at export).
+        """
+        refs = array(
+            "q", (x if type(x) is int else -1 for x in self._slots)
+        )
+        return {
+            "backend": "flat",
+            "hdr": self._hdr.tobytes(),
+            "state": self._state.tobytes(),
+            "slot_base": self._slot_base.tobytes(),
+            "refs": refs.tobytes(),
+            "token": space._token,
+            "roots": list(root_ids),
+        }
+
     def place_id(self, oid: int, space: FlatSpace, size: int | None = None) -> None:
         """Attach a detached object to ``space`` (no capacity check)."""
         if size is None:

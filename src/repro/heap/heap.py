@@ -401,6 +401,85 @@ class SimulatedHeap:
     def set_color(self, oid: int, color: int) -> None:
         self._colors[oid] = color
 
+    def drain_gray(
+        self,
+        gray: list[int],
+        space: Space,
+        epoch: int,
+        limit: int | None = None,
+    ) -> int:
+        """Scan gray objects until the wavefront drains or ``limit``
+        words have been examined; returns the words scanned.
+
+        Object-backend twin of :meth:`repro.heap.flat.FlatHeap.drain_gray`
+        — same pop/skip/blacken/gray-white-pre-epoch-referents loop, with
+        the dict lookups hoisted.  Colors: 0 white, 1 gray, 2 black.
+        """
+        objects = self._objects
+        colors = self._colors
+        color_get = colors.get
+        obj_get = objects.get
+        pop = gray.pop
+        push = gray.append
+        work = 0
+        while gray and (limit is None or work < limit):
+            oid = pop()
+            if color_get(oid, 0) != 1:
+                continue  # conservative duplicate entry; already scanned
+            colors[oid] = 2
+            obj = objects[oid]
+            for ref in obj.fields:
+                if type(ref) is int:
+                    target = obj_get(ref)
+                    if target is None:
+                        raise HeapError(f"dangling object id {ref}")
+                    if (
+                        target.space is space
+                        and target.birth < epoch
+                        and color_get(ref, 0) == 0
+                    ):
+                        colors[ref] = 1
+                        push(ref)
+            work += obj.size
+        return work
+
+    def survivor_ids(self, space: Space, epoch: int) -> set[int]:
+        """Resident ids that survive a tri-color sweep: colored
+        non-white, or born at/after the mark epoch."""
+        colors = self._colors
+        color_get = colors.get
+        return {
+            oid
+            for oid, obj in space._objects.items()
+            if color_get(oid, 0) or obj.birth >= epoch
+        }
+
+    def export_mark_snapshot(
+        self, space: Space, root_ids: Iterable[int]
+    ) -> dict:
+        """Package the reachability-relevant heap state for an
+        off-process marker (:mod:`repro.gc.concurrent`).
+
+        The object backend has no arenas to memcpy, so this is the
+        pickle fallback: a plain dict of ``oid -> (size, ref_ids)`` for
+        the space's residents, plus the set of all known ids so the
+        marker can distinguish a boundary reference (skip) from a
+        dangling one (raise) exactly like the in-process trace.
+        """
+        objects = {}
+        for oid, obj in self._objects.items():
+            if obj.space is space:
+                objects[oid] = (
+                    obj.size,
+                    tuple(ref for ref in obj.fields if type(ref) is int),
+                )
+        return {
+            "backend": "object",
+            "objects": objects,
+            "known": frozenset(self._objects),
+            "roots": list(root_ids),
+        }
+
     def place_id(self, oid: int, space: Space, size: int | None = None) -> None:
         """Attach a detached object to ``space`` (no capacity check)."""
         obj = self._objects[oid]

@@ -11,6 +11,10 @@ instrumentation plane:
   collection, with the work decomposition on the end record;
 * ``slice`` — one bounded mark increment of the incremental
   collector, with its budget, actual work, and gray backlog;
+* ``handoff`` / ``reconcile`` — the concurrent collector's snapshot
+  handoff to its off-thread marker and the SATB reconciliation that
+  closes the cycle (root count, snapshot words, marker vs reconcile
+  mark work);
 * ``promotion`` — survivors moved to an older generation or step;
 * ``renumbering`` — a non-predictive step renumbering (§4);
 * ``heap-expansion`` — a space's capacity grew;
@@ -38,8 +42,11 @@ __all__ = [
 #: payload fields do not require a bump.  v2 added the ``slice``
 #: record kind (incremental mark increments) and the kind
 #: ``"incremental"`` on ``collection-start`` for safepoint-opened
-#: cycles, both of which v1 consumers would misgroup.
-EVENT_SCHEMA_VERSION = 2
+#: cycles, both of which v1 consumers would misgroup.  v3 added the
+#: ``handoff``/``reconcile`` span kinds and the ``"concurrent"``
+#: ``collection-start`` kind for the concurrent collector's
+#: off-thread mark cycles.
+EVENT_SCHEMA_VERSION = 3
 
 
 class EventStream:

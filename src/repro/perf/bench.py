@@ -21,12 +21,15 @@ carries the serial seed baseline (the pre-optimisation wall-clock of
 ``repro-gc all`` runs, so speedups are recorded next to the numbers
 they are measured against.
 
-Schema (``"schema": 3`` — v3 added the heap-backend axis and made
-the timed loop plan-driven; v2 added the pause-percentile columns,
-in words of work, from the :mod:`repro.metrics` plane)::
+Schema (``"schema": 5`` — v5 added the concurrent collector and its
+``marker_overlap`` column, the fraction of mark work whose worker
+finished while the mutator was still running; v4 added the
+incremental collector; v3 added the heap-backend axis and made the
+timed loop plan-driven; v2 added the pause-percentile columns, in
+words of work, from the :mod:`repro.metrics` plane)::
 
     {
-      "schema": 3,
+      "schema": 5,
       "quick": bool,            # quick mode shrinks the workloads ~8x
       "heap_backend": "flat",   # backend behind "collectors"
       "collectors": {           # primary (flat) backend — the axis
@@ -40,7 +43,8 @@ in words of work, from the :mod:`repro.metrics` plane)::
           "full_collect_seconds_max": float,
           "pause_words_p50": int,
           "pause_words_p95": int,
-          "pause_words_max": int
+          "pause_words_max": int,
+          "marker_overlap": float  # concurrent only
         }, ...
       },
       "backends": {             # every non-primary backend measured
@@ -66,7 +70,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -92,8 +96,9 @@ __all__ = [
 ]
 
 BENCH_FILENAME = "BENCH_perf.json"
-#: Bumped 3 -> 4 when the incremental collector joined the matrix.
-SCHEMA_VERSION = 4
+#: Bumped 4 -> 5 when the concurrent collector (and its
+#: ``marker_overlap`` column) joined the matrix.
+SCHEMA_VERSION = 5
 
 #: Backends the suite measures, primary (report axis) first.
 BENCH_BACKENDS: tuple[str, ...] = ("flat", "object")
@@ -129,9 +134,13 @@ class CollectorBench:
     pause_words_p50: int = 0
     pause_words_p95: int = 0
     pause_words_max: int = 0
+    #: Concurrent collector only: fraction of mark work whose worker
+    #: finished while the mutator was still running (``None`` for
+    #: every other collector).
+    marker_overlap: float | None = None
 
     def to_jsonable(self) -> dict[str, Any]:
-        return {
+        record: dict[str, Any] = {
             "alloc_words": self.alloc_words,
             "alloc_seconds": round(self.alloc_seconds, 6),
             "alloc_words_per_sec": round(self.alloc_words_per_sec, 1),
@@ -147,6 +156,9 @@ class CollectorBench:
             "pause_words_p95": self.pause_words_p95,
             "pause_words_max": self.pause_words_max,
         }
+        if self.marker_overlap is not None:
+            record["marker_overlap"] = round(self.marker_overlap, 4)
+        return record
 
 
 def bench_collector(
@@ -175,6 +187,11 @@ def bench_collector(
     minimum wall-clock is the least-interfered measurement of it.
     """
     backend = resolve_backend_name(backend)
+    if kind == "concurrent":
+        # Overlap is the point of the concurrent bench column, so the
+        # marker gets a real worker process instead of the inline
+        # reference mode the oracles replay.
+        geometry = replace(geometry or GcGeometry(), marker_workers=1)
     plan = build_allocation_plan(
         DecaySchedule(half_life, seed=seed), alloc_words
     )
@@ -192,7 +209,11 @@ def bench_collector(
         frame = execute_plan(collector, plan)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best[0]:
+            if best is not None:
+                _close_collector(best[1])
             best = (elapsed, collector, roots, frame, instrumentation)
+        else:
+            _close_collector(collector)
     alloc_seconds, collector, roots, frame, instrumentation = best
     collections_during_alloc = collector.stats.collections
 
@@ -203,6 +224,10 @@ def bench_collector(
         timings.append(time.perf_counter() - start)
     roots.pop_frame(frame)
 
+    overlap = (
+        collector.marker_overlap() if kind == "concurrent" else None
+    )
+    _close_collector(collector)
     pauses = instrumentation.registry.histogram("pause_words")
     return CollectorBench(
         collector=kind,
@@ -221,7 +246,14 @@ def bench_collector(
         pause_words_p50=pauses.quantile(0.5),
         pause_words_p95=pauses.quantile(0.95),
         pause_words_max=pauses.max,
+        marker_overlap=overlap,
     )
+
+
+def _close_collector(collector: Any) -> None:
+    close = getattr(collector, "close", None)
+    if close is not None:
+        close()
 
 
 def run_perf_suite(
@@ -379,6 +411,12 @@ def compare_to_baseline(
     ``alloc_words_per_sec`` drops below ``(1 - tolerance)`` of the
     baseline's.  Collectors absent from either side are skipped, so a
     fresh collector can land before its first baseline capture.
+
+    ``marker_overlap`` is regression-gated too: once the committed
+    baseline shows the concurrent marker doing at least half its work
+    off-thread, a run where the overlap collapses below half the
+    baseline fraction fails — concurrency that silently degrades to
+    inline marking is a perf bug even when throughput holds.
     """
     regressions: list[str] = []
     current = report.get("collectors", {})
@@ -397,5 +435,18 @@ def compare_to_baseline(
                 f"{kind}: {float(new_rate):,.0f} words/sec is below "
                 f"{floor:,.0f} ({100 * tolerance:.0f}% under the "
                 f"baseline {float(old_rate):,.0f})"
+            )
+        old_overlap = old.get("marker_overlap")
+        new_overlap = new.get("marker_overlap")
+        if (
+            isinstance(old_overlap, (int, float))
+            and isinstance(new_overlap, (int, float))
+            and float(old_overlap) >= 0.5
+            and float(new_overlap) < 0.5 * float(old_overlap)
+        ):
+            regressions.append(
+                f"{kind}: marker_overlap {float(new_overlap):.2f} is "
+                f"below half the baseline {float(old_overlap):.2f} — "
+                f"off-thread marking has degraded toward inline"
             )
     return regressions

@@ -26,6 +26,21 @@ mark-sweep side is judged on its full-collection pauses.  Both are
 p99s from the :mod:`repro.metrics` plane's ``pause_words`` histograms
 (bucket-resolution, clamped to the observed max).
 
+Schema 2 adds a second objective for the concurrent collector:
+
+    **p99 mutator-visible concurrent pause ≤ incremental combined
+    p99**, same workload, same geometry.
+
+"Mutator-visible" is the snapshot handoff plus the SATB
+reconciliation — the only points where the mutator actually stops —
+merged from the ``pause_words.handoff`` and ``pause_words.reconcile``
+histograms.  Marking itself happens off-thread against the snapshot
+and is deliberately excluded: it is exactly the work the design moves
+out of the mutator's critical path.  Because both pauses are priced at
+their *residual* parent-side scan work (zero when no SATB entry or new
+root escaped the snapshot), this gate measures whether concurrency
+actually removed the mark phase from the pause profile.
+
 Results persist to ``SLO_pause.json`` at the repo root; the
 ``pause-slo`` CI job re-measures in quick mode and fails on any
 violation.  Pauses are denominated in words of collector work, not
@@ -43,7 +58,7 @@ from repro.gc.registry import GcGeometry, collector_factory
 from repro.heap.backend import make_heap
 from repro.heap.roots import RootSet
 from repro.metrics.instrument import instrument_collector
-from repro.metrics.registry import MetricRegistry
+from repro.metrics.registry import Histogram, MetricRegistry
 from repro.mutator.base import LifetimeDrivenMutator
 from repro.mutator.decay_mutator import DecaySchedule
 
@@ -57,7 +72,9 @@ __all__ = [
 ]
 
 SLO_FILENAME = "SLO_pause.json"
-SCHEMA_VERSION = 1
+#: v2 added the concurrent collector's mutator-visible pause rows and
+#: folded its verdict into each workload's ``pass``.
+SCHEMA_VERSION = 2
 
 #: The objective: incremental p99 pause * factor <= full-GC p99 pause.
 SLO_FACTOR = 50
@@ -123,10 +140,50 @@ def _pause_columns(registry: MetricRegistry) -> dict[str, Any]:
     }
 
 
-def _judge(
-    incremental: MetricRegistry, reference: MetricRegistry
+def _mutator_visible(registry: MetricRegistry) -> Histogram:
+    """The concurrent collector's mutator-visible pause histogram.
+
+    Handoff plus reconcile — the only pauses the mutator observes;
+    off-thread marking is excluded by construction.
+    """
+    visible = Histogram("pause_words.mutator_visible")
+    visible.merge(registry.histogram("pause_words.handoff"))
+    visible.merge(registry.histogram("pause_words.reconcile"))
+    return visible
+
+
+def _judge_concurrent(
+    concurrent: MetricRegistry, incremental_p99: int
 ) -> dict[str, Any]:
-    """One workload's verdict: combined incremental p99 vs full p99.
+    """The concurrent verdict: mutator-visible p99 vs incremental p99.
+
+    A run with no handoffs never paused concurrently, so it is not
+    *measured* and must not pass silently.
+    """
+    visible = _mutator_visible(concurrent)
+    mv_p99 = visible.quantile(0.99) if visible.count else 0
+    measured = visible.count > 0 and incremental_p99 > 0
+    return {
+        "pauses": visible.count,
+        "handoff_pauses": concurrent.histogram("pause_words.handoff").count,
+        "reconcile_pauses": concurrent.histogram(
+            "pause_words.reconcile"
+        ).count,
+        "p99_mutator_visible_pause_words": mv_p99,
+        "max_mutator_visible_pause_words": visible.max,
+        "incremental_p99_pause_words": incremental_p99,
+        "measured": measured,
+        "pass": measured and mv_p99 <= incremental_p99,
+    }
+
+
+def _judge(
+    incremental: MetricRegistry,
+    reference: MetricRegistry,
+    concurrent: MetricRegistry,
+) -> dict[str, Any]:
+    """One workload's verdict: combined incremental p99 vs full p99,
+    plus the concurrent collector's mutator-visible p99 vs incremental.
 
     The workload only counts as *measured* when both sides produced
     pauses — a silent no-collection run must not pass the gate.
@@ -136,13 +193,17 @@ def _judge(
     inc_p99 = inc["p99_pause_words"]
     full_p99 = reference.histogram("pause_words.full").quantile(0.99)
     measured = inc["pauses"] > 0 and full_p99 > 0
+    conc = _judge_concurrent(concurrent, inc_p99)
     return {
         "incremental": inc,
         "mark-sweep": ref,
+        "concurrent": conc,
         "full_p99_pause_words": full_p99,
         "ratio": (full_p99 / inc_p99) if inc_p99 > 0 else None,
         "measured": measured,
-        "pass": measured and inc_p99 * SLO_FACTOR <= full_p99,
+        "pass": (
+            measured and inc_p99 * SLO_FACTOR <= full_p99 and conc["pass"]
+        ),
     }
 
 
@@ -153,10 +214,12 @@ def run_pause_slo(*, quick: bool = False, seed: int = 0) -> dict[str, Any]:
         "decay": _judge(
             _decay_registry("incremental", alloc_words=alloc_words, seed=seed),
             _decay_registry("mark-sweep", alloc_words=alloc_words, seed=seed),
+            _decay_registry("concurrent", alloc_words=alloc_words, seed=seed),
         ),
         "gcbench": _judge(
             _gcbench_registry("incremental", scale=SLO_GCBENCH_SCALE),
             _gcbench_registry("mark-sweep", scale=SLO_GCBENCH_SCALE),
+            _gcbench_registry("concurrent", scale=SLO_GCBENCH_SCALE),
         ),
     }
     return {

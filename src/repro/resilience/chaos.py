@@ -241,10 +241,12 @@ def run_chaos_matrix(
             the safety net's verdicts land in the same NDJSON
             telemetry as the collectors' own spans.
         safepoint: delay every injection until the targeted collector
-            is *mid-gray-wavefront* — an incremental mark cycle open
-            with gray entries outstanding — so faults land between
-            slices, the window the tri-color audit exists to defend.
-            Collectors with no such window never inject (``n/a``).
+            is *mid-wavefront* — an incremental mark cycle open with
+            gray entries outstanding, or a concurrent cycle whose
+            marker still holds the snapshot — so faults land between
+            slices (or mid-handoff), the windows the tri-color and
+            concurrent-wavefront audits exist to defend.  Collectors
+            with no such window never inject (``n/a``).
     """
     if quick:
         op_count = min(op_count, QUICK_OP_COUNT)
@@ -418,11 +420,16 @@ def _run_cell(
     def at_injection_window() -> bool:
         if not safepoint:
             return True
-        # Mid-gray-wavefront only: a mark cycle is open and there are
-        # gray entries the next slices still owe.
+        # Mid-wavefront only: a mark cycle is open and there is
+        # outstanding mark obligation — gray entries the next slices
+        # still owe (incremental), or a marker holding the snapshot
+        # whose result reconciliation has yet to trust (concurrent).
         return bool(
             getattr(collector, "cycle_open", False)
-            and getattr(collector, "gray_stack", None)
+            and (
+                getattr(collector, "gray_stack", None)
+                or getattr(collector, "marker_inflight", False)
+            )
         )
 
     for op_index, op in enumerate(ops):

@@ -15,7 +15,10 @@ kind                      models / should be caught by
                           slot — remset-completeness; against the
                           incremental collector, a gray wavefront
                           entry is forgotten mid-mark —
-                          tri-color-wavefront
+                          tri-color-wavefront; against the concurrent
+                          collector, a marker-marked id vanishes from
+                          the snapshot result mid-handoff —
+                          concurrent-wavefront
 ``dup-remset``           a *conservative* spurious remembered slot —
                           **benign by design**: remsets may
                           over-approximate, so nothing must fire
@@ -46,6 +49,7 @@ import random
 from dataclasses import dataclass
 
 from repro.gc.collector import Collector
+from repro.gc.concurrent import ConcurrentCollector
 from repro.gc.generational import GenerationalCollector
 from repro.gc.hybrid import HybridCollector
 from repro.gc.incremental import IncrementalCollector
@@ -274,6 +278,48 @@ def _inject_drop_remset(
     removing an already-stale entry would be a legal prune, not a
     fault.
     """
+    if isinstance(collector, ConcurrentCollector):
+        # The concurrent analogue: corrupt the marker's result while it
+        # holds the snapshot, so one snapshot-reachable id vanishes
+        # from the set reconciliation will trust as already-black.
+        # Victims are chosen so reconciliation *cannot* re-find them —
+        # not a current root, not SATB-shaded, and every referrer
+        # itself marker-marked (reconcile treats those as black and
+        # never traverses them) — so the drop is a real corruption,
+        # not a legal shrink of an over-approximation.
+        if not collector.marker_inflight:
+            return None
+        result = collector._drain_pending()
+        if "error" in result:
+            return None
+        pending = set(result["ids"])
+        heap = collector.heap
+        root_ids = set(collector.roots.ids())
+        satb = set(collector.gray_stack)
+        referrers: dict[int, list[int]] = {}
+        for obj in heap.all_objects():
+            for ref in obj.fields:
+                if type(ref) is int:
+                    referrers.setdefault(ref, []).append(obj.obj_id)
+        reachable = heap.reachable_from(sorted(root_ids))
+        candidates = [
+            oid
+            for oid in pending & reachable
+            if oid not in root_ids
+            and oid not in satb
+            and all(src in pending for src in referrers.get(oid, ()))
+        ]
+        if not candidates:
+            return None
+        victim = _pick(rng, sorted(candidates))
+        result["ids"].remove(victim)
+        return FaultInjection(
+            kind="drop-remset",
+            detail=(
+                f"marker-marked id {victim} dropped from the snapshot "
+                f"result mid-handoff (referrers all marker-black)"
+            ),
+        )
     if isinstance(collector, IncrementalCollector):
         # The incremental analogue: forget one gray wavefront entry.
         # The object keeps its gray color (the corruption is a *lost
@@ -317,6 +363,24 @@ def _inject_dup_remset(
     Remembered sets are allowed to over-approximate (§8.4), so a
     correct collector must neither crash nor diverge.
     """
+    if isinstance(collector, ConcurrentCollector):
+        # Benign control: duplicate one id in the marker's result.
+        # Reconciliation folds the result into a set, so a
+        # conservative duplicate must cost nothing and trip nothing.
+        if not collector.marker_inflight:
+            return None
+        result = collector._drain_pending()
+        if "error" in result or not result["ids"]:
+            return None
+        entry = _pick(rng, sorted(set(result["ids"])))
+        result["ids"].append(entry)
+        return FaultInjection(
+            kind="dup-remset",
+            detail=(
+                f"marker-marked id {entry} duplicated in the snapshot "
+                f"result (conservative)"
+            ),
+        )
     if isinstance(collector, IncrementalCollector):
         # Benign control: re-push an entry already on the gray stack.
         # The scan skips pops whose color is no longer gray, so a

@@ -10,7 +10,9 @@ Two independent oracles over the collectors in :mod:`repro.gc`:
   and require identical live graphs at every checkpoint, with
   :mod:`repro.verify.shrink` minimizing any counterexample.
   :mod:`repro.verify.budget` specializes the same machinery into the
-  incremental collector's interruption-equivalence suite.
+  incremental collector's interruption-equivalence suite, and
+  :mod:`repro.verify.concurrent` into the concurrent collector's
+  off-thread-marking equivalence suite.
 
 The CLI front end is ``repro-gc verify``.
 """
@@ -28,6 +30,11 @@ from repro.verify.budget import (
     budget_label,
     run_budget_differential,
     run_budget_differential_all_backends,
+)
+from repro.verify.concurrent import (
+    CONCURRENT_LABELS,
+    run_concurrent_differential,
+    run_concurrent_differential_all_backends,
 )
 from repro.verify.differential import (
     DEFAULT_COLLECTORS,
@@ -51,6 +58,7 @@ from repro.verify.shrink import shrink_script
 __all__ = [
     "AuditError",
     "AuditReport",
+    "CONCURRENT_LABELS",
     "Checkpoint",
     "DEFAULT_BUDGETS",
     "DEFAULT_COLLECTORS",
@@ -64,6 +72,8 @@ __all__ = [
     "budget_label",
     "run_budget_differential",
     "run_budget_differential_all_backends",
+    "run_concurrent_differential",
+    "run_concurrent_differential_all_backends",
     "assert_heap_invariants",
     "audit_collector",
     "disable_checked_mode",

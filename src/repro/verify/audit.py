@@ -57,6 +57,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.gc.collector import Collector
+from repro.gc.concurrent import ConcurrentCollector
 from repro.gc.generational import GenerationalCollector
 from repro.gc.hybrid import HybridCollector
 from repro.gc.incremental import GRAY, WHITE, IncrementalCollector
@@ -152,6 +153,22 @@ def audit_collector(
         _check_hybrid_structure(collector, violations)
         checks.append("remset-completeness")
         _check_hybrid_remsets(collector, violations)
+    elif isinstance(collector, ConcurrentCollector):
+        if collector.cycle_open:
+            checks.append("concurrent-wavefront")
+            _check_concurrent_wavefront(collector, violations)
+        else:
+            checks.append("tri-color-quiescent")
+            if collector.gray_stack:
+                violations.append(
+                    f"tri-color: closed cycle left {len(collector.gray_stack)} "
+                    f"entries on the gray stack"
+                )
+            if collector._payload is not None:
+                violations.append(
+                    "concurrent: closed cycle left a marker snapshot "
+                    "pending (leaked handoff)"
+                )
     elif isinstance(collector, IncrementalCollector):
         if collector.cycle_open:
             checks.append("tri-color-wavefront")
@@ -459,6 +476,97 @@ def _check_incremental_wavefront(
             if heap.space_if_live(ref) is space and ref not in survivors:
                 violations.append(
                     f"tri-color: surviving object {oid} slot {slot} "
+                    f"would dangle — its target {ref} would be swept"
+                )
+                return
+
+
+def _check_concurrent_wavefront(
+    collector: ConcurrentCollector, violations: list[str]
+) -> None:
+    """The concurrent collector's in-cycle invariants.
+
+    Mid-cycle the parent heap is (legitimately) all-white: the mark
+    wavefront lives in the worker's snapshot, so the incremental
+    wavefront check would flag every reachable white object.  The
+    concurrent variant instead predicts what *reconciliation* would
+    compute right now: the marker's reachable set, plus every object
+    colored non-white (SATB grays) or born since the epoch, plus the
+    closure the reconcile scan would add from the SATB log and the
+    current roots (skipping marker-marked ids, which reconcile treats
+    as black).  That set must cover every root-reachable in-space
+    object and be closed under in-space references — a marker result
+    corrupted mid-handoff surfaces here as a would-be-swept reachable
+    object or a would-dangle survivor slot.
+    """
+    heap = collector.heap
+    space = collector.space
+    epoch = collector.epoch_clock
+    stack_set = set(collector.gray_stack)
+
+    for oid in stack_set:
+        if heap.space_if_live(oid) is not space:
+            violations.append(
+                f"tri-color: gray-stack id {oid} does not resolve to a "
+                f"live object in the collector's space"
+            )
+        elif heap.color_of(oid) == WHITE:
+            violations.append(
+                f"tri-color: gray-stack id {oid} is colored white"
+            )
+    if violations:
+        return
+
+    resident = list(space.object_ids())
+    for oid in resident:
+        if heap.color_of(oid) == GRAY and oid not in stack_set:
+            violations.append(
+                f"tri-color: object {oid} is colored gray but absent "
+                f"from the gray stack (lost wavefront entry)"
+            )
+    if violations:
+        return
+
+    pending = collector.pending_marked_ids()
+    # Predicted survivors of an immediate reconcile-and-sweep.
+    survivors = {
+        oid
+        for oid in resident
+        if heap.color_of(oid) != WHITE or heap.birth_of(oid) >= epoch
+    }
+    survivors |= pending
+    frontier = [oid for oid in stack_set if oid not in pending]
+    for rid in collector.roots.ids():
+        if (
+            rid not in survivors
+            and heap.space_if_live(rid) is space
+            and heap.birth_of(rid) < epoch
+        ):
+            survivors.add(rid)
+            frontier.append(rid)
+    while frontier:
+        oid = frontier.pop()
+        for _slot, ref in heap.ref_slots(oid):
+            if (
+                ref not in survivors
+                and heap.space_if_live(ref) is space
+                and heap.birth_of(ref) < epoch
+            ):
+                survivors.add(ref)
+                frontier.append(ref)
+
+    for oid in heap.reachable_from(collector.roots.ids()):
+        if heap.space_if_live(oid) is space and oid not in survivors:
+            violations.append(
+                f"concurrent: root-reachable object {oid} would be "
+                f"swept by an immediate reconciliation"
+            )
+            return
+    for oid in survivors:
+        for slot, ref in heap.ref_slots(oid):
+            if heap.space_if_live(ref) is space and ref not in survivors:
+                violations.append(
+                    f"concurrent: surviving object {oid} slot {slot} "
                     f"would dangle — its target {ref} would be swept"
                 )
                 return

@@ -1,0 +1,276 @@
+"""The concurrent-equivalence oracle for off-thread marking.
+
+The concurrent collector's correctness claim extends the incremental
+collector's budget-invariance one step further: moving the *entire*
+mark phase into a worker process — marking against a snapshot while
+the mutator keeps allocating — must not change a single observable
+byte.  The argument is the same epoch semantics: the marker computes
+exactly the set reachable at cycle open, SATB reconciliation re-marks
+everything the mutator's deletions could have hidden, and allocate-
+black covers everything born since, so the survivor set (and with it
+every :class:`~repro.gc.stats.GcStats` counter) equals what the
+incremental collector computes for the same script at any budget.
+
+:func:`run_concurrent_differential` turns that into a differential
+test.  One quiesced script (the two cycle-closing collects of
+:mod:`repro.verify.budget`) is replayed four ways:
+
+* ``mark-sweep`` — the reference for graphs and survivor sets;
+* ``incremental@b=inf`` — the unbounded-budget incremental collector,
+  the equivalence target for GcStats;
+* ``concurrent@inline`` — the marker run synchronously at handoff
+  (the deterministic reference mode);
+* ``concurrent@pool`` — the marker in a real worker process.
+
+The oracle requires checkpointed graphs/clocks identical to
+mark-sweep's, GcStats identical between the concurrent runs and the
+incremental one (``concurrent-stats`` divergences), the inline and
+pool runs identical in *everything including the pause log*
+(``marker-mode`` divergences — process placement must be invisible),
+and survivor sets equal to mark-sweep's.  Failures shrink with the
+standard ddmin shrinker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from repro.gc.collector import Collector
+from repro.gc.registry import GcGeometry, collector_factory
+from repro.heap.backend import HEAP_BACKENDS
+from repro.verify.budget import _quiesce
+from repro.verify.differential import (
+    VERIFY_GEOMETRY,
+    DifferentialReport,
+    Divergence,
+    _compare,
+)
+from repro.verify.replay import (
+    MutatorScript,
+    ReplayCrash,
+    ReplayResult,
+    replay,
+)
+
+__all__ = [
+    "CONCURRENT_LABELS",
+    "run_concurrent_differential",
+    "run_concurrent_differential_all_backends",
+]
+
+#: The reference collector; its replay defines the expected graphs.
+_REFERENCE = "mark-sweep"
+_INCREMENTAL = "incremental@b=inf"
+_INLINE = "concurrent@inline"
+_POOL = "concurrent@pool"
+
+#: Every label the suite replays, in run order.
+CONCURRENT_LABELS: tuple[str, ...] = (_REFERENCE, _INCREMENTAL, _INLINE, _POOL)
+
+
+def run_concurrent_differential(
+    script: MutatorScript,
+    *,
+    backend: str | None = None,
+    geometry: GcGeometry | None = None,
+    checked: bool = True,
+    pool_workers: int = 1,
+) -> DifferentialReport:
+    """Replay ``script`` under mark-sweep, incremental(∞), and the
+    concurrent collector in both marker modes.
+
+    Args:
+        script: a valid mutator script (quiescing collects are
+            appended internally; pass the raw script).
+        backend: heap backend for every replay (None = the session
+            default); run once per backend for full coverage.
+        geometry: heap geometry (defaults to the verify geometry).
+        checked: audit heap invariants after every collection,
+            including the mid-cycle concurrent-wavefront checks.
+        pool_workers: marker workers for the pool-mode run; 0 skips
+            the pool replay (inline-only, for constrained hosts).
+    """
+    geometry = geometry if geometry is not None else VERIFY_GEOMETRY
+    quiesced = _quiesce(script)
+
+    collectors: dict[str, Collector] = {}
+
+    def capturing(label: str, inner):
+        def build(heap, roots) -> Collector:
+            built = inner(heap, roots)
+            collectors[label] = built
+            return built
+
+        return build
+
+    results: dict[str, ReplayResult | None] = {}
+    divergences: list[Divergence] = []
+
+    def run(label: str, factory) -> ReplayResult | None:
+        try:
+            result = replay(
+                quiesced,
+                capturing(label, factory),
+                checked=checked,
+                name=label,
+                backend=backend,
+            )
+        except ReplayCrash as crash:
+            results[label] = None
+            divergences.append(
+                Divergence(
+                    kind="crash",
+                    collector=label,
+                    reference=_REFERENCE,
+                    checkpoint_index=None,
+                    op_index=crash.op_index,
+                    detail=str(crash),
+                )
+            )
+            return None
+        results[label] = result
+        return result
+
+    try:
+        reference = run(_REFERENCE, collector_factory(_REFERENCE, geometry))
+        incremental = run(
+            _INCREMENTAL,
+            collector_factory(
+                "incremental", replace(geometry, slice_budget=None)
+            ),
+        )
+        inline = run(
+            _INLINE,
+            collector_factory(
+                "concurrent", replace(geometry, marker_workers=0)
+            ),
+        )
+        pool = None
+        if pool_workers > 0:
+            pool = run(
+                _POOL,
+                collector_factory(
+                    "concurrent",
+                    replace(geometry, marker_workers=pool_workers),
+                ),
+            )
+
+        # 1. Graph equivalence with mark-sweep, at every checkpoint.
+        if reference is not None:
+            for label in (_INCREMENTAL, _INLINE, _POOL):
+                result = results.get(label)
+                if result is not None:
+                    divergence = _compare(reference, result, _REFERENCE, label)
+                    if divergence is not None:
+                        divergences.append(divergence)
+
+        # 2. GcStats equivalence with incremental(∞): off-thread marking
+        #    does exactly the words of work the in-thread drain does.
+        if incremental is not None:
+            for label in (_INLINE, _POOL):
+                result = results.get(label)
+                if result is None or result.stats == incremental.stats:
+                    continue
+                inc_stats = dict(incremental.stats)
+                diffs = [
+                    f"{key}: {value} != {inc_stats[key]}"
+                    for key, value in result.stats
+                    if inc_stats.get(key) != value
+                ]
+                divergences.append(
+                    Divergence(
+                        kind="concurrent-stats",
+                        collector=label,
+                        reference=_INCREMENTAL,
+                        checkpoint_index=None,
+                        op_index=None,
+                        detail="; ".join(diffs) or "stat key sets differ",
+                    )
+                )
+
+        # 3. Marker-mode invariance: inline vs pool must agree on
+        #    everything, pause log included — where the marker ran is
+        #    not an observable.
+        if inline is not None and pool is not None:
+            if pool.stats != inline.stats or pool.pauses != inline.pauses:
+                divergences.append(
+                    Divergence(
+                        kind="marker-mode",
+                        collector=_POOL,
+                        reference=_INLINE,
+                        checkpoint_index=None,
+                        op_index=None,
+                        detail=(
+                            "pool-mode replay diverged from inline marker "
+                            "(stats or pause log)"
+                        ),
+                    )
+                )
+            divergence = _compare(inline, pool, _INLINE, _POOL)
+            if divergence is not None:
+                divergences.append(divergence)
+
+        # 4. Survivor-set equivalence after the quiescing collections.
+        survivors = {
+            label: tuple(sorted(collectors[label].space.object_ids()))
+            for label in results
+            if results[label] is not None
+        }
+        if _REFERENCE in survivors:
+            expected = survivors[_REFERENCE]
+            for label, resident in survivors.items():
+                if label == _REFERENCE or resident == expected:
+                    continue
+                extra = sorted(set(resident) - set(expected))
+                missing = sorted(set(expected) - set(resident))
+                parts = [
+                    f"{len(resident)} resident objects vs "
+                    f"{_REFERENCE}'s {len(expected)}"
+                ]
+                if extra:
+                    parts.append(f"{label} alone retains ids {extra[:5]}")
+                if missing:
+                    parts.append(f"{label} is missing ids {missing[:5]}")
+                divergences.append(
+                    Divergence(
+                        kind="survivor-set",
+                        collector=label,
+                        reference=_REFERENCE,
+                        checkpoint_index=None,
+                        op_index=None,
+                        detail="; ".join(parts),
+                    )
+                )
+    finally:
+        for built in collectors.values():
+            close = getattr(built, "close", None)
+            if close is not None:
+                close()
+
+    return DifferentialReport(
+        script=quiesced,
+        results=results,
+        divergences=tuple(divergences),
+    )
+
+
+def run_concurrent_differential_all_backends(
+    script: MutatorScript,
+    *,
+    backends=HEAP_BACKENDS,
+    geometry: GcGeometry | None = None,
+    checked: bool = True,
+    pool_workers: int = 1,
+) -> Mapping[str, DifferentialReport]:
+    """:func:`run_concurrent_differential` once per heap backend."""
+    return {
+        backend: run_concurrent_differential(
+            script,
+            backend=backend,
+            geometry=geometry,
+            checked=checked,
+            pool_workers=pool_workers,
+        )
+        for backend in backends
+    }

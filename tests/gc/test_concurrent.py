@@ -1,0 +1,284 @@
+"""Tests for the concurrent (off-thread marking) collector.
+
+Four layers:
+
+* the handoff machinery — cycles open with a marker in flight, the
+  handoff pause is priced at zero words, allocation stays black, and
+  a clean run's reconcile scan does zero words of work (the
+  shrinking-reachability argument, observed);
+* equivalence — seeded mutation storms on BOTH heap backends must
+  produce exactly the unbounded incremental collector's counters and
+  survivor set, and the pool marker must be byte-identical to the
+  inline one (process placement is not an observable);
+* the resilient-marker ladder — a hung worker falls back to the
+  inline task with the attempt salt bumped, and the salt perturbs
+  only traversal order, never the result;
+* lifecycle — errors travel back as data and raise at reconciliation,
+  and close/collect/static-promotion all discard the pending marker.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gc.concurrent import ConcurrentCollector, _mark_snapshot_task
+from repro.gc.incremental import IncrementalCollector
+from repro.heap.backend import HEAP_BACKENDS, make_heap
+from repro.heap.barrier import WriteBarrier
+from repro.heap.heap import HeapError
+from repro.heap.roots import RootSet
+
+
+def setup(heap_words=100, backend=None, **kwargs):
+    heap = make_heap(backend)
+    roots = RootSet()
+    collector = ConcurrentCollector(heap, roots, heap_words, **kwargs)
+    return heap, roots, collector
+
+
+def link(heap, barrier, src, slot, dst):
+    """One mutator pointer store, through the write barrier."""
+    barrier.on_store(src, slot, dst)
+    heap.write_slot(src, slot, dst.obj_id if dst is not None else None)
+
+
+def storm(collector, heap, roots, *, seed=0, steps=120):
+    """A deterministic allocate/store/drop/collect interleaving."""
+    rng = random.Random(seed)
+    barrier = WriteBarrier(collector.remember_store)
+    frame = roots.push_frame()
+    live = []
+    for _ in range(steps):
+        choice = rng.random()
+        if choice < 0.55 or len(live) < 2:
+            obj = collector.allocate(rng.randrange(2, 6), 2)
+            live.append((frame.push(obj), obj))
+        elif choice < 0.8:
+            src = live[rng.randrange(len(live))][1]
+            dst = live[rng.randrange(len(live))][1]
+            link(heap, barrier, src, rng.randrange(2), dst)
+        elif choice < 0.95 and len(live) > 2:
+            index, _victim = live.pop(rng.randrange(len(live)))
+            frame.set(index, None)
+        else:
+            collector.collect()
+    collector.collect()
+    collector.collect()
+
+
+class TestHandoff:
+    def test_cycle_opens_with_marker_inflight(self):
+        _, roots, collector = setup(heap_words=100, trigger_fraction=0.5)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        assert collector.marker_inflight
+        assert collector.pending_marked_ids()
+
+    def test_handoff_pause_is_zero_work(self):
+        _, roots, collector = setup(heap_words=100)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        handoffs = [
+            p for p in collector.stats.pauses if p.kind == "handoff"
+        ]
+        assert handoffs and all(p.work == 0 for p in handoffs)
+
+    def test_allocation_during_cycle_is_black(self):
+        heap, roots, collector = setup(heap_words=200)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        newborn = collector.allocate(4)
+        frame.push(newborn)
+        assert heap.birth_of(newborn.obj_id) >= collector.epoch_clock
+        # Born after the snapshot: invisible to the marker, survives
+        # the cycle close unconditionally.
+        assert newborn.obj_id not in collector.pending_marked_ids()
+        collector.collect()
+        assert heap.contains_id(newborn.obj_id)
+
+    def test_clean_run_reconciles_with_zero_work(self):
+        _, roots, collector = setup(heap_words=200)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        frame.push(collector.allocate(4))
+        collector.collect()
+        reconciles = [
+            p for p in collector.stats.pauses if p.kind == "reconcile"
+        ]
+        assert reconciles and all(p.work == 0 for p in reconciles)
+
+    def test_satb_deletion_still_reconciles_with_zero_work(self):
+        # An overwritten pre-epoch referent is already in the marker's
+        # snapshot-reachable set, so the SATB gray adds no scan work —
+        # and the referent survives as floating garbage, exactly the
+        # incremental collector's semantics.
+        heap, roots, collector = setup(heap_words=400)
+        barrier = WriteBarrier(collector.remember_store)
+        frame = roots.push_frame()
+        holder = collector.allocate(4, 1)
+        victim = collector.allocate(4)
+        frame.push(holder)
+        link(heap, barrier, holder, 0, victim)
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        link(heap, barrier, holder, 0, None)  # deletion mid-cycle
+        collector.collect()
+        assert heap.contains_id(victim.obj_id)
+        last = collector.stats.pauses[-1]
+        assert last.kind == "reconcile" and last.work == 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("backend", HEAP_BACKENDS)
+    @pytest.mark.parametrize("seed", [0, 7, 29])
+    def test_storm_matches_unbounded_incremental(self, backend, seed):
+        heap_c = make_heap(backend)
+        roots_c = RootSet()
+        concurrent = ConcurrentCollector(heap_c, roots_c, 120)
+        storm(concurrent, heap_c, roots_c, seed=seed)
+
+        heap_i = make_heap(backend)
+        roots_i = RootSet()
+        incremental = IncrementalCollector(
+            heap_i, roots_i, 120, slice_budget=None
+        )
+        storm(incremental, heap_i, roots_i, seed=seed)
+
+        assert (
+            concurrent.stats.snapshot() == incremental.stats.snapshot()
+        )
+        assert sorted(concurrent.space.object_ids()) == sorted(
+            incremental.space.object_ids()
+        )
+
+    @pytest.mark.parametrize("backend", HEAP_BACKENDS)
+    def test_pool_marker_matches_inline(self, backend):
+        heap_p = make_heap(backend)
+        roots_p = RootSet()
+        pool = ConcurrentCollector(heap_p, roots_p, 120, marker_workers=1)
+        try:
+            storm(pool, heap_p, roots_p, seed=13)
+        finally:
+            pool.close()
+
+        heap_i = make_heap(backend)
+        roots_i = RootSet()
+        inline = ConcurrentCollector(heap_i, roots_i, 120)
+        storm(inline, heap_i, roots_i, seed=13)
+
+        assert pool.stats.snapshot() == inline.stats.snapshot()
+        assert pool.stats.pauses == inline.stats.pauses
+        assert sorted(pool.space.object_ids()) == sorted(
+            inline.space.object_ids()
+        )
+
+
+class _HungFuture:
+    """A future whose worker never answers."""
+
+    def done(self):
+        return False
+
+    def result(self, timeout=None):
+        raise TimeoutError("induced hang")
+
+    def cancel(self):
+        return True
+
+
+class TestResilientMarker:
+    def test_hung_worker_falls_back_inline(self):
+        _, roots, collector = setup(
+            heap_words=200, marker_timeout=0.01, marker_retries=0
+        )
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        expected = collector.pending_marked_ids()
+        # Replay the drain as if the pool never answered: the ladder
+        # must terminate at the inline fallback with the same result.
+        collector._result = None
+        collector._future = _HungFuture()
+        marked, _words = collector._await_marker()
+        assert frozenset(marked) == expected
+        collector.collect()
+
+    def test_attempt_salt_perturbs_order_not_result(self):
+        from repro.perf.parallel import derive_seed
+
+        heap, roots, collector = setup(heap_words=400)
+        barrier = WriteBarrier(collector.remember_store)
+        frame = roots.push_frame()
+        objs = [collector.allocate(3, 2) for _ in range(12)]
+        for obj in objs:
+            frame.push(obj)
+        rng = random.Random(5)
+        for obj in objs:
+            link(heap, barrier, obj, 0, objs[rng.randrange(len(objs))])
+        snapshot = heap.export_mark_snapshot(
+            collector.space, list(roots.ids())
+        )
+        payload = (snapshot, 0, 1)
+        results = [
+            _mark_snapshot_task(payload, attempt) for attempt in (0, 1, 5)
+        ]
+        assert derive_seed(0, 1, 0) != derive_seed(0, 1, 1)
+        assert results[0] == results[1] == results[2]
+        assert results[0]["ids"]
+
+
+class TestLifecycle:
+    def test_marker_error_raises_at_reconcile(self):
+        snapshot = {
+            "backend": "object",
+            "objects": {1: (4, (99,))},
+            "known": frozenset({1}),
+            "roots": [1],
+        }
+        result = _mark_snapshot_task((snapshot, 0, 0))
+        assert "error" in result and "dangling" in result["error"]
+
+        _, roots, collector = setup(heap_words=100)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        collector._result = {"error": "induced marker failure"}
+        with pytest.raises(HeapError, match="induced marker failure"):
+            collector.collect()
+
+    def test_collect_discards_pending(self):
+        _, roots, collector = setup(heap_words=100)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        collector.collect()
+        assert not collector.marker_inflight
+        assert collector._payload is None
+
+    def test_static_promotion_discards_pending(self):
+        _, roots, collector = setup(heap_words=100)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        collector.on_static_promotion()
+        assert not collector.cycle_open
+        assert collector._payload is None
+
+    def test_close_is_idempotent(self):
+        _, roots, collector = setup(heap_words=100, marker_workers=1)
+        frame = roots.push_frame()
+        while not collector.cycle_open:
+            frame.push(collector.allocate(4))
+        collector.close()
+        collector.close()
+        assert collector._pool is None
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            setup(marker_workers=-1)
