@@ -48,7 +48,16 @@ Subcommands:
   backends and requiring identical graphs, stats, and survivor sets;
   ``--concurrent`` runs the concurrent collector's off-thread-marking
   equivalence suite the same way (inline and worker-process markers
-  must match the unbounded incremental run exactly);
+  must match the unbounded incremental run exactly); ``--resume`` runs
+  the resume-equivalence suite: every collector on both backends is
+  checkpoint/restored through its serialized snapshot at every
+  allocation safepoint and must replay byte-identically to an
+  uninterrupted run;
+* ``snapshot save|load|verify`` — crash-consistent heap snapshots:
+  checkpoint a live collector (heap contents, roots, collector state,
+  stats) to a versioned, checksummed JSON file via the atomic write
+  helpers, validate a file's integrity, or restore one into a fresh
+  context;
 * ``slo`` — the pause SLO gate: p99 incremental pause at most 1/50 of
   mark-sweep's full-collection p99, and p99 concurrent
   mutator-visible pause (handoff + reconcile) at most the incremental
@@ -226,7 +235,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.resilience.atomic import atomic_write_json
-    from repro.resilience.chaos import run_chaos_matrix
+    from repro.resilience.chaos import (
+        DetectionMatrix,
+        run_chaos_matrix,
+        run_snapshot_chaos,
+    )
 
     events = None
     if args.events:
@@ -255,6 +268,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"repro-gc chaos: error: {exc}", file=sys.stderr)
         return 2
+    if not args.safepoint:
+        # The snapshot-corrupt family rides along with every default
+        # sweep: corrupted checkpoint files must fail restore() with
+        # 100% detection.  Safepoint mode targets mid-wavefront state
+        # corruption specifically, so it keeps its focused matrix.
+        snapshot_matrix = run_snapshot_chaos(
+            seed=args.seed,
+            op_count=args.ops,
+            collectors=collectors,
+            quick=args.quick,
+            events=events,
+        )
+        matrix = DetectionMatrix(
+            seed=matrix.seed,
+            op_count=matrix.op_count,
+            collectors=matrix.collectors,
+            kinds=matrix.kinds + snapshot_matrix.kinds,
+            outcomes=matrix.outcomes + snapshot_matrix.outcomes,
+        )
     if events is not None:
         events.write(Path(args.events))
         print(f"{len(events)} telemetry events written to {args.events}")
@@ -511,6 +543,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return _verify_budgets(args, script, checked)
     if args.concurrent:
         return _verify_concurrent(args, script, checked)
+    if args.resume:
+        return _verify_resume(args, script, checked)
     if args.backends:
         from repro.verify.differential import run_backend_differential
 
@@ -669,6 +703,132 @@ def _verify_concurrent(args: argparse.Namespace, script, checked: bool) -> int:
         print()
         print(final.summary())
     return 1
+
+
+def _verify_resume(args: argparse.Namespace, script, checked: bool) -> int:
+    """``verify --resume``: the resume-equivalence suite."""
+    from repro.verify import shrink_script
+    from repro.verify.resume import (
+        run_resume_differential,
+        run_resume_differential_all_backends,
+    )
+
+    if args.resume_interval < 1:
+        print(
+            f"repro-gc verify: error: --resume-interval must be "
+            f"positive, got {args.resume_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    reports = run_resume_differential_all_backends(
+        script, checked=checked, resume_interval=args.resume_interval
+    )
+    failing = {
+        backend: report
+        for backend, report in reports.items()
+        if not report.ok
+    }
+    if not failing:
+        for backend, report in sorted(reports.items()):
+            print(f"[PASS] backend {backend}: {report.summary()}")
+        return 0
+    for backend, report in sorted(failing.items()):
+        print(f"[FAIL] backend {backend}: {report.summary()}")
+    if not args.no_shrink:
+        backend = sorted(failing)[0]
+        print()
+        print(f"shrinking the counterexample (backend {backend}) ...")
+
+        def fails(candidate) -> bool:
+            return not run_resume_differential(
+                candidate,
+                backend=backend,
+                checked=checked,
+                resume_interval=args.resume_interval,
+            ).ok
+
+        small = shrink_script(script, fails)
+        print(f"minimal failing script ({len(small.ops)} ops):")
+        print(small.to_text())
+        final = run_resume_differential(
+            small,
+            backend=backend,
+            checked=checked,
+            resume_interval=args.resume_interval,
+        )
+        print()
+        print(final.summary())
+    return 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.resilience.snapshot import (
+        SnapshotError,
+        checkpoint,
+        load_snapshot,
+        restore,
+        save_snapshot,
+    )
+
+    path = Path(args.path)
+    if args.snapshot_command == "save":
+        from repro.gc.registry import collector_factory
+        from repro.verify.differential import VERIFY_GEOMETRY
+        from repro.verify.replay import generate_script, replay
+
+        try:
+            script = generate_script(args.ops, args.seed)
+        except ValueError as exc:
+            print(f"repro-gc snapshot: error: {exc}", file=sys.stderr)
+            return 2
+        captured: dict = {}
+        factory = collector_factory(args.collector, VERIFY_GEOMETRY)
+
+        def build(heap, roots):
+            built = factory(heap, roots)
+            captured["collector"] = built
+            return built
+
+        replay(script, build, name=args.collector)
+        collector = captured["collector"]
+        document = checkpoint(collector, args.collector, VERIFY_GEOMETRY)
+        save_snapshot(path, document)
+        payload = document["payload"]
+        print(
+            f"snapshot of {args.collector} on backend "
+            f"{payload['backend']} (clock {collector.heap.clock}, "
+            f"{len(list(collector.heap.all_objects()))} live objects) "
+            f"written to {path}"
+        )
+        return 0
+    try:
+        document = load_snapshot(path)
+    except SnapshotError as exc:
+        print(f"[FAIL] {path}: {exc}", file=sys.stderr)
+        return 1
+    payload = document["payload"]
+    descriptor = payload.get("collector", {})
+    if args.snapshot_command == "verify":
+        print(
+            f"[PASS] {path}: valid version-{document['version']} "
+            f"snapshot of {descriptor.get('kind')} on backend "
+            f"{payload.get('backend')} "
+            f"(checksum {document['checksum'][:12]}...)"
+        )
+        return 0
+    try:
+        heap, _roots, collector = restore(document)
+    except SnapshotError as exc:
+        print(f"[FAIL] {path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"restored {collector.name} on backend {heap.backend_name}: "
+        f"clock {heap.clock}, {len(list(heap.all_objects()))} live "
+        f"objects, {collector.stats.collections} collections on record"
+    )
+    return 0
 
 
 def _cmd_validate(_: argparse.Namespace) -> int:
@@ -1127,7 +1287,72 @@ def build_parser() -> argparse.ArgumentParser:
             "graphs, stats, pause logs, and survivor sets"
         ),
     )
+    sub.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume-equivalence suite: replay the script under every "
+            "collector on both heap backends, checkpoint/restoring the "
+            "entire context through its serialized snapshot at every "
+            "allocation safepoint, and require checkpoints, stats, "
+            "pauses, and survivors byte-identical to an uninterrupted "
+            "run"
+        ),
+    )
+    sub.add_argument(
+        "--resume-interval",
+        type=int,
+        default=1,
+        help=(
+            "--resume only: checkpoint/restore after every Nth "
+            "allocation safepoint (default 1 = every allocation)"
+        ),
+    )
     sub.set_defaults(func=_cmd_verify)
+
+    sub = subparsers.add_parser(
+        "snapshot",
+        help=(
+            "crash-consistent heap snapshots: save a checksummed "
+            "checkpoint of a live collector, verify a snapshot file's "
+            "integrity, or restore one into a fresh context"
+        ),
+    )
+    snapshot_sub = sub.add_subparsers(dest="snapshot_command", required=True)
+    save = snapshot_sub.add_parser(
+        "save",
+        help=(
+            "replay a seeded mutator script under a collector and "
+            "checkpoint the resulting live context to a file"
+        ),
+    )
+    save.add_argument("path", help="snapshot file to write")
+    save.add_argument(
+        "--collector", choices=_COLLECTORS, default="generational"
+    )
+    save.add_argument(
+        "--ops", type=int, default=600, help="mutator script length"
+    )
+    save.add_argument("--seed", type=int, default=0)
+    save.set_defaults(func=_cmd_snapshot)
+    load = snapshot_sub.add_parser(
+        "load",
+        help=(
+            "validate a snapshot file (format, version, checksum) and "
+            "restore it into a fresh heap/roots/collector context"
+        ),
+    )
+    load.add_argument("path", help="snapshot file to read")
+    load.set_defaults(func=_cmd_snapshot)
+    ver = snapshot_sub.add_parser(
+        "verify",
+        help=(
+            "validate a snapshot file's envelope and checksum without "
+            "restoring it"
+        ),
+    )
+    ver.add_argument("path", help="snapshot file to read")
+    ver.set_defaults(func=_cmd_snapshot)
 
     sub = subparsers.add_parser(
         "slo",

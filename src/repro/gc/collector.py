@@ -210,6 +210,35 @@ class Collector(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Collector-private mutable state as a JSON-serializable dict.
+
+        Everything the constructor does not rebuild identically must be
+        here: capacities that grew, remembered sets, step order, open
+        mark-cycle state.  Heap contents, roots, and ``stats`` are
+        serialized separately by :mod:`repro.resilience.snapshot`.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support checkpoint/restore"
+        )
+
+    def import_state(self, state: dict) -> None:
+        """Restore :meth:`export_state` output onto a freshly
+        constructed collector of the same kind and geometry.
+
+        Runs *before* the heap contents are imported: it may only
+        touch content-independent structure (space capacities and
+        ordering, remembered sets, cycle flags), never resident
+        objects.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support checkpoint/restore"
+        )
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
 

@@ -50,7 +50,25 @@ from repro.gc.incremental import BLACK, GRAY, WHITE, IncrementalCollector
 from repro.heap.heap import HeapError, SimulatedHeap
 from repro.heap.roots import RootSet
 
-__all__ = ["ConcurrentCollector"]
+__all__ = ["ConcurrentCollector", "WedgedMarkerError"]
+
+#: Placeholder payload installed when a snapshot restores a collector
+#: whose marker was in flight: the marker's *result* is rehydrated from
+#: the snapshot, so the payload only needs to make ``marker_inflight``
+#: true — it is never traced again.
+_RESTORED_PAYLOAD = ("restored-marker",)
+
+
+class WedgedMarkerError(RuntimeError):
+    """The marker retry ladder exhausted without producing a result.
+
+    Raised by ``_drain_pending`` only while the watchdog holds a
+    cycle-open checkpoint; ``collect`` catches it, rolls the collector
+    back, and degrades to inline marking.  Escaping to other callers
+    (``export_state``, ``pending_marked_ids``) means the wedged cycle
+    cannot be serialized or audited mid-flight, which is the honest
+    answer.
+    """
 
 
 def _trace_flat_snapshot(snapshot: dict, roots: list[int]) -> tuple[set[int], int]:
@@ -246,6 +264,11 @@ class ConcurrentCollector(IncrementalCollector):
         self.overlapped_cycles = 0
         self.marker_words_total = 0
         self.overlapped_words = 0
+        #: Wedged cycles aborted by the watchdog supervisor.
+        self.watchdog_aborts = 0
+        #: In-memory rollback target captured at each pool-mode cycle
+        #: open, just before the epoch begins (a quiescent safepoint).
+        self._cycle_checkpoint: dict | None = None
 
     # ------------------------------------------------------------------
     # Marker lifecycle
@@ -321,6 +344,16 @@ class ConcurrentCollector(IncrementalCollector):
                 if pool is not None:
                     _terminate_pool(pool)
                 if attempt > retries:
+                    if self._cycle_checkpoint is not None:
+                        # Deadline exhausted with a rollback target in
+                        # hand: the watchdog aborts the cycle instead
+                        # of re-marking a heap the wedged worker may
+                        # have been poisoned against.
+                        self._attempt = attempt
+                        raise WedgedMarkerError(
+                            f"marker wedged after {attempt} attempts "
+                            f"(timeout {timeout}s)"
+                        )
                     result = _mark_snapshot_task(self._payload, attempt)
                     break
                 future = self._ensure_pool().submit(
@@ -382,6 +415,88 @@ class ConcurrentCollector(IncrementalCollector):
             pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
+    # Watchdog supervisor
+    # ------------------------------------------------------------------
+
+    def _watchdog_abort(self, reason: str) -> None:
+        """Abort the wedged cycle: kill the pool, roll the collector
+        back to the cycle-open checkpoint, and degrade to inline
+        marking permanently.
+
+        The rollback is deliberately lossy — allocations made since
+        the cycle opened are discarded, exactly the crash-recovery
+        semantics a process restore from the same snapshot would give.
+        """
+        from repro.perf.parallel import _terminate_pool
+        from repro.resilience.snapshot import restore_state
+
+        checkpoint = self._cycle_checkpoint
+        self._discard_pending()
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            _terminate_pool(pool)
+        restore_state(self, checkpoint)
+        self.marker_workers = 0
+        self.watchdog_aborts += 1
+        if self.metrics is not None:
+            self.metrics.event(
+                "watchdog-abort",
+                clock=self.heap.clock,
+                reason=reason,
+                aborts=self.watchdog_aborts,
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """The incremental state plus the marker plane.
+
+        An in-flight marker is *materialized*: the checkpoint
+        synchronizes with the worker (waiting/retrying via the normal
+        ladder) and stores its result, so a restored process never
+        depends on a worker that died with the original.
+        """
+        state = super().export_state()
+        state["marker_workers"] = self.marker_workers
+        state["marker_seed"] = self.marker_seed
+        state["marker_cycles"] = self.marker_cycles
+        state["overlapped_cycles"] = self.overlapped_cycles
+        state["marker_words_total"] = self.marker_words_total
+        state["overlapped_words"] = self.overlapped_words
+        state["watchdog_aborts"] = self.watchdog_aborts
+        state["marker_result"] = (
+            dict(self._drain_pending()) if self.marker_inflight else None
+        )
+        return state
+
+    def import_state(self, state: dict) -> None:
+        super().import_state(state)
+        self.marker_workers = state["marker_workers"]
+        self.marker_seed = state["marker_seed"]
+        self.marker_cycles = state["marker_cycles"]
+        self.overlapped_cycles = state["overlapped_cycles"]
+        self.marker_words_total = state["marker_words_total"]
+        self.overlapped_words = state["overlapped_words"]
+        self.watchdog_aborts = state["watchdog_aborts"]
+        self._cycle_checkpoint = None
+        self._discard_pending()
+        result = state["marker_result"]
+        if result is not None:
+            # Rehydrate the marker as already-drained: reconciliation
+            # then proceeds exactly as it would have in the original
+            # process.
+            self._payload = _RESTORED_PAYLOAD
+            if "ids" in result:
+                result = {
+                    "ids": [int(oid) for oid in result["ids"]],
+                    "words": result["words"],
+                }
+            self._result = result
+
+    # ------------------------------------------------------------------
     # The concurrent cycle
     # ------------------------------------------------------------------
 
@@ -395,6 +510,13 @@ class ConcurrentCollector(IncrementalCollector):
         if kind == "incremental":
             kind = "concurrent"
         heap = self.heap
+        if self.marker_workers > 0:
+            # Arm the watchdog: capture the rollback target while the
+            # heap is quiescent, before the epoch opens.  Inline mode
+            # cannot wedge, so it skips the capture cost entirely.
+            from repro.resilience.snapshot import capture_state
+
+            self._cycle_checkpoint = capture_state(self)
         heap.begin_mark_epoch()
         self.epoch_clock = heap.clock
         self.cycle_open = True
@@ -505,7 +627,14 @@ class ConcurrentCollector(IncrementalCollector):
         space = self.space
         if not self.cycle_open:
             self._open_cycle("full")
-        marked_ids, marker_words = self._await_marker()
+        try:
+            marked_ids, marker_words = self._await_marker()
+        except WedgedMarkerError as exc:
+            self._watchdog_abort(str(exc))
+            # The rolled-back collector marks inline from here on; the
+            # re-run opens a fresh cycle over the restored heap.
+            self.collect()
+            return
         self.stats.words_marked += marker_words
         work = self._reconcile_scan(marked_ids)
         self.stats.words_marked += work

@@ -143,6 +143,36 @@ class GenerationalCollector(Collector):
     def managed_spaces(self) -> frozenset[Space]:
         return frozenset(self.spaces)
 
+    def export_state(self) -> dict:
+        return {
+            "generation_capacities": [
+                space.capacity for space in self.spaces
+            ],
+            "remsets": [remset.export_state() for remset in self.remsets],
+            "auto_expand_oldest": self.auto_expand_oldest,
+            "oldest_load_factor": self.oldest_load_factor,
+            "promotion_threshold": self.promotion_threshold,
+            "tenuring_overflow_fraction": self.tenuring_overflow_fraction,
+            "survival_counts": sorted(
+                [oid, count] for oid, count in self._survival_counts.items()
+            ),
+        }
+
+    def import_state(self, state: dict) -> None:
+        for space, capacity in zip(
+            self.spaces, state["generation_capacities"]
+        ):
+            space.capacity = capacity
+        for remset, remset_state in zip(self.remsets, state["remsets"]):
+            remset.import_state(remset_state)
+        self.auto_expand_oldest = state["auto_expand_oldest"]
+        self.oldest_load_factor = state["oldest_load_factor"]
+        self.promotion_threshold = state["promotion_threshold"]
+        self.tenuring_overflow_fraction = state["tenuring_overflow_fraction"]
+        self._survival_counts = {
+            int(oid): int(count) for oid, count in state["survival_counts"]
+        }
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------

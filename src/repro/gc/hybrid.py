@@ -162,6 +162,47 @@ class HybridCollector(Collector):
     def step_used(self) -> list[int]:
         return [space.used for space in self.steps]
 
+    def export_state(self) -> dict:
+        # Renumbering reorders ``steps`` without renaming the spaces,
+        # so the logical order is recoverable from the name list alone.
+        return {
+            "nursery_capacity": self.nursery.capacity,
+            "step_order": [space.name for space in self.steps],
+            "step_words": self.step_words,
+            "j": self._j,
+            "max_remset": self.max_remset,
+            "allow_promotion_into_protected": (
+                self.allow_promotion_into_protected
+            ),
+            "remset_young": self.remset_young.export_state(),
+            "remset_steps": self.remset_steps.export_state(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        if sorted(state["step_order"]) != sorted(
+            space.name for space in self.steps
+        ):
+            raise ValueError(
+                f"snapshot steps {state['step_order']} do not match "
+                f"collector steps {[s.name for s in self.steps]}"
+            )
+        self.nursery.capacity = state["nursery_capacity"]
+        heap_space = self.heap.space
+        self.steps = [heap_space(name) for name in state["step_order"]]
+        self._step_index_of = {
+            space: index for index, space in enumerate(self.steps)
+        }
+        self.step_words = state["step_words"]
+        self.max_remset = state["max_remset"]
+        self.allow_promotion_into_protected = state[
+            "allow_promotion_into_protected"
+        ]
+        self.remset_young.import_state(state["remset_young"])
+        self.remset_steps.import_state(state["remset_steps"])
+        # Through the setter: rebuilds the partition caches over the
+        # restored order.
+        self.j = state["j"]
+
     def _dynamic_free(self) -> int:
         return sum(space.free for space in self.steps)
 

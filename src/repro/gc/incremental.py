@@ -136,6 +136,39 @@ class IncrementalCollector(Collector):
     def managed_spaces(self) -> frozenset:
         return frozenset((self.space,))
 
+    def export_state(self) -> dict:
+        # The color arena travels with the heap snapshot; the gray
+        # stack is ordered (drain order is observable) and serialized
+        # verbatim.
+        return {
+            "space_capacity": self.space.capacity,
+            "slice_budget": self.slice_budget,
+            "trigger_fraction": self.trigger_fraction,
+            "auto_expand": self.auto_expand,
+            "load_factor": self.load_factor,
+            "max_heap_words": self.max_heap_words,
+            "cycle_open": self.cycle_open,
+            "epoch_clock": self.epoch_clock,
+            "gray_stack": list(self.gray_stack),
+            "cycles_opened": self.cycles_opened,
+            "slices_run": self.slices_run,
+            "satb_grays": self.satb_grays,
+        }
+
+    def import_state(self, state: dict) -> None:
+        self.space.capacity = state["space_capacity"]
+        self.slice_budget = state["slice_budget"]
+        self.trigger_fraction = state["trigger_fraction"]
+        self.auto_expand = state["auto_expand"]
+        self.load_factor = state["load_factor"]
+        self.max_heap_words = state["max_heap_words"]
+        self.cycle_open = state["cycle_open"]
+        self.epoch_clock = state["epoch_clock"]
+        self.gray_stack = [int(oid) for oid in state["gray_stack"]]
+        self.cycles_opened = state["cycles_opened"]
+        self.slices_run = state["slices_run"]
+        self.satb_grays = state["satb_grays"]
+
     # ------------------------------------------------------------------
     # Allocation (every call is a safepoint)
     # ------------------------------------------------------------------

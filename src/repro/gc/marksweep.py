@@ -74,6 +74,20 @@ class MarkSweepCollector(Collector):
     def managed_spaces(self) -> frozenset:
         return frozenset((self.space,))
 
+    def export_state(self) -> dict:
+        return {
+            "space_capacity": self.space.capacity,
+            "auto_expand": self.auto_expand,
+            "load_factor": self.load_factor,
+            "max_heap_words": self.max_heap_words,
+        }
+
+    def import_state(self, state: dict) -> None:
+        self.space.capacity = state["space_capacity"]
+        self.auto_expand = state["auto_expand"]
+        self.load_factor = state["load_factor"]
+        self.max_heap_words = state["max_heap_words"]
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------

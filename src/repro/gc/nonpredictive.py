@@ -186,6 +186,45 @@ class NonPredictiveCollector(Collector):
     def managed_spaces(self) -> frozenset[Space]:
         return frozenset(self.steps)
 
+    def export_state(self) -> dict:
+        # Renumbering reorders ``steps`` without renaming the spaces,
+        # so the logical order is recoverable from the name list alone.
+        return {
+            "step_order": [space.name for space in self.steps],
+            "step_words": self.step_words,
+            "j": self._j,
+            "use_remset": self.use_remset,
+            "algorithm": self.algorithm,
+            "compaction_threshold": self.compaction_threshold,
+            "compactions": self.compactions,
+            "alloc_index": self._alloc_index,
+            "remset": self.remset.export_state(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        if sorted(state["step_order"]) != sorted(
+            space.name for space in self.steps
+        ):
+            raise ValueError(
+                f"snapshot steps {state['step_order']} do not match "
+                f"collector steps {[s.name for s in self.steps]}"
+            )
+        heap_space = self.heap.space
+        self.steps = [heap_space(name) for name in state["step_order"]]
+        self._step_index_of = {
+            space: index for index, space in enumerate(self.steps)
+        }
+        self.step_words = state["step_words"]
+        self.use_remset = state["use_remset"]
+        self.algorithm = state["algorithm"]
+        self.compaction_threshold = state["compaction_threshold"]
+        self.compactions = state["compactions"]
+        self._alloc_index = state["alloc_index"]
+        self.remset.import_state(state["remset"])
+        # Through the setter: rebuilds the partition caches over the
+        # restored order.
+        self.j = state["j"]
+
     def protected_spaces(self) -> set[Space]:
         return set(self._protected_list)
 

@@ -149,6 +149,26 @@ class GcStats:
             "major_collections": self.major_collections,
         }
 
+    def export_state(self) -> dict:
+        """Every counter plus the full pause log, JSON-serializable."""
+        state: dict = self.snapshot()
+        state["pauses"] = [
+            [pause.clock, pause.kind, pause.work, pause.reclaimed, pause.live]
+            for pause in self.pauses
+        ]
+        return state
+
+    def import_state(self, state: dict) -> None:
+        """Replace every counter and the pause log with a snapshot's."""
+        for key in self.snapshot():
+            setattr(self, key, state[key])
+        self.pauses = [
+            PauseRecord(
+                clock=clock, kind=kind, work=work, reclaimed=reclaimed, live=live
+            )
+            for clock, kind, work, reclaimed, live in state["pauses"]
+        ]
+
     def components(self) -> dict[str, int]:
         """The mark/cons work decomposition (words, cumulative).
 

@@ -102,6 +102,25 @@ class StopAndCopyCollector(Collector):
     def managed_spaces(self) -> frozenset:
         return frozenset(self._semispaces)
 
+    def export_state(self) -> dict:
+        return {
+            "semispace_capacity": self._semispaces[0].capacity,
+            "active": self._active,
+            "auto_expand": self.auto_expand,
+            "load_factor": self.load_factor,
+            "max_semispace_words": self.max_semispace_words,
+            "peak_semispace_words": self.peak_semispace_words,
+        }
+
+    def import_state(self, state: dict) -> None:
+        for space in self._semispaces:
+            space.capacity = state["semispace_capacity"]
+        self._active = state["active"]
+        self.auto_expand = state["auto_expand"]
+        self.load_factor = state["load_factor"]
+        self.max_semispace_words = state["max_semispace_words"]
+        self.peak_semispace_words = state["peak_semispace_words"]
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------

@@ -840,6 +840,96 @@ class FlatHeap:
             "roots": list(root_ids),
         }
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A JSON-serializable snapshot of the full heap state.
+
+        Arenas ship as plain integer lists (portable and diffable; the
+        simulated workloads keep them small).  Per-space id lists are
+        serialized verbatim *including stale lazy-deletion entries* —
+        positions are baked into the packed state words, so dropping
+        stale entries would desynchronize every survivor.  Payload
+        values must themselves be JSON-serializable.
+        """
+        return {
+            "backend": "flat",
+            "clock": self.clock,
+            "objects_allocated": self.objects_allocated,
+            "hdr": list(self._hdr),
+            "birth": list(self._birth),
+            "state": list(self._state),
+            "color": list(self._color),
+            "slot_base": list(self._slot_base),
+            "slots": list(self._slots),
+            "payloads": sorted(
+                [oid, payload] for oid, payload in self._payloads.items()
+            ),
+            "kind_names": list(self._kind_names),
+            "live_count": self._live_count,
+            "token_count": len(self._space_by_token),
+            "spaces": [
+                {
+                    "name": space.name,
+                    "capacity": space.capacity,
+                    "used": space.used,
+                    "token": space._token,
+                    "count": space._count,
+                    "ids": list(space._ids),
+                }
+                for space in self._spaces.values()
+            ],
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Replace all heap state with an :meth:`export_state` snapshot.
+
+        The registered spaces must match the snapshot by name (the
+        collector that owns them is restored first and recreates its
+        space structure); each space's token, capacity, occupancy, and
+        id list are overwritten from the snapshot, and the token table
+        is rebuilt at the snapshot's indices.  Ends with a full
+        :meth:`check_integrity` pass so a structurally inconsistent
+        snapshot fails here rather than corrupting a later collection.
+        """
+        if state.get("backend") != "flat":
+            raise HeapError(
+                f"snapshot backend {state.get('backend')!r} does not match "
+                f"heap backend 'flat'"
+            )
+        names = {entry["name"] for entry in state["spaces"]}
+        if names != set(self._spaces):
+            raise HeapError(
+                f"snapshot spaces {sorted(names)} do not match heap spaces "
+                f"{sorted(self._spaces)}"
+            )
+        self.clock = int(state["clock"])
+        self.objects_allocated = int(state["objects_allocated"])
+        self._hdr = array("q", state["hdr"])
+        self._birth = array("q", state["birth"])
+        self._state = array("q", state["state"])
+        self._color = array("q", state["color"])
+        self._slot_base = array("q", state["slot_base"])
+        self._slots = list(state["slots"])
+        self._payloads = {int(oid): payload for oid, payload in state["payloads"]}
+        self._kind_names = list(state["kind_names"])
+        self._kind_codes = {
+            name: code for code, name in enumerate(self._kind_names)
+        }
+        self._live_count = int(state["live_count"])
+        self._space_by_token = [None] * int(state["token_count"])
+        for entry in state["spaces"]:
+            space = self._spaces[entry["name"]]
+            space.capacity = entry["capacity"]
+            space.used = int(entry["used"])
+            space._token = int(entry["token"])
+            space._count = int(entry["count"])
+            space._ids = [int(oid) for oid in entry["ids"]]
+            self._space_by_token[space._token] = space
+        self.check_integrity()
+
     def place_id(self, oid: int, space: FlatSpace, size: int | None = None) -> None:
         """Attach a detached object to ``space`` (no capacity check)."""
         if size is None:

@@ -480,6 +480,108 @@ class SimulatedHeap:
             "roots": list(root_ids),
         }
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A complete, JSON-serializable image of the heap.
+
+        Everything behaviorally observable is captured in order: the
+        global object table (iteration order is visible through
+        ``all_objects``), each space's resident order, every slot value
+        (ids, None, and JSON-representable immediates), birth clocks,
+        and the tri-color mark state of an open cycle.  Restoring the
+        image with :meth:`import_state` onto a heap with the same
+        spaces reproduces the original byte for byte.
+        """
+        objects = []
+        for obj in self._objects.values():
+            record: dict = {
+                "id": obj.obj_id,
+                "size": obj.size,
+                "birth": obj.birth,
+                "kind": obj.kind,
+                "space": None if obj.space is None else obj.space.name,
+                "fields": list(obj.fields),
+            }
+            if obj.payload is not None:
+                record["payload"] = obj.payload
+            objects.append(record)
+        return {
+            "backend": "object",
+            "clock": self.clock,
+            "objects_allocated": self.objects_allocated,
+            "next_id": self._next_id,
+            "colors": sorted(
+                [oid, color] for oid, color in self._colors.items() if color
+            ),
+            "spaces": [
+                {
+                    "name": space.name,
+                    "capacity": space.capacity,
+                    "used": space.used,
+                    "ids": list(space._objects),
+                }
+                for space in self._spaces.values()
+            ],
+            "objects": objects,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Replace the heap's contents with an exported image.
+
+        The heap must already hold spaces with exactly the snapshot's
+        names (a freshly constructed collector recreates them); their
+        capacities and residents are overwritten in snapshot order.
+        """
+        if state.get("backend") != "object":
+            raise HeapError(
+                f"snapshot backend {state.get('backend')!r} cannot restore "
+                f"into an object heap"
+            )
+        by_name = {space.name: space for space in self._spaces.values()}
+        snapshot_names = {entry["name"] for entry in state["spaces"]}
+        if set(by_name) != snapshot_names:
+            raise HeapError(
+                f"snapshot spaces {sorted(snapshot_names)} do not match "
+                f"this heap's spaces {sorted(by_name)}"
+            )
+        self.clock = state["clock"]
+        self.objects_allocated = state["objects_allocated"]
+        self._next_id = state["next_id"]
+        self._colors = {
+            int(oid): int(color) for oid, color in state["colors"]
+        }
+        self._objects = {}
+        for record in state["objects"]:
+            obj = HeapObject(
+                record["id"],
+                record["size"],
+                0,
+                record["birth"],
+                record["kind"],
+            )
+            obj.fields = list(record["fields"])
+            obj.payload = record.get("payload")
+            self._objects[obj.obj_id] = obj
+        for entry in state["spaces"]:
+            space = by_name[entry["name"]]
+            space.capacity = entry["capacity"]
+            space._objects = {}
+            used = 0
+            for oid in entry["ids"]:
+                obj = self._objects[oid]
+                space._objects[oid] = obj
+                obj.space = space
+                used += obj.size
+            if used != entry["used"]:
+                raise HeapError(
+                    f"snapshot space {space.name!r} accounting off: "
+                    f"recorded {entry['used']}, residents sum to {used}"
+                )
+            space.used = used
+
     def place_id(self, oid: int, space: Space, size: int | None = None) -> None:
         """Attach a detached object to ``space`` (no capacity check)."""
         obj = self._objects[oid]

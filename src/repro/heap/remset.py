@@ -138,6 +138,38 @@ class RememberedSet:
         """Drop only the promotion-entered portion."""
         self._promotion_entries.clear()
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of the entries and lifetime counters.
+
+        Entries are stored sorted: both portions are true sets and
+        every consumer is order-insensitive, so a canonical order keeps
+        snapshots byte-stable.
+        """
+        return {
+            "name": self.name,
+            "barrier": sorted(self._barrier_entries),
+            "promotion": sorted(self._promotion_entries),
+            "barrier_records": self.barrier_records,
+            "promotion_records": self.promotion_records,
+            "peak_size": self.peak_size,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Replace entries and counters with a snapshot's."""
+        self._barrier_entries = {
+            (int(obj_id), int(slot)) for obj_id, slot in state["barrier"]
+        }
+        self._promotion_entries = {
+            (int(obj_id), int(slot)) for obj_id, slot in state["promotion"]
+        }
+        self.barrier_records = state["barrier_records"]
+        self.promotion_records = state["promotion_records"]
+        self.peak_size = state["peak_size"]
+
     def prune(self, still_needed: Callable[[SlotRef], bool]) -> int:
         """Drop entries the predicate rejects; returns how many were dropped.
 

@@ -128,5 +128,34 @@ class RootSet:
         for provider in self._providers:
             yield from provider()
 
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of the globals and the shadow stack.
+
+        Global ordering is preserved (root enumeration order is
+        observable through trace order).  Providers are deliberately
+        excluded: they are live callables owned by the runtime layer,
+        and a restored context re-registers its own.
+        """
+        return {
+            "globals": [[name, ref] for name, ref in self._globals.items()],
+            "frames": [list(frame._slots) for frame in self._stack],
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Replace the globals and shadow stack with a snapshot's.
+
+        Providers registered on this root set are kept as they are.
+        """
+        self._globals = {name: ref for name, ref in state["globals"]}
+        self._stack = []
+        for slots in state["frames"]:
+            frame = Frame()
+            frame._slots = list(slots)
+            self._stack.append(frame)
+
     def __len__(self) -> int:
         return sum(1 for _ in self.ids())

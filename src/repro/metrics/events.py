@@ -20,7 +20,12 @@ instrumentation plane:
 * ``heap-expansion`` — a space's capacity grew;
 * ``space-created`` / ``space-removed`` — heap geometry changes;
 * ``fault-injected`` / ``fault-detected`` — the chaos harness's
-  injection and detection records (see :mod:`repro.resilience.chaos`).
+  injection and detection records (see :mod:`repro.resilience.chaos`);
+* ``checkpoint`` / ``restore`` — crash-consistent snapshot capture and
+  resume points (see :mod:`repro.resilience.snapshot`);
+* ``watchdog-abort`` — the concurrent collector's supervisor killed a
+  wedged mark cycle, rolled back to the cycle-open snapshot, and
+  degraded to inline marking.
 
 Files are written via the shared atomic helpers, so a telemetry file
 is always a complete, parseable stream — never a torn write.
@@ -45,8 +50,11 @@ __all__ = [
 #: cycles, both of which v1 consumers would misgroup.  v3 added the
 #: ``handoff``/``reconcile`` span kinds and the ``"concurrent"``
 #: ``collection-start`` kind for the concurrent collector's
-#: off-thread mark cycles.
-EVENT_SCHEMA_VERSION = 3
+#: off-thread mark cycles.  v4 added the ``checkpoint``/``restore``
+#: span kinds for crash-consistent snapshots and the
+#: ``watchdog-abort`` kind for supervised rollback of a wedged
+#: concurrent mark cycle.
+EVENT_SCHEMA_VERSION = 4
 
 
 class EventStream:

@@ -15,7 +15,10 @@ Three concerns live here, all in service of the ROADMAP's
   differential oracle) whether it noticed, producing the detection
   matrix behind ``repro-gc chaos``;
 * :mod:`repro.resilience.journal` — the per-completion sweep journal
-  behind ``repro-gc all --resume``.
+  behind ``repro-gc all --resume``;
+* :mod:`repro.resilience.snapshot` — crash-consistent, checksummed
+  checkpoint/restore of a live heap plus collector state, behind
+  ``repro-gc snapshot`` and the resume-equivalence oracle.
 
 The package mutation-tests the *auditor*: a corruption the auditor
 cannot see is a hole in the verify layer, found here before a real
@@ -24,9 +27,11 @@ collector bug hides in it.
 
 from repro.resilience.atomic import atomic_write_json, atomic_write_text
 from repro.resilience.chaos import (
+    SNAPSHOT_FAULTS,
     ChaosOutcome,
     DetectionMatrix,
     run_chaos_matrix,
+    run_snapshot_chaos,
 )
 from repro.resilience.faults import (
     CORRUPTION_FAULTS,
@@ -35,6 +40,17 @@ from repro.resilience.faults import (
     fault_expectation,
 )
 from repro.resilience.journal import SweepJournal
+from repro.resilience.snapshot import (
+    SnapshotError,
+    capture_state,
+    checkpoint,
+    load_snapshot,
+    restore,
+    restore_into,
+    restore_state,
+    save_snapshot,
+    verify_snapshot,
+)
 
 __all__ = [
     "CORRUPTION_FAULTS",
@@ -42,9 +58,20 @@ __all__ = [
     "DetectionMatrix",
     "FAULT_KINDS",
     "FaultPlan",
+    "SNAPSHOT_FAULTS",
+    "SnapshotError",
     "SweepJournal",
     "atomic_write_json",
     "atomic_write_text",
+    "capture_state",
+    "checkpoint",
     "fault_expectation",
+    "load_snapshot",
+    "restore",
+    "restore_into",
+    "restore_state",
     "run_chaos_matrix",
+    "run_snapshot_chaos",
+    "save_snapshot",
+    "verify_snapshot",
 ]

@@ -11,7 +11,12 @@ file behind.  The recipe is the standard one:
 2. flush and ``fsync`` the descriptor so the bytes are durable before
    the rename makes them visible;
 3. ``os.replace`` the temp file over the destination — atomic on
-   POSIX and Windows alike.
+   POSIX and Windows alike;
+4. ``fsync`` the containing directory, so the rename itself — the new
+   directory entry — survives a power loss, not just the file bytes.
+   Without this step a crash shortly after the rename can roll the
+   directory back to the old name on some filesystems, silently
+   undoing a "durable" write.
 
 Readers therefore observe either the old complete content or the new
 complete content, never a prefix.  The temp file carries a per-process
@@ -51,6 +56,7 @@ def atomic_write_text(
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(scratch, destination)
+        _fsync_directory(destination.parent)
     except BaseException:
         try:
             scratch.unlink()
@@ -58,6 +64,22 @@ def atomic_write_text(
             pass
         raise
     return destination
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entries so a completed rename is durable.
+
+    ``O_DIRECTORY`` is POSIX-only; on platforms without it (Windows)
+    directory entries cannot be fsynced and the rename's atomicity is
+    all we get, which matches the pre-existing behaviour there.
+    """
+    if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - non-POSIX
+        return
+    fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def atomic_write_json(

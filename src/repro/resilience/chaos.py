@@ -65,12 +65,27 @@ __all__ = [
     "ChaosError",
     "ChaosOutcome",
     "DetectionMatrix",
+    "SNAPSHOT_FAULTS",
     "run_chaos_matrix",
+    "run_snapshot_chaos",
 ]
 
 #: Script length for a full chaos run / for ``--quick``.
 DEFAULT_OP_COUNT = 400
 QUICK_OP_COUNT = 160
+
+#: The snapshot-corrupt fault family: ways a checkpoint file rots at
+#: rest (or is torn in flight) that ``restore()`` must catch — every
+#: cell's expectation is "corruption", and the only acceptable status
+#: is ``detected`` via the ``restore`` channel (a
+#: :class:`~repro.resilience.snapshot.SnapshotError` before any state
+#: reaches a heap).
+SNAPSHOT_FAULTS = (
+    "bit-flip",
+    "truncate",
+    "stale-version",
+    "checksum-mismatch",
+)
 
 
 class ChaosError(RuntimeError):
@@ -207,6 +222,187 @@ class DetectionMatrix:
             f"{verdict}: seed={self.seed} ops={self.op_count} {tally}"
         )
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Snapshot corruption
+# ----------------------------------------------------------------------
+
+
+def _corrupt_snapshot(
+    wire: str, fault: str, rng: random.Random
+) -> tuple[str, str]:
+    """Apply one snapshot fault to a serialized document.
+
+    ``wire`` must be the compact (no-whitespace) serialization so that
+    every byte is semantic — a bit flip then either breaks the JSON or
+    changes the payload, never lands on cosmetic whitespace.  Returns
+    the corrupted text and a human-readable description.
+    """
+    if fault == "bit-flip":
+        # Flip one bit strictly inside the payload's serialized span,
+        # so the corruption models the stored heap state rotting, not
+        # the envelope.
+        start = wire.index('"payload"')
+        index = rng.randrange(start, len(wire) - 1)
+        bit = rng.randrange(7)
+        flipped = chr(ord(wire[index]) ^ (1 << bit))
+        return (
+            wire[:index] + flipped + wire[index + 1:],
+            f"flipped bit {bit} of byte {index} "
+            f"({wire[index]!r} -> {flipped!r})",
+        )
+    if fault == "truncate":
+        cut = rng.randrange(1, len(wire))
+        return (
+            wire[:cut],
+            f"truncated to {cut} of {len(wire)} bytes (torn write)",
+        )
+    if fault == "stale-version":
+        import json as _json
+
+        document = _json.loads(wire)
+        document["version"] = 0
+        return (
+            _json.dumps(document, sort_keys=True, separators=(",", ":")),
+            "rewrote version header to the retired version 0",
+        )
+    if fault == "checksum-mismatch":
+        import json as _json
+
+        document = _json.loads(wire)
+        checksum = document["checksum"]
+        first = "1" if checksum[0] == "0" else "0"
+        document["checksum"] = first + checksum[1:]
+        return (
+            _json.dumps(document, sort_keys=True, separators=(",", ":")),
+            f"rewrote checksum {checksum[:12]}... to "
+            f"{document['checksum'][:12]}...",
+        )
+    raise ValueError(f"unknown snapshot fault {fault!r}")
+
+
+def _probe_snapshot(text: str) -> tuple[str, str | None, str]:
+    """Write a (corrupted) snapshot to disk and try the cold-restore
+    path; returns ``(status, channel, detail)``."""
+    import os
+    import tempfile
+
+    from repro.resilience.snapshot import (
+        SnapshotError,
+        load_snapshot,
+        restore,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "snapshot.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        try:
+            restore(load_snapshot(path))
+        except SnapshotError as exc:
+            # Scrub the throwaway temp path so cells are byte-identical
+            # across runs of the same seed.
+            detail = str(exc).replace(path, "snapshot.json")
+            return "detected", "restore", detail
+    return "missed", None, "corrupted snapshot restored without complaint"
+
+
+def run_snapshot_chaos(
+    *,
+    seed: int = 0,
+    op_count: int = DEFAULT_OP_COUNT,
+    collectors: Sequence[str] = DEFAULT_COLLECTORS,
+    kinds: Sequence[str] = SNAPSHOT_FAULTS,
+    geometry: GcGeometry | None = None,
+    quick: bool = False,
+    events: "EventStream | None" = None,
+) -> DetectionMatrix:
+    """The snapshot-corrupt sweep: fault kind x collector.
+
+    For every collector, replay the seeded script, take one
+    checkpoint of the final live context, then hand each fault kind a
+    fresh copy of the serialized document to corrupt (seeded, like
+    every other chaos cell).  The corrupted file must fail the cold
+    restore path (:func:`~repro.resilience.snapshot.load_snapshot`
+    then :func:`~repro.resilience.snapshot.restore`) with a
+    :class:`~repro.resilience.snapshot.SnapshotError` — 100% detection
+    is the bar, so the only passing status is ``detected``.
+    """
+    import json as _json
+
+    from repro.resilience.snapshot import checkpoint as take_snapshot
+
+    if quick:
+        op_count = min(op_count, QUICK_OP_COUNT)
+    if geometry is None:
+        geometry = replace(VERIFY_GEOMETRY, slice_budget=1)
+    script = generate_script(op_count, seed)
+
+    outcomes: list[ChaosOutcome] = []
+    for collector_kind in collectors:
+        captured: dict = {}
+        factory = collector_factory(collector_kind, geometry)
+
+        def build(heap, roots, _factory=factory, _captured=captured):
+            built = _factory(heap, roots)
+            _captured["collector"] = built
+            return built
+
+        try:
+            replay(script, build, checked=True, name=collector_kind)
+        except Exception as exc:
+            raise ChaosError(
+                f"clean replay failed under {collector_kind}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        document = take_snapshot(
+            captured["collector"], collector_kind, geometry
+        )
+        wire = _json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+        for fault in kinds:
+            rng = _cell_rng(seed, fault, collector_kind)
+            corrupted, injected_detail = _corrupt_snapshot(wire, fault, rng)
+            if events is not None:
+                events.emit(
+                    "fault-injected",
+                    fault=fault,
+                    collector=collector_kind,
+                    expectation="corruption",
+                    op_index=None,
+                    detail=injected_detail,
+                )
+            status, channel, probe_detail = _probe_snapshot(corrupted)
+            if events is not None and channel is not None:
+                events.emit(
+                    "fault-detected",
+                    fault=fault,
+                    collector=collector_kind,
+                    expectation="corruption",
+                    status=status,
+                    channel=channel,
+                    op_index=None,
+                    detail=probe_detail,
+                )
+            outcomes.append(
+                ChaosOutcome(
+                    fault=fault,
+                    collector=collector_kind,
+                    expectation="corruption",
+                    status=status,
+                    channel=channel,
+                    op_index=None,
+                    detail=f"{injected_detail}; {probe_detail}",
+                )
+            )
+    return DetectionMatrix(
+        seed=seed,
+        op_count=op_count,
+        collectors=tuple(collectors),
+        kinds=tuple(kinds),
+        outcomes=tuple(outcomes),
+    )
 
 
 # ----------------------------------------------------------------------

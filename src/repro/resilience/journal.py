@@ -15,12 +15,19 @@ hashes the ordered task names together with the source digest
 or changing the experiment selection invalidates it wholesale, exactly
 like the artifact cache.  :meth:`SweepJournal.resume` silently starts
 fresh on a mismatch.
+
+Each recorded entry is stored alongside a SHA-256 checksum of its
+canonical serialization (format 2).  A resume validates every entry
+and *skips* — with a :class:`RuntimeWarning`, never a crash — any that
+fails: a bit-rotted payload or a hand-edited record costs one re-run,
+not the whole sweep.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -31,7 +38,9 @@ __all__ = ["JOURNAL_FILENAME", "SweepJournal"]
 #: File name inside the cache directory (``.repro_cache/``).
 JOURNAL_FILENAME = "journal.json"
 
-_FORMAT = 1
+#: v2 wrapped every completed/quarantined record as ``{"entry",
+#: "checksum"}``; v1 journals fail the format check and resume fresh.
+_FORMAT = 2
 
 
 def _run_key(names: Sequence[str], digest: str) -> str:
@@ -39,6 +48,32 @@ def _run_key(names: Sequence[str], digest: str) -> str:
         {"names": list(names), "source": digest}, sort_keys=True
     ).encode()
     return hashlib.sha256(blob).hexdigest()
+
+
+def _entry_checksum(entry: Any) -> str:
+    blob = json.dumps(entry, sort_keys=True, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _validated_entry(name: str, item: Any, section: str) -> Any | None:
+    """The wrapped record's entry if its checksum holds, else None
+    (with a warning) — corrupt entries are skipped, not fatal."""
+    try:
+        if (
+            isinstance(item, dict)
+            and "entry" in item
+            and _entry_checksum(item["entry"]) == item.get("checksum")
+        ):
+            return item["entry"]
+    except (TypeError, ValueError):
+        pass
+    warnings.warn(
+        f"sweep journal: skipping corrupt {section} entry for {name!r} "
+        f"(checksum validation failed); it will be re-run",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return None
 
 
 class SweepJournal:
@@ -95,13 +130,15 @@ class SweepJournal:
         completed = data.get("completed")
         quarantined = data.get("quarantined")
         if isinstance(completed, dict):
-            journal.completed = {
-                name: entry
-                for name, entry in completed.items()
-                if isinstance(entry, dict) and "text" in entry
-            }
+            for name, item in completed.items():
+                entry = _validated_entry(name, item, "completed")
+                if isinstance(entry, dict) and "text" in entry:
+                    journal.completed[name] = entry
         if isinstance(quarantined, dict):
-            journal.quarantined = dict(quarantined)
+            for name, item in quarantined.items():
+                entry = _validated_entry(name, item, "quarantined")
+                if isinstance(entry, dict):
+                    journal.quarantined[name] = entry
         return journal
 
     # ------------------------------------------------------------------
@@ -127,12 +164,21 @@ class SweepJournal:
             pass
 
     def _flush(self) -> None:
+        def wrap(entries: Mapping[str, Mapping[str, Any]]) -> dict:
+            return {
+                name: {
+                    "entry": entry,
+                    "checksum": _entry_checksum(entry),
+                }
+                for name, entry in entries.items()
+            }
+
         atomic_write_json(
             self.path,
             {
                 "format": _FORMAT,
                 "run_key": self.run_key,
-                "completed": self.completed,
-                "quarantined": self.quarantined,
+                "completed": wrap(self.completed),
+                "quarantined": wrap(self.quarantined),
             },
         )

@@ -1,0 +1,279 @@
+"""Crash-consistent checkpoint/restore of a live heap and collector.
+
+A *snapshot* freezes everything a process would need to resume a
+tenant heap after dying: the heap contents (either backend), the root
+set, the collector's private state — grown capacities, remembered
+sets, step order, an open SATB mark cycle, even a concurrent marker's
+in-flight result — and the cumulative :class:`~repro.gc.stats.GcStats`
+ledger.  The unit of correctness is *resume equivalence*: restoring a
+snapshot taken at any allocation safepoint and replaying the rest of
+the script must be byte-identical to never having stopped
+(:mod:`repro.verify.resume` proves this for all seven collectors on
+both backends).
+
+On disk a snapshot is one JSON document:
+
+``{"format": "repro-heap-snapshot", "version": 1,
+   "checksum": sha256(canonical payload JSON), "payload": {...}}``
+
+The payload carries the backend tag, the collector descriptor
+(``kind`` + :class:`~repro.gc.registry.GcGeometry` fields, enough for
+:func:`restore` to rebuild a fresh context), and the four state
+sections.  The checksum is computed over the canonical serialization
+(sorted keys, compact separators) of the payload alone, so the
+envelope fields can be inspected or rewritten without invalidating
+it — and any corruption of the payload is detected *before* a single
+byte reaches a heap.  Writes go through the atomic
+write-fsync-rename-fsync helpers, so a crash mid-save leaves the
+previous snapshot intact.
+
+Restore ordering matters and is fixed here: the collector's private
+state is imported *first* (it only touches content-independent
+structure — capacities, step order, remset entries, cycle flags — and
+must run before heap import so renamed/reordered spaces are matched by
+name), then the heap contents, then roots, then stats.
+
+:func:`capture_state`/:func:`restore_state` are the raw in-memory
+halves (no envelope, no checksum); the concurrent collector's watchdog
+uses them for its cycle-open rollback target.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.resilience.atomic import atomic_write_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gc.collector import Collector
+    from repro.gc.registry import GcGeometry
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "capture_state",
+    "checkpoint",
+    "load_snapshot",
+    "restore",
+    "restore_into",
+    "restore_state",
+    "save_snapshot",
+    "verify_snapshot",
+]
+
+#: Envelope format tag; anything else is rejected unread.
+SNAPSHOT_FORMAT = "repro-heap-snapshot"
+#: Current snapshot version.  Bump on any payload layout change; old
+#: versions are rejected with a :class:`SnapshotError` (no migration —
+#: snapshots are recovery points, not archives).
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(Exception):
+    """A snapshot failed validation or could not be restored."""
+
+
+def _payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical payload serialization.
+
+    Canonical = sorted keys, compact separators: any JSON value that
+    survives a parse round-trip (everything the exporters emit)
+    re-serializes to the same bytes, so the checksum computed at
+    :func:`checkpoint` time matches the one recomputed after a load.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# In-memory state capture (no envelope)
+# ----------------------------------------------------------------------
+
+
+def capture_state(collector: "Collector") -> dict:
+    """The four raw state sections for ``collector``'s live context.
+
+    Synchronizes with an in-flight concurrent marker (its result is
+    materialized into the collector state), so the capture is a
+    self-contained resume point.
+    """
+    return {
+        "backend": collector.heap.backend_name,
+        "collector_state": collector.export_state(),
+        "heap": collector.heap.export_state(),
+        "roots": collector.roots.export_state(),
+        "stats": collector.stats.export_state(),
+    }
+
+
+def restore_state(collector: "Collector", state: dict) -> None:
+    """Overwrite ``collector``'s live context with a captured state.
+
+    The collector must be of the kind and geometry the state was
+    captured from (its spaces are matched by name).  Collector state
+    first, then heap contents, then roots, then stats — see the module
+    docstring for why this order is load-bearing.
+    """
+    collector.import_state(state["collector_state"])
+    collector.heap.import_state(state["heap"])
+    collector.roots.import_state(state["roots"])
+    collector.stats.import_state(state["stats"])
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore (enveloped, checksummed)
+# ----------------------------------------------------------------------
+
+
+def checkpoint(
+    collector: "Collector", kind: str, geometry: "GcGeometry"
+) -> dict:
+    """A complete, checksummed snapshot document for ``collector``.
+
+    ``kind`` and ``geometry`` must describe how the collector was
+    built (:func:`repro.gc.registry.make_collector`); :func:`restore`
+    replays that construction before importing the state.
+    """
+    payload = capture_state(collector)
+    payload["collector"] = {"kind": kind, "geometry": asdict(geometry)}
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "checksum": _payload_checksum(payload),
+        "payload": payload,
+    }
+    if collector.metrics is not None:
+        collector.metrics.event(
+            "checkpoint",
+            clock=collector.heap.clock,
+            kind=kind,
+            backend=payload["backend"],
+        )
+    return document
+
+
+def verify_snapshot(document: object) -> dict:
+    """Validate a snapshot document; returns its payload.
+
+    Raises:
+        SnapshotError: wrong structure, format tag, version, or a
+            checksum mismatch.
+    """
+    if not isinstance(document, dict):
+        raise SnapshotError(
+            f"snapshot document must be a JSON object, got "
+            f"{type(document).__name__}"
+        )
+    if document.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"not a heap snapshot (format {document.get('format')!r})"
+        )
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {document.get('version')!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        raise SnapshotError("snapshot payload missing or malformed")
+    checksum = _payload_checksum(payload)
+    if checksum != document.get("checksum"):
+        raise SnapshotError(
+            f"snapshot checksum mismatch: payload hashes to "
+            f"{checksum[:12]}..., envelope claims "
+            f"{str(document.get('checksum'))[:12]}..."
+        )
+    return payload
+
+
+def restore(document: dict):
+    """Rebuild a fresh ``(heap, roots, collector)`` context from a
+    snapshot document.
+
+    Validates the envelope, constructs the backend heap and the
+    collector exactly as the registry originally did, and imports the
+    four state sections.  Any structural inconsistency the importers
+    detect (a payload that passed the checksum but lies about itself
+    can only come from a buggy writer) surfaces as
+    :class:`SnapshotError` too.
+    """
+    payload = verify_snapshot(document)
+    from repro.gc.registry import GcGeometry, make_collector
+    from repro.heap.backend import make_heap
+    from repro.heap.roots import RootSet
+
+    descriptor = payload.get("collector")
+    if not isinstance(descriptor, dict):
+        raise SnapshotError("snapshot carries no collector descriptor")
+    try:
+        geometry = GcGeometry(**descriptor["geometry"])
+        heap = make_heap(payload["backend"])
+        roots = RootSet()
+        collector = make_collector(descriptor["kind"], heap, roots, geometry)
+        restore_state(collector, payload)
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(f"snapshot restore failed: {exc}") from exc
+    if collector.metrics is not None:
+        collector.metrics.event(
+            "restore",
+            clock=heap.clock,
+            kind=descriptor["kind"],
+            backend=payload["backend"],
+        )
+    return heap, roots, collector
+
+
+def restore_into(collector: "Collector", document: dict) -> None:
+    """Validate a snapshot document and restore it onto an existing
+    collector of the same kind and geometry (in-place variant)."""
+    payload = verify_snapshot(document)
+    try:
+        restore_state(collector, payload)
+    except Exception as exc:
+        raise SnapshotError(f"snapshot restore failed: {exc}") from exc
+    if collector.metrics is not None:
+        collector.metrics.event(
+            "restore",
+            clock=collector.heap.clock,
+            kind=collector.name,
+            backend=payload["backend"],
+        )
+
+
+# ----------------------------------------------------------------------
+# Disk IO
+# ----------------------------------------------------------------------
+
+
+def save_snapshot(path: Path | str, document: dict) -> Path:
+    """Write a snapshot document via the atomic helpers.
+
+    The write-fsync-rename-fsync sequence guarantees a reader (or a
+    restarted process) sees either the previous complete snapshot or
+    this one, never a torn hybrid.
+    """
+    return atomic_write_json(path, document)
+
+
+def load_snapshot(path: Path | str) -> dict:
+    """Read and validate a snapshot file; returns the document.
+
+    Raises:
+        SnapshotError: unreadable file, invalid JSON, or any envelope/
+            checksum failure — one exception type for "do not trust
+            this file", whatever went wrong first.
+    """
+    try:
+        with Path(path).open(encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    verify_snapshot(document)
+    return document

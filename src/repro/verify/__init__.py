@@ -10,9 +10,11 @@ Two independent oracles over the collectors in :mod:`repro.gc`:
   and require identical live graphs at every checkpoint, with
   :mod:`repro.verify.shrink` minimizing any counterexample.
   :mod:`repro.verify.budget` specializes the same machinery into the
-  incremental collector's interruption-equivalence suite, and
+  incremental collector's interruption-equivalence suite,
   :mod:`repro.verify.concurrent` into the concurrent collector's
-  off-thread-marking equivalence suite.
+  off-thread-marking equivalence suite, and
+  :mod:`repro.verify.resume` into the snapshot subsystem's
+  resume-equivalence suite (restore at every allocation safepoint).
 
 The CLI front end is ``repro-gc verify``.
 """
@@ -53,6 +55,11 @@ from repro.verify.replay import (
     normalize_ops,
     replay,
 )
+from repro.verify.resume import (
+    resume_label,
+    run_resume_differential,
+    run_resume_differential_all_backends,
+)
 from repro.verify.shrink import shrink_script
 
 __all__ = [
@@ -81,6 +88,9 @@ __all__ = [
     "generate_script",
     "normalize_ops",
     "replay",
+    "resume_label",
     "run_differential",
+    "run_resume_differential",
+    "run_resume_differential_all_backends",
     "shrink_script",
 ]

@@ -3,7 +3,13 @@
 Exhaustion is a policy, not an accident: collectors collect, then
 expand within their configured bound, and only then raise a structured
 :class:`HeapExhausted` carrying a per-space occupancy snapshot.
+
+Every scenario runs on both heap backends — the flat backend's arena
+bookkeeping must wedge, collect, and report occupancy exactly like the
+object backend's.
 """
+
+import random
 
 import pytest
 
@@ -11,24 +17,29 @@ from repro.gc.collector import HeapExhausted
 from repro.gc.generational import GenerationalCollector
 from repro.gc.marksweep import MarkSweepCollector
 from repro.gc.stopcopy import StopAndCopyCollector
-from repro.heap.heap import SimulatedHeap
+from repro.heap.backend import HEAP_BACKENDS, make_heap
 from repro.heap.roots import RootSet
 
 
-def _fresh():
-    return SimulatedHeap(), RootSet()
+@pytest.fixture(params=HEAP_BACKENDS)
+def backend(request):
+    return request.param
+
+
+def _fresh(backend):
+    return make_heap(backend), RootSet()
 
 
 class TestExactCapacityBoundary:
-    def test_filling_to_exact_capacity_succeeds(self):
-        heap, roots = _fresh()
+    def test_filling_to_exact_capacity_succeeds(self, backend):
+        heap, roots = _fresh(backend)
         collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
         for index in range(2):
             roots.set_global(f"g{index}", collector.allocate(4))
         assert collector.space.used == 8
 
-    def test_one_word_past_capacity_exhausts(self):
-        heap, roots = _fresh()
+    def test_one_word_past_capacity_exhausts(self, backend):
+        heap, roots = _fresh(backend)
         collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
         for index in range(2):
             roots.set_global(f"g{index}", collector.allocate(4))
@@ -36,8 +47,8 @@ class TestExactCapacityBoundary:
             collector.allocate(1)
         assert excinfo.value.requested == 1
 
-    def test_garbage_at_capacity_is_collected_not_fatal(self):
-        heap, roots = _fresh()
+    def test_garbage_at_capacity_is_collected_not_fatal(self, backend):
+        heap, roots = _fresh(backend)
         collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
         collector.allocate(4)
         collector.allocate(4)  # both unreachable
@@ -47,11 +58,13 @@ class TestExactCapacityBoundary:
 
 
 class TestEmergencyCollection:
-    def test_tenuring_nursery_wedge_resolved_by_full_collection(self):
+    def test_tenuring_nursery_wedge_resolved_by_full_collection(
+        self, backend
+    ):
         # Under-age survivors stay in the nursery after a minor
         # collection (tenuring), so the nursery can still be full; the
         # emergency full collection promotes them all before giving up.
-        heap, roots = _fresh()
+        heap, roots = _fresh(backend)
         collector = GenerationalCollector(
             heap,
             roots,
@@ -72,8 +85,8 @@ class TestEmergencyCollection:
             assert collector.generation_index(obj) == 1
         assert collector.nursery.used == 4
 
-    def test_stopcopy_collects_garbage_before_raising(self):
-        heap, roots = _fresh()
+    def test_stopcopy_collects_garbage_before_raising(self, backend):
+        heap, roots = _fresh(backend)
         collector = StopAndCopyCollector(heap, roots, 8, auto_expand=False)
         collector.allocate(4)
         collector.allocate(4)  # both unreachable
@@ -83,8 +96,8 @@ class TestEmergencyCollection:
 
 
 class TestExpansionCap:
-    def test_marksweep_expands_only_to_the_cap(self):
-        heap, roots = _fresh()
+    def test_marksweep_expands_only_to_the_cap(self, backend):
+        heap, roots = _fresh(backend)
         collector = MarkSweepCollector(
             heap, roots, 8, auto_expand=True, max_heap_words=16
         )
@@ -95,8 +108,8 @@ class TestExpansionCap:
             collector.allocate(4)
         assert collector.space.capacity <= 16
 
-    def test_stopcopy_expands_only_to_the_cap(self):
-        heap, roots = _fresh()
+    def test_stopcopy_expands_only_to_the_cap(self, backend):
+        heap, roots = _fresh(backend)
         collector = StopAndCopyCollector(
             heap, roots, 8, auto_expand=True, max_semispace_words=16
         )
@@ -107,18 +120,18 @@ class TestExpansionCap:
         for space in heap.spaces():
             assert (space.capacity or 0) <= 16
 
-    def test_cap_below_initial_size_rejected(self):
-        heap, roots = _fresh()
+    def test_cap_below_initial_size_rejected(self, backend):
+        heap, roots = _fresh(backend)
         with pytest.raises(ValueError):
             MarkSweepCollector(heap, roots, 32, max_heap_words=16)
-        heap, roots = _fresh()
+        heap, roots = _fresh(backend)
         with pytest.raises(ValueError):
             StopAndCopyCollector(heap, roots, 32, max_semispace_words=16)
 
 
 class TestExhaustionDiagnostics:
-    def _exhaust(self):
-        heap, roots = _fresh()
+    def _exhaust(self, backend):
+        heap, roots = _fresh(backend)
         collector = MarkSweepCollector(heap, roots, 8, auto_expand=False)
         for index in range(2):
             roots.set_global(f"g{index}", collector.allocate(4))
@@ -126,8 +139,8 @@ class TestExhaustionDiagnostics:
             collector.allocate(4)
         return collector, excinfo.value
 
-    def test_snapshot_carries_per_space_occupancy(self):
-        collector, error = self._exhaust()
+    def test_snapshot_carries_per_space_occupancy(self, backend):
+        collector, error = self._exhaust(backend)
         assert error.collector is collector
         assert error.requested == 4
         assert error.phase == "allocate"
@@ -138,14 +151,85 @@ class TestExhaustionDiagnostics:
         wedged = {entry["name"]: entry for entry in spaces}
         assert wedged[collector.space.name]["used"] == 8
 
-    def test_message_names_phase_and_occupancy(self):
-        _, error = self._exhaust()
+    def test_message_names_phase_and_occupancy(self, backend):
+        _, error = self._exhaust(backend)
         message = str(error)
         assert "phase allocate" in message
         assert "4 words" in message
 
-    def test_snapshot_is_jsonable(self):
+    def test_snapshot_is_jsonable(self, backend):
         import json
 
-        _, error = self._exhaust()
+        _, error = self._exhaust(backend)
         json.dumps(error.snapshot)
+
+
+class TestSeededFlatPressure:
+    """Seeded allocate/drop churn on the flat backend, driven to
+    exhaustion: the arena bookkeeping must report the same structured
+    diagnostics the object backend does, at any wedge point."""
+
+    def _churn_to_exhaustion(self, seed):
+        heap, roots = _fresh("flat")
+        collector = MarkSweepCollector(heap, roots, 32, auto_expand=False)
+        rng = random.Random(seed)
+        live = {}
+        with pytest.raises(HeapExhausted) as excinfo:
+            for step in range(10_000):
+                if live and rng.random() < 0.3:
+                    name = rng.choice(sorted(live))
+                    roots.remove_global(name)
+                    del live[name]
+                else:
+                    size = rng.randint(1, 6)
+                    obj = collector.allocate(size)
+                    name = f"g{step}"
+                    roots.set_global(name, obj)
+                    live[name] = size
+            pytest.fail("churn never exhausted a capped 32-word heap")
+        return heap, collector, live, excinfo.value
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_occupancy_snapshot_matches_live_roots(self, seed):
+        heap, collector, live, error = self._churn_to_exhaustion(seed)
+        # At the wedge the heap holds exactly the rooted survivors: the
+        # failed allocation collected first, so no garbage remains.
+        expected_used = sum(live.values())
+        wedged = {
+            entry["name"]: entry for entry in error.snapshot["spaces"]
+        }
+        entry = wedged[collector.space.name]
+        assert entry["used"] == expected_used == collector.space.used
+        assert entry["capacity"] == 32
+        assert error.requested + expected_used > 32
+        heap.check_integrity()
+
+    @pytest.mark.parametrize("seed", [3, 99])
+    def test_emergency_collection_path_under_churn(self, seed):
+        # A generational heap under the same churn: minor collections
+        # tenure under-age survivors in place, so the emergency full
+        # collection is what keeps the nursery usable.
+        heap, roots = _fresh("flat")
+        collector = GenerationalCollector(
+            heap,
+            roots,
+            [16, 128],
+            promotion_threshold=3,
+            tenuring_overflow_fraction=1.0,
+        )
+        rng = random.Random(seed)
+        live = {}
+        for step in range(300):
+            if live and rng.random() < 0.4:
+                name = rng.choice(sorted(live))
+                roots.remove_global(name)
+                del live[name]
+            else:
+                obj = collector.allocate(rng.randint(1, 4))
+                name = f"g{step}"
+                roots.set_global(name, obj)
+                live[name] = obj
+        assert collector.stats.collections > 0
+        for name, obj in live.items():
+            assert heap.contains_id(obj.obj_id), name
+        heap.check_integrity()

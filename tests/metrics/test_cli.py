@@ -78,7 +78,7 @@ class TestExperimentMode:
         records = parse_ndjson(events.read_text(encoding="utf-8"))
         assert records
         assert all(
-            record["v"] == EVENT_SCHEMA_VERSION == 3 for record in records
+            record["v"] == EVENT_SCHEMA_VERSION == 4 for record in records
         )
         kinds = {record["event"] for record in records}
         assert "collection-end" in kinds

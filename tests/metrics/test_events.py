@@ -15,7 +15,7 @@ class TestEmit:
     def test_every_record_carries_version_seq_and_kind(self):
         stream = EventStream()
         record = stream.emit("collection-start", clock=10, kind="full")
-        assert record["v"] == EVENT_SCHEMA_VERSION == 3
+        assert record["v"] == EVENT_SCHEMA_VERSION == 4
         assert record["seq"] == 0
         assert record["event"] == "collection-start"
         assert record["clock"] == 10

@@ -1,6 +1,7 @@
 """Tests for the atomic write helpers."""
 
 import json
+import os
 
 from repro.resilience.atomic import atomic_write_json, atomic_write_text
 
@@ -28,6 +29,32 @@ class TestAtomicWriteText:
         atomic_write_text(path, "one")
         atomic_write_text(path, "two")
         assert sorted(p.name for p in tmp_path.iterdir()) == ["out.txt"]
+
+    def test_fsyncs_file_then_containing_directory(
+        self, tmp_path, monkeypatch
+    ):
+        """The durability recipe needs *two* fsyncs: the temp file's
+        bytes before the rename, and the directory entry after it —
+        otherwise a crash can roll the rename back."""
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            stat = os.fstat(fd)
+            synced.append((stat.st_ino, stat.st_mode & 0o170000))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "durable")
+        directory_inode = os.stat(tmp_path).st_ino
+        file_inode = os.stat(path).st_ino
+        assert [inode for inode, _ in synced] == [
+            file_inode,
+            directory_inode,
+        ]
+        # The second fsync really targeted a directory descriptor.
+        assert synced[1][1] == 0o040000
 
 
 class TestAtomicWriteJson:

@@ -87,3 +87,37 @@ class TestOutcomeScoring:
         )
         assert not matrix.ok
         assert list(matrix.failures()) == [bad]
+
+
+class TestSnapshotChaos:
+    @pytest.fixture(scope="class")
+    def snapshot_matrix(self):
+        from repro.resilience.chaos import run_snapshot_chaos
+
+        return run_snapshot_chaos(
+            seed=0, collectors=("mark-sweep", "concurrent"), quick=True
+        )
+
+    def test_every_fault_kind_swept(self, snapshot_matrix):
+        from repro.resilience.chaos import SNAPSHOT_FAULTS
+
+        assert snapshot_matrix.kinds == tuple(SNAPSHOT_FAULTS)
+        assert len(snapshot_matrix.outcomes) == 2 * len(SNAPSHOT_FAULTS)
+
+    def test_hundred_percent_detection(self, snapshot_matrix):
+        assert snapshot_matrix.ok
+        for outcome in snapshot_matrix.outcomes:
+            assert outcome.status == "detected", outcome
+            assert outcome.channel == "restore"
+            assert outcome.expectation == "corruption"
+
+    def test_detection_is_seed_deterministic(self):
+        from repro.resilience.chaos import run_snapshot_chaos
+
+        first = run_snapshot_chaos(
+            seed=3, collectors=("generational",), quick=True
+        )
+        second = run_snapshot_chaos(
+            seed=3, collectors=("generational",), quick=True
+        )
+        assert first.to_json() == second.to_json()

@@ -109,7 +109,7 @@ class TestFaultEvents:
     def test_schema_record_layout_is_pinned(self, chaos_run):
         _, stream = chaos_run
         for record in stream.events("fault-detected"):
-            assert record["v"] == EVENT_SCHEMA_VERSION == 3
+            assert record["v"] == EVENT_SCHEMA_VERSION == 4
             assert set(record) == DETECTED_KEYS
             assert record["status"] in (
                 "detected",
@@ -119,7 +119,7 @@ class TestFaultEvents:
             )
             assert record["channel"] in ("audit", "crash", "divergence")
         for record in stream.events("fault-injected"):
-            assert record["v"] == EVENT_SCHEMA_VERSION == 3
+            assert record["v"] == EVENT_SCHEMA_VERSION == 4
             assert set(record) == INJECTED_KEYS
 
     def test_stream_round_trips_through_ndjson(self, chaos_run, tmp_path):

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.resilience.journal import SweepJournal
 
 NAMES = ["table1", "equilibrium"]
@@ -81,5 +83,61 @@ class TestResumeValidation:
         body = json.loads(path.read_text())
         body["completed"]["equilibrium"] = "not-a-dict"
         path.write_text(json.dumps(body))
-        resumed = SweepJournal.resume(path, NAMES, DIGEST)
+        with pytest.warns(RuntimeWarning, match="equilibrium"):
+            resumed = SweepJournal.resume(path, NAMES, DIGEST)
         assert set(resumed.completed) == {"table1"}
+
+
+class TestEntryChecksums:
+    def test_entries_carry_checksums_on_disk(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry())
+        body = json.loads(path.read_text())
+        record = body["completed"]["table1"]
+        assert set(record) == {"entry", "checksum"}
+        assert record["entry"]["text"] == "rendered"
+        assert len(record["checksum"]) == 64
+
+    def test_corrupt_completed_entry_is_skipped_with_warning(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry("good"))
+        journal.record_success("equilibrium", _entry("also good"))
+        body = json.loads(path.read_text())
+        # Bit rot inside one payload: the text no longer matches the
+        # recorded checksum.
+        body["completed"]["table1"]["entry"]["text"] = "tampered"
+        path.write_text(json.dumps(body))
+        with pytest.warns(RuntimeWarning, match="table1"):
+            resumed = SweepJournal.resume(path, NAMES, DIGEST)
+        assert set(resumed.completed) == {"equilibrium"}
+
+    def test_corrupt_quarantine_entry_is_skipped_with_warning(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_failure(
+            "table1", {"kind": "timeout", "attempts": 2, "error": "slow"}
+        )
+        body = json.loads(path.read_text())
+        body["quarantined"]["table1"]["checksum"] = "0" * 64
+        path.write_text(json.dumps(body))
+        with pytest.warns(RuntimeWarning, match="table1"):
+            resumed = SweepJournal.resume(path, NAMES, DIGEST)
+        assert resumed.quarantined == {}
+
+    def test_old_format_journal_resumes_fresh(self, tmp_path):
+        path = tmp_path / "journal.json"
+        journal = SweepJournal.fresh(path, NAMES, DIGEST)
+        journal.record_success("table1", _entry())
+        body = json.loads(path.read_text())
+        # A v1 journal stored bare entries under format 1; the format
+        # check rejects it wholesale, no warning needed.
+        body["format"] = 1
+        path.write_text(json.dumps(body))
+        resumed = SweepJournal.resume(path, NAMES, DIGEST)
+        assert resumed.completed == {}

@@ -1,0 +1,64 @@
+"""Tests for the resume-equivalence oracle."""
+
+import pytest
+
+from repro.gc.registry import COLLECTOR_KINDS
+from repro.heap.backend import HEAP_BACKENDS
+from repro.verify.replay import generate_script
+from repro.verify.resume import (
+    resume_label,
+    run_resume_differential,
+    run_resume_differential_all_backends,
+)
+
+
+class TestResumeLabel:
+    def test_label_shape(self):
+        assert resume_label("generational") == "generational+resume"
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("backend", HEAP_BACKENDS)
+    def test_all_kinds_resume_byte_identical(self, backend):
+        script = generate_script(120, seed=11)
+        report = run_resume_differential(script, backend=backend)
+        assert report.ok, report.summary()
+        for kind in COLLECTOR_KINDS:
+            assert report.results[kind] is not None
+            assert report.results[resume_label(kind)] is not None
+
+    def test_resumed_result_matches_reference_exactly(self):
+        script = generate_script(90, seed=2)
+        report = run_resume_differential(
+            script, kinds=["generational"], backend="flat"
+        )
+        assert report.ok, report.summary()
+        reference = report.results["generational"]
+        resumed = report.results[resume_label("generational")]
+        assert resumed.checkpoints == reference.checkpoints
+        assert resumed.stats == reference.stats
+        assert resumed.pauses == reference.pauses
+
+    def test_sparser_resume_interval_also_passes(self):
+        script = generate_script(120, seed=4)
+        report = run_resume_differential(
+            script,
+            kinds=["incremental", "concurrent"],
+            backend="flat",
+            resume_interval=5,
+        )
+        assert report.ok, report.summary()
+
+    def test_all_backends_helper_covers_each_backend(self):
+        script = generate_script(60, seed=8)
+        reports = run_resume_differential_all_backends(
+            script, kinds=["mark-sweep"]
+        )
+        assert set(reports) == set(HEAP_BACKENDS)
+        for backend, report in reports.items():
+            assert report.ok, f"{backend}: {report.summary()}"
+
+    def test_rejects_non_positive_interval(self):
+        script = generate_script(10, seed=0)
+        with pytest.raises(ValueError):
+            run_resume_differential(script, resume_interval=0)
