@@ -921,6 +921,184 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kinds(text: str | None) -> tuple[str, ...]:
+    from repro.gc.registry import COLLECTOR_KINDS
+
+    if not text:
+        return COLLECTOR_KINDS
+    kinds = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [kind for kind in kinds if kind not in COLLECTOR_KINDS]
+    if unknown:
+        raise SystemExit(
+            f"unknown collector kind(s): {', '.join(unknown)} "
+            f"(known: {', '.join(COLLECTOR_KINDS)})"
+        )
+    return kinds
+
+
+def _parse_backends(text: str | None) -> tuple[str, ...]:
+    from repro.heap.backend import HEAP_BACKENDS
+
+    if not text:
+        return ("flat",)
+    backends = tuple(
+        part.strip() for part in text.split(",") if part.strip()
+    )
+    unknown = [name for name in backends if name not in HEAP_BACKENDS]
+    if unknown:
+        raise SystemExit(
+            f"unknown heap backend(s): {', '.join(unknown)} "
+            f"(known: {', '.join(HEAP_BACKENDS)})"
+        )
+    return backends
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import HeapServer
+
+    async def run() -> None:
+        server = HeapServer(
+            shards=args.shards,
+            jobs=args.jobs,
+            tenant_cap=args.tenant_cap,
+            timeout=args.task_timeout,
+            retries=args.task_retries,
+        )
+        port = await server.start(args.host, args.port)
+        # The bound port on one parseable line, flushed immediately, so
+        # scripts (and the CI smoke job) can serve on port 0 and read
+        # back where the listener landed.
+        print(f"repro-gc serve: listening on {args.host}:{port}", flush=True)
+        print(
+            f"  shards={args.shards} jobs={args.jobs} "
+            f"tenant_cap={args.tenant_cap}",
+            flush=True,
+        )
+        try:
+            await server.serve_until_closed()
+        finally:
+            stats = server.stats()
+            print(f"repro-gc serve: closed after {stats}", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.service.loadgen import build_plan, plan_fingerprint, run_load
+    from repro.service.report import (
+        build_scale_report,
+        check_pause_regression,
+        render_scale_report,
+        validate_scale_report,
+    )
+    from repro.service.server import HeapServer
+
+    plan = build_plan(
+        args.tenants,
+        seed=args.seed,
+        profile=args.profile,
+        kinds=_parse_kinds(args.kinds),
+        backends=_parse_backends(args.backends),
+        ops_per_tenant=args.ops,
+    )
+    if args.fingerprint:
+        print(plan_fingerprint(plan))
+        return 0
+
+    async def run():
+        if args.connect is not None:
+            host, _, port_text = args.connect.rpartition(":")
+            host = host or "127.0.0.1"
+            result = await run_load(
+                plan, host, int(port_text), connections=args.connections
+            )
+            if args.shutdown:
+                from repro.service.loadgen import _Connection
+                from repro.service.protocol import PROTOCOL_VERSION
+
+                reader, writer = await asyncio.open_connection(
+                    host, int(port_text)
+                )
+                connection = _Connection(reader, writer)
+                await connection.request(
+                    {"v": PROTOCOL_VERSION, "id": "load:bye", "op": "shutdown"}
+                )
+                await connection.close()
+            return result, "server"
+        server = HeapServer(
+            shards=args.shards, jobs=args.jobs, tenant_cap=args.tenant_cap
+        )
+        port = await server.start()
+        try:
+            result = await run_load(
+                plan, "127.0.0.1", port, connections=args.connections
+            )
+        finally:
+            await server.close()
+        return result, "self-serve"
+
+    result, mode = asyncio.run(run())
+    report = build_scale_report(plan, result, mode=mode)
+    problems = validate_scale_report(report)
+    print(render_scale_report(report))
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}")
+        return 1
+    if result.error_total and not args.allow_errors:
+        print(f"load run saw {result.error_total} error response(s)")
+        return 1
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            committed = json_module.load(handle)
+        gate = validate_scale_report(committed)
+        gate += check_pause_regression(
+            report, committed, tolerance=args.tolerance
+        )
+        if gate:
+            for problem in gate:
+                print(f"gate: {problem}")
+            return 1
+        print(f"gate: p99 pauses within {args.tolerance}x of {args.check}")
+    return 0
+
+
+def _cmd_isolation(args: argparse.Namespace) -> int:
+    from repro.service.isolation import run_isolation_suite
+
+    report = run_isolation_suite(
+        args.tenants,
+        seed=args.seed,
+        ops_per_tenant=args.ops,
+        shards=args.shards,
+        jobs=args.jobs,
+        kinds=_parse_kinds(args.kinds),
+        backends=_parse_backends(args.backends),
+        interleave_seed=args.interleave_seed,
+    )
+    print(report.summary())
+    if not report.ok and args.verbose:
+        for divergence in report.divergences:
+            if divergence.shrunk_script:
+                print(f"--- shrunk script for {divergence.tenant} ---")
+                print(divergence.shrunk_script)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gc",
@@ -1387,6 +1565,150 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--g", type=float, default=0.25)
     sub.add_argument("--load", type=float, default=3.5)
     sub.set_defaults(func=_cmd_analyze)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help=(
+            "GC-as-a-service: host tenant heaps behind a line-JSON TCP "
+            "server, sharded across worker processes"
+        ),
+    )
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 binds an ephemeral port and prints it)",
+    )
+    sub.add_argument("--shards", type=int, default=2)
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for shard batches; 0 runs shards inline "
+            "in the server process (deterministic reference mode)"
+        ),
+    )
+    sub.add_argument(
+        "--tenant-cap",
+        type=int,
+        default=None,
+        help="per-shard open-tenant limit (admission control)",
+    )
+    sub.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="seconds before a wedged shard batch is drained",
+    )
+    sub.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        help="replay attempts for a lost shard batch",
+    )
+    sub.set_defaults(func=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "load",
+        help=(
+            "closed-loop load generator: seeded multi-tenant traffic "
+            "against a live server (--connect) or a self-hosted one"
+        ),
+    )
+    sub.add_argument("--tenants", type=int, default=200)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--profile",
+        choices=("decay", "burst", "session-tail", "mixed"),
+        default="mixed",
+    )
+    sub.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated collector kinds (default: all seven)",
+    )
+    sub.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated heap backends (default: flat)",
+    )
+    sub.add_argument(
+        "--ops", type=int, default=300, help="ops per tenant (approx)"
+    )
+    sub.add_argument("--connections", type=int, default=8)
+    sub.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="drive an already-running server instead of self-hosting",
+    )
+    sub.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send a shutdown op after the load (with --connect)",
+    )
+    sub.add_argument(
+        "--shards", type=int, default=2, help="self-hosted server shards"
+    )
+    sub.add_argument(
+        "--jobs", type=int, default=0, help="self-hosted server jobs"
+    )
+    sub.add_argument("--tenant-cap", type=int, default=None)
+    sub.add_argument(
+        "--report",
+        default=None,
+        help="write the scale report JSON to this path",
+    )
+    sub.add_argument(
+        "--check",
+        default=None,
+        metavar="REPORT",
+        help=(
+            "gate against a committed scale report: schema validity "
+            "plus p99 mutator-visible pause regression"
+        ),
+    )
+    sub.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.25,
+        help="allowed p99 growth factor for --check",
+    )
+    sub.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="print the plan fingerprint (no traffic) and exit",
+    )
+    sub.add_argument(
+        "--allow-errors",
+        action="store_true",
+        help="do not fail the run on error responses",
+    )
+    sub.set_defaults(func=_cmd_load)
+
+    sub = subparsers.add_parser(
+        "isolation",
+        help=(
+            "tenant-isolation suite: interleaved service runs must "
+            "match per-tenant serial replays byte for byte"
+        ),
+    )
+    sub.add_argument("--tenants", type=int, default=8)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--ops", type=int, default=160)
+    sub.add_argument("--shards", type=int, default=2)
+    sub.add_argument("--jobs", type=int, default=0)
+    sub.add_argument("--kinds", default=None)
+    sub.add_argument("--backends", default=None)
+    sub.add_argument("--interleave-seed", type=int, default=None)
+    sub.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print shrunk divergence scripts",
+    )
+    sub.set_defaults(func=_cmd_isolation)
 
     return parser
 

@@ -76,6 +76,52 @@ class GcGeometry:
     #: runs the marker inline at the handoff, which is the
     #: deterministic reference mode the oracles replay.
     marker_workers: int = 0
+    #: Grow spaces by the load factor when live storage crowds them.
+    #: ``False`` pins the geometry: allocation beyond it surfaces as a
+    #: graceful :class:`~repro.gc.collector.HeapExhausted` — the mode
+    #: the multi-tenant service runs, where one tenant outgrowing its
+    #: lease must get backpressure rather than more of the host's
+    #: memory.  (The non-predictive and hybrid collectors have fixed
+    #: step arenas and already behave this way.)
+    auto_expand: bool = True
+
+    def scaled(
+        self, numerator: int, denominator: int, *, floor: int = 64
+    ) -> "GcGeometry":
+        """This geometry with every space scaled by a rational factor.
+
+        The multi-tenant service hosts thousands of heaps per process;
+        each tenant gets the default shape shrunk (or grown) by
+        ``numerator/denominator``, with ``floor`` words as the minimum
+        space size so tiny tenants still fit their largest objects.
+        The slice budget scales too (floored at 8 words) so the
+        incremental collector's pause/throughput trade-off keeps its
+        proportions at any scale; step count, load factors, and marker
+        workers are shape, not size, and pass through unchanged.
+        """
+        if numerator < 1 or denominator < 1:
+            raise ValueError(
+                f"scale must be a positive rational, got "
+                f"{numerator}/{denominator}"
+            )
+
+        def scale(words: int) -> int:
+            return max(floor, words * numerator // denominator)
+
+        budget = self.slice_budget
+        if budget is not None:
+            budget = max(8, budget * numerator // denominator)
+        return GcGeometry(
+            nursery_words=scale(self.nursery_words),
+            semispace_words=scale(self.semispace_words),
+            step_words=scale(self.step_words),
+            step_count=self.step_count,
+            load_factor=self.load_factor,
+            gen_oldest_load_factor=self.gen_oldest_load_factor,
+            slice_budget=budget,
+            marker_workers=self.marker_workers,
+            auto_expand=self.auto_expand,
+        )
 
 
 def make_collector(
@@ -91,6 +137,7 @@ def make_collector(
             roots,
             2 * geometry.semispace_words,
             load_factor=geometry.load_factor,
+            auto_expand=geometry.auto_expand,
         )
     if kind == "stop-and-copy":
         return StopAndCopyCollector(
@@ -98,6 +145,7 @@ def make_collector(
             roots,
             geometry.semispace_words,
             load_factor=geometry.load_factor,
+            auto_expand=geometry.auto_expand,
         )
     if kind == "generational":
         return GenerationalCollector(
@@ -105,6 +153,7 @@ def make_collector(
             roots,
             [geometry.nursery_words, 4 * geometry.nursery_words],
             oldest_load_factor=geometry.gen_oldest_load_factor,
+            auto_expand_oldest=geometry.auto_expand,
         )
     if kind == "non-predictive":
         return NonPredictiveCollector(
@@ -127,6 +176,7 @@ def make_collector(
             2 * geometry.semispace_words,
             slice_budget=geometry.slice_budget,
             load_factor=geometry.load_factor,
+            auto_expand=geometry.auto_expand,
         )
     if kind == "concurrent":
         # The incremental geometry with the mark phase off-thread, so
@@ -137,6 +187,7 @@ def make_collector(
             2 * geometry.semispace_words,
             marker_workers=geometry.marker_workers,
             load_factor=geometry.load_factor,
+            auto_expand=geometry.auto_expand,
         )
     raise ValueError(f"unknown collector kind {kind!r}")
 

@@ -1,0 +1,372 @@
+"""One tenant's heap session: the mutator surface behind the service.
+
+A :class:`TenantSession` owns a private ``(heap, roots, collector,
+barrier)`` context built from the tenant's chosen collector kind,
+:class:`~repro.gc.registry.GcGeometry`, and heap backend — nothing is
+shared between tenants, which is the whole point: the isolation oracle
+(:mod:`repro.service.isolation`) proves that a tenant's checkpoints and
+:class:`~repro.gc.stats.GcStats` through the service are byte-identical
+to replaying its ops serially through a standalone heap
+(:func:`repro.verify.replay.replay`).
+
+Op semantics deliberately mirror :mod:`repro.verify.replay` — same
+root naming (``u{uid}``), same write-barrier-then-write store order,
+same live-graph fingerprint — so the two sides are comparable without
+translation.
+
+Sessions are *migratable*: :meth:`capture` freezes the session into a
+JSON-able state blob built on the PR 9 snapshot machinery
+(:func:`repro.resilience.snapshot.checkpoint`, checksummed envelope
+included), and :meth:`TenantSession.from_state` revives it in another
+process.  Resume equivalence (proven per collector and backend by
+:mod:`repro.verify.resume`) is what lets the sharded executor replay a
+batch on a respawned worker without any tenant noticing.
+
+Metric accounting is *cadence-independent by construction*: instead of
+observing collections as they happen (whose batching would make
+telemetry depend on how the service chunked the traffic),
+:meth:`drain_metrics` walks the pause log and stats counters forward
+from high-water marks stored **in the session state**.  Draining after
+every batch, or once at close, or at any mixture, yields byte-identical
+registries — which is what makes per-shard metrics merge exactly across
+inline and worker-process execution at any jobs level.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any
+
+from repro.gc.collector import HeapExhausted
+from repro.gc.registry import GcGeometry, make_collector
+from repro.heap.backend import make_heap, resolve_backend_name
+from repro.heap.barrier import WriteBarrier
+from repro.heap.roots import RootSet
+from repro.metrics.registry import MetricRegistry
+from repro.resilience.snapshot import checkpoint as snapshot_checkpoint
+from repro.resilience.snapshot import restore as snapshot_restore
+from repro.service.protocol import ProtocolError, geometry_from_payload
+
+__all__ = [
+    "OpRejected",
+    "TenantSession",
+    "graph_digest",
+    "pauses_digest",
+    "pause_family",
+]
+
+
+class OpRejected(Exception):
+    """An op was refused by policy, not by a malformed request.
+
+    The session survives; the shard turns this into a structured error
+    response (``heap-exhausted`` with the occupancy snapshot attached,
+    for the only current producer).
+    """
+
+    def __init__(self, kind: str, detail: str, **extra: Any) -> None:
+        super().__init__(detail)
+        self.kind = kind
+        self.detail = detail
+        self.extra = extra
+
+
+def graph_digest(graph: tuple) -> str:
+    """SHA-256 over the canonical live-graph fingerprint.
+
+    ``graph`` is the sorted ``(obj_id, size, fields)`` tuple built by
+    both :func:`repro.verify.replay.replay` checkpoints and
+    :meth:`TenantSession.checkpoint_payload`; hashing the canonical
+    JSON of the same structure makes the two directly comparable.
+    """
+    blob = json.dumps(
+        [[obj_id, size, list(fields)] for obj_id, size, fields in graph],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def pauses_digest(pauses) -> str:
+    """SHA-256 over a pause log (any iterable of PauseRecord)."""
+    blob = json.dumps(
+        [[p.clock, p.kind, p.work, p.reclaimed, p.live] for p in pauses],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def pause_family(kind: str) -> str:
+    """Collapse per-generation pause kinds ("minor-3") to a family."""
+    return "minor" if kind.startswith("minor") else kind
+
+
+class TenantSession:
+    """A live tenant context plus its uid↔object-id bookkeeping."""
+
+    def __init__(
+        self,
+        tenant: str,
+        *,
+        kind: str,
+        backend: str | None = None,
+        geometry: GcGeometry | None = None,
+    ) -> None:
+        self.tenant = tenant
+        self.kind = kind
+        self.backend = resolve_backend_name(backend)
+        self.geometry = geometry if geometry is not None else GcGeometry()
+        self.heap = make_heap(self.backend)
+        self.roots = RootSet()
+        self.collector = make_collector(
+            kind, self.heap, self.roots, self.geometry
+        )
+        self.barrier = WriteBarrier(self.collector.remember_store)
+        self.uid_to_id: dict[int, int] = {}
+        self.id_to_uid: dict[int, int] = {}
+        self.checkpoints = 0
+        # Metric drain high-water marks (carried in the state blob so
+        # draining never double-counts across capture/restore).
+        self._pauses_drained = 0
+        self._last_pause_clock = 0
+        self._stats_drained: dict[str, int] = {
+            key: 0 for key in self.collector.stats.snapshot()
+        }
+
+    # ------------------------------------------------------------------
+    # Op surface
+    # ------------------------------------------------------------------
+
+    def _resolve(self, uid: int) -> int:
+        try:
+            return self.uid_to_id[uid]
+        except KeyError:
+            raise ProtocolError(
+                f"tenant {self.tenant!r} has no object under uid {uid}",
+                kind="unknown-uid",
+            ) from None
+
+    def apply(self, request: dict) -> dict:
+        """Apply one validated tenant op; returns the response payload.
+
+        Raises:
+            ProtocolError: uid-level state errors (``unknown-uid``).
+            OpRejected: policy refusals (``heap-exhausted``).
+        """
+        op = request["op"]
+        if op == "alloc":
+            return self._op_alloc(request)
+        if op == "write":
+            return self._op_write(request)
+        if op == "drop":
+            return self._op_drop(request)
+        if op == "read":
+            return self._op_read(request)
+        if op == "checkpoint":
+            self.checkpoints += 1
+            return self.checkpoint_payload()
+        if op == "collect":
+            return self._op_collect()
+        raise ProtocolError(f"op {op!r} is not a session op")
+
+    def _op_alloc(self, request: dict) -> dict:
+        uid = request["uid"]
+        if uid in self.uid_to_id:
+            raise ProtocolError(
+                f"uid {uid} already allocated for tenant {self.tenant!r}",
+                kind="bad-request",
+            )
+        try:
+            obj = self.collector.allocate(
+                request["size"], request.get("fields", 0)
+            )
+        except HeapExhausted as exc:
+            raise OpRejected(
+                "heap-exhausted",
+                str(exc),
+                requested=exc.requested,
+                phase=exc.phase,
+                occupancy=exc.snapshot,
+            ) from exc
+        self.uid_to_id[uid] = obj.obj_id
+        self.id_to_uid[obj.obj_id] = uid
+        self.roots.set_global(f"u{uid}", obj)
+        return {"uid": uid, "clock": self.heap.clock}
+
+    def _op_write(self, request: dict) -> dict:
+        src = self.heap.get(self._resolve(request["src"]))
+        slot = request["slot"]
+        if slot >= len(src.fields):
+            raise ProtocolError(
+                f"slot {slot} out of range for uid {request['src']} "
+                f"({len(src.fields)} fields)",
+                kind="bad-request",
+            )
+        dst_uid = request.get("dst")
+        if dst_uid is None:
+            self.barrier.on_store(src, slot, None)
+            self.heap.write_field(src, slot, None)
+        else:
+            target = self.heap.get(self._resolve(dst_uid))
+            self.barrier.on_store(src, slot, target)
+            self.heap.write_field(src, slot, target)
+        return {}
+
+    def _op_drop(self, request: dict) -> dict:
+        uid = request["uid"]
+        self._resolve(uid)  # unknown-uid check, same error surface
+        self.roots.remove_global(f"u{uid}")
+        return {}
+
+    def _op_read(self, request: dict) -> dict:
+        obj = self.heap.get(self._resolve(request["uid"]))
+        fields = [
+            None if ref is None else self.id_to_uid.get(ref)
+            for ref in obj.fields
+        ]
+        return {"size": obj.size, "fields": fields}
+
+    def _op_collect(self) -> dict:
+        try:
+            self.collector.collect()
+        except HeapExhausted as exc:
+            raise OpRejected(
+                "heap-exhausted",
+                str(exc),
+                requested=exc.requested,
+                phase=exc.phase,
+                occupancy=exc.snapshot,
+            ) from exc
+        return {"collections": self.collector.stats.collections}
+
+    # ------------------------------------------------------------------
+    # Fingerprints
+    # ------------------------------------------------------------------
+
+    def live_graph(self) -> tuple:
+        """The canonical live-graph tuple (replay checkpoint form)."""
+        reached = self.heap.reachable_from(list(self.roots.ids()))
+        return tuple(
+            sorted(
+                (
+                    obj_id,
+                    self.heap.get(obj_id).size,
+                    tuple(self.heap.get(obj_id).fields),
+                )
+                for obj_id in reached
+            )
+        )
+
+    def checkpoint_payload(self) -> dict:
+        graph = self.live_graph()
+        live = sum(entry[1] for entry in graph)
+        return {
+            "clock": self.heap.clock,
+            "live_words": live,
+            "objects": len(graph),
+            "digest": graph_digest(graph),
+        }
+
+    def close_payload(self) -> dict:
+        """The final fingerprint bundle returned by a ``close`` op."""
+        stats = self.collector.stats
+        return {
+            "final": self.checkpoint_payload(),
+            "checkpoints": self.checkpoints,
+            "stats": sorted(stats.snapshot().items()),
+            "pauses": len(stats.pauses),
+            "pauses_digest": pauses_digest(stats.pauses),
+            "collections": stats.collections,
+            "words_allocated": stats.words_allocated,
+        }
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics_label(self) -> str:
+        return f"{self.kind}/{self.backend}"
+
+    def drain_metrics(self, registry: MetricRegistry) -> None:
+        """Fold everything since the last drain into ``registry``.
+
+        Pure function of the session state: each pause is recorded
+        exactly once (the high-water index rides in the state blob),
+        and counter deltas telescope, so any drain cadence produces
+        the same merged registry.
+        """
+        stats = self.collector.stats
+        pauses = stats.pauses
+        for pause in pauses[self._pauses_drained :]:
+            registry.histogram("pause_words").record(pause.work)
+            registry.histogram(
+                f"pause_words.{pause_family(pause.kind)}"
+            ).record(pause.work)
+            registry.histogram("reclaimed_per_collection").record(
+                pause.reclaimed
+            )
+            registry.histogram("live_at_collection").record(pause.live)
+            registry.histogram("alloc_between_collections").record(
+                max(0, pause.clock - self._last_pause_clock)
+            )
+            self._last_pause_clock = pause.clock
+            registry.gauge("live_words_peak").set_max(pause.live)
+        self._pauses_drained = len(pauses)
+
+        snap = stats.snapshot()
+        drained = self._stats_drained
+        for key, value in snap.items():
+            delta = value - drained[key]
+            if delta:
+                registry.counter(key).inc(delta)
+        self._stats_drained = snap
+
+    # ------------------------------------------------------------------
+    # Capture / restore (the shard migration unit)
+    # ------------------------------------------------------------------
+
+    def capture(self) -> dict:
+        """Freeze the session into a JSON-able, checksummed state blob."""
+        return {
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "backend": self.backend,
+            "geometry": asdict(self.geometry),
+            "snapshot": snapshot_checkpoint(
+                self.collector, self.kind, self.geometry
+            ),
+            "uid_to_id": sorted(self.uid_to_id.items()),
+            "checkpoints": self.checkpoints,
+            "pauses_drained": self._pauses_drained,
+            "last_pause_clock": self._last_pause_clock,
+            "stats_drained": self._stats_drained,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TenantSession":
+        """Revive a captured session (possibly in another process)."""
+        session = cls.__new__(cls)
+        session.tenant = state["tenant"]
+        session.kind = state["kind"]
+        session.backend = state["backend"]
+        session.geometry = geometry_from_payload(dict(state["geometry"]))
+        heap, roots, collector = snapshot_restore(state["snapshot"])
+        session.heap = heap
+        session.roots = roots
+        session.collector = collector
+        session.barrier = WriteBarrier(collector.remember_store)
+        session.uid_to_id = {
+            int(uid): int(obj_id) for uid, obj_id in state["uid_to_id"]
+        }
+        session.id_to_uid = {
+            obj_id: uid for uid, obj_id in session.uid_to_id.items()
+        }
+        session.checkpoints = int(state["checkpoints"])
+        session._pauses_drained = int(state["pauses_drained"])
+        session._last_pause_clock = int(state["last_pause_clock"])
+        session._stats_drained = {
+            key: int(value) for key, value in state["stats_drained"].items()
+        }
+        return session

@@ -6,8 +6,10 @@ import sys
 
 import pytest
 
+from repro.gc.concurrent import ConcurrentCollector
 from repro.gc.generational import GenerationalCollector
 from repro.gc.hybrid import HybridCollector
+from repro.gc.incremental import IncrementalCollector
 from repro.gc.marksweep import MarkSweepCollector
 from repro.gc.nonpredictive import NonPredictiveCollector
 from repro.gc.stopcopy import StopAndCopyCollector
@@ -49,6 +51,10 @@ COLLECTOR_FACTORIES = {
         heap, roots, 8, 500
     ),
     "hybrid": lambda heap, roots: HybridCollector(heap, roots, 600, 8, 400),
+    "incremental": lambda heap, roots: IncrementalCollector(
+        heap, roots, 4_000, slice_budget=64
+    ),
+    "concurrent": lambda heap, roots: ConcurrentCollector(heap, roots, 4_000),
 }
 
 

@@ -1,0 +1,181 @@
+"""Wire-protocol validation: every malformed shape is a bad-request."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gc.registry import GcGeometry
+from repro.service.protocol import (
+    ERROR_KINDS,
+    PROTOCOL_VERSION,
+    SERVER_OPS,
+    TENANT_OPS,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    geometry_from_payload,
+    ok_response,
+    validate_request,
+)
+
+
+def _req(op: str, **payload) -> dict:
+    request = {"v": PROTOCOL_VERSION, "id": 1, "op": op, "tenant": "t0"}
+    request.update(payload)
+    return request
+
+
+class TestValidateRequest:
+    def test_accepts_every_tenant_op_minimal_shape(self):
+        shapes = {
+            "open": {},
+            "alloc": {"uid": 0, "size": 2, "fields": 1},
+            "write": {"src": 0, "slot": 0, "dst": None},
+            "drop": {"uid": 0},
+            "read": {"uid": 0},
+            "checkpoint": {},
+            "collect": {},
+            "close": {},
+        }
+        assert set(shapes) == set(TENANT_OPS)
+        for op, payload in shapes.items():
+            validated = validate_request(_req(op, **payload))
+            assert validated["op"] == op
+
+    def test_accepts_server_ops_without_tenant(self):
+        for op in SERVER_OPS:
+            validated = validate_request(
+                {"v": PROTOCOL_VERSION, "id": "x", "op": op}
+            )
+            assert validated["op"] == op
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"v": 0, "id": 1, "op": "ping"},
+            {"v": PROTOCOL_VERSION, "id": 1, "op": "explode"},
+            {"v": PROTOCOL_VERSION, "id": None, "op": "ping"},
+            {"v": PROTOCOL_VERSION, "id": True, "op": "ping"},
+            {"v": PROTOCOL_VERSION, "id": 1, "op": "open"},  # no tenant
+            {"v": PROTOCOL_VERSION, "id": 1, "op": "open", "tenant": ""},
+        ],
+    )
+    def test_rejects_structural_problems(self, payload):
+        with pytest.raises(ProtocolError):
+            validate_request(payload)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            _req("open", kind="no-such-collector"),
+            _req("open", backend="no-such-backend"),
+            _req("open", geometry={"nursery_words": "big"}),
+            _req("open", geometry={"not_a_field": 1}),
+            _req("alloc", uid=-1, size=2),
+            _req("alloc", uid=0, size=0),
+            _req("alloc", uid=0, size=2, fields=3),
+            _req("alloc", uid=0, size=2, fields=-1),
+            _req("write", src=0, slot=-1, dst=None),
+            _req("write", src=0, slot=0, dst=-2),
+            _req("write", src=0, slot=0, dst=True),
+            _req("drop", uid="zero"),
+            _req("read"),
+        ],
+    )
+    def test_rejects_op_payload_problems(self, payload):
+        with pytest.raises(ProtocolError):
+            validate_request(payload)
+
+    def test_error_is_bad_request_kind(self):
+        try:
+            validate_request(_req("alloc", uid=0, size=0))
+        except ProtocolError as exc:
+            assert exc.kind == "bad-request"
+        else:
+            pytest.fail("expected ProtocolError")
+
+
+class TestGeometryFromPayload:
+    def test_none_is_default_geometry(self):
+        assert geometry_from_payload(None) == GcGeometry()
+
+    def test_integer_overrides_apply(self):
+        geometry = geometry_from_payload(
+            {"nursery_words": 128, "semispace_words": 256}
+        )
+        assert geometry.nursery_words == 128
+        assert geometry.semispace_words == 256
+
+    def test_auto_expand_accepts_bool_only(self):
+        assert geometry_from_payload({"auto_expand": False}).auto_expand is False
+        assert geometry_from_payload({"auto_expand": True}).auto_expand is True
+        with pytest.raises(ProtocolError):
+            geometry_from_payload({"auto_expand": 1})
+        with pytest.raises(ProtocolError):
+            geometry_from_payload({"auto_expand": "no"})
+
+    def test_load_factor_accepts_numbers(self):
+        assert geometry_from_payload({"load_factor": 2}).load_factor == 2.0
+        with pytest.raises(ProtocolError):
+            geometry_from_payload({"load_factor": True})
+
+    def test_unknown_field_rejected_not_ignored(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            geometry_from_payload({"nursery_wordz": 64})
+        assert "nursery_wordz" in str(excinfo.value)
+
+    def test_bool_rejected_for_integer_field(self):
+        with pytest.raises(ProtocolError):
+            geometry_from_payload({"nursery_words": True})
+
+    def test_roundtrips_scaled_tenant_geometry(self):
+        from dataclasses import asdict
+
+        from repro.service.loadgen import tenant_geometry
+
+        geometry = tenant_geometry()
+        assert geometry_from_payload(asdict(geometry)) == geometry
+
+
+class TestWireCodec:
+    def test_encode_decode_roundtrip(self):
+        message = _req("alloc", uid=3, size=2, fields=1)
+        assert decode_line(encode_line(message)) == message
+
+    def test_encode_is_canonical_single_line(self):
+        line = encode_line({"b": 1, "a": {"z": 1, "y": 2}})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert line == b'{"a":{"y":2,"z":1},"b":1}\n'
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"not json\n", b"[1,2,3]\n", b'"just a string"\n', b"\xff\xfe\n"],
+    )
+    def test_decode_rejects_non_object_lines(self, line):
+        with pytest.raises(ProtocolError):
+            decode_line(line)
+
+    def test_ok_and_error_response_shapes(self):
+        ok = ok_response(7, pong=True)
+        assert ok == {"v": PROTOCOL_VERSION, "id": 7, "ok": True, "pong": True}
+        err = error_response(7, "backpressure", "full", shard=1)
+        assert err["ok"] is False
+        assert err["error"] == {
+            "kind": "backpressure",
+            "detail": "full",
+            "shard": 1,
+        }
+
+    def test_error_response_refuses_unknown_kind(self):
+        with pytest.raises(ValueError):
+            error_response(1, "not-a-kind", "nope")
+        assert len(set(ERROR_KINDS)) == len(ERROR_KINDS)
+
+    def test_responses_are_json_encodable(self):
+        for message in (ok_response(1, x=[1, 2]), error_response(None, "internal", "boom")):
+            json.loads(encode_line(message))

@@ -1,0 +1,155 @@
+"""Scale-report schema, the regression gate, and pause semantics."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.gc.registry import COLLECTOR_KINDS
+from repro.metrics.registry import Histogram, MetricRegistry
+from repro.service.loadgen import build_plan, run_load_inline
+from repro.service.report import (
+    SCALE_REPORT_VERSION,
+    build_scale_report,
+    check_pause_regression,
+    deterministic_rows,
+    mutator_visible_histogram,
+    render_scale_report,
+    validate_scale_report,
+)
+from repro.service.shard import ShardExecutor
+
+
+def _fresh_report(tenants=len(COLLECTOR_KINDS), ops=80, seed=0) -> dict:
+    plan = build_plan(tenants, seed=seed, ops_per_tenant=ops)
+    executor = ShardExecutor(2, jobs=0)
+    result = run_load_inline(plan, executor)
+    return build_scale_report(
+        plan, result, executor.merged_metrics(), mode="test"
+    )
+
+
+class TestSchema:
+    def test_real_report_validates_clean_and_serializes(self):
+        report = _fresh_report()
+        assert validate_scale_report(report) == []
+        assert report["version"] == SCALE_REPORT_VERSION
+        assert {row["kind"] for row in report["rows"]} == set(COLLECTOR_KINDS)
+        json.dumps(report)  # committed artifact must be plain JSON
+
+    def test_non_object_and_wrong_version_rejected(self):
+        assert validate_scale_report("nope")
+        report = _fresh_report(tenants=2, ops=40)
+        report["version"] = 99
+        assert any("version" in p for p in validate_scale_report(report))
+
+    def test_missing_field_detected(self):
+        report = _fresh_report(tenants=2, ops=40)
+        del report["rows"][0]["p99_pause_words"]
+        problems = validate_scale_report(report)
+        assert any("p99_pause_words" in p for p in problems)
+
+    def test_duplicate_cohort_detected(self):
+        report = _fresh_report(tenants=2, ops=40)
+        report["rows"].append(copy.deepcopy(report["rows"][0]))
+        assert any("duplicate" in p for p in validate_scale_report(report))
+
+    def test_impossible_percentiles_detected(self):
+        report = _fresh_report(tenants=2, ops=40)
+        report["rows"][0]["p99_pause_words"] = (
+            report["rows"][0]["max_pause_words"] + 1
+        )
+        assert any("exceeds" in p for p in validate_scale_report(report))
+
+    def test_empty_rows_rejected(self):
+        report = _fresh_report(tenants=2, ops=40)
+        report["rows"] = []
+        assert validate_scale_report(report)
+
+
+class TestRegressionGate:
+    def test_identical_reports_pass(self):
+        report = _fresh_report(tenants=4, ops=60)
+        assert check_pause_regression(report, report) == []
+
+    def test_p99_growth_beyond_tolerance_flagged(self):
+        committed = _fresh_report(tenants=4, ops=60)
+        current = copy.deepcopy(committed)
+        row = current["rows"][0]
+        row["p99_pause_words"] = max(
+            int(committed["rows"][0]["p99_pause_words"] * 2), 64
+        )
+        problems = check_pause_regression(current, committed)
+        assert len(problems) == 1
+        assert row["kind"] in problems[0]
+
+    def test_small_absolute_wiggle_is_not_noise_gated(self):
+        """The 16-word floor: tiny-pause cohorts don't flap on bucket
+        boundaries."""
+        committed = _fresh_report(tenants=4, ops=60)
+        current = copy.deepcopy(committed)
+        current["rows"][0]["p99_pause_words"] = (
+            committed["rows"][0]["p99_pause_words"] + 16
+        )
+        assert check_pause_regression(current, committed) == []
+
+    def test_missing_cohorts_flagged_both_directions(self):
+        committed = _fresh_report(tenants=4, ops=60)
+        current = copy.deepcopy(committed)
+        dropped = current["rows"].pop(0)
+        problems = check_pause_regression(current, committed)
+        assert any(
+            "missing from current" in p and dropped["kind"] in p
+            for p in problems
+        )
+        problems = check_pause_regression(committed, current)
+        assert any("no committed baseline" in p for p in problems)
+
+
+class TestMutatorVisible:
+    def test_concurrent_kind_uses_handoff_plus_reconcile(self):
+        registry = MetricRegistry("concurrent/flat")
+        registry.histogram("pause_words").record(1000)  # off-thread work
+        registry.histogram("pause_words.handoff").record(3)
+        registry.histogram("pause_words.reconcile").record(5)
+        visible = mutator_visible_histogram(registry, "concurrent")
+        assert visible.count == 2
+        assert visible.max == 5  # the 1000-word mark never surfaces
+
+    def test_other_kinds_use_full_pause_histogram(self):
+        registry = MetricRegistry("mark-sweep/flat")
+        registry.histogram("pause_words").record(700)
+        visible = mutator_visible_histogram(registry, "mark-sweep")
+        assert visible.count == 1 and visible.max == 700
+
+    def test_empty_registry_yields_empty_histogram(self):
+        visible = mutator_visible_histogram(
+            MetricRegistry("x"), "mark-sweep"
+        )
+        assert isinstance(visible, Histogram)
+        assert visible.count == 0
+
+    def test_live_report_orders_concurrent_below_stoppers(self):
+        """The paper-faithful headline: with real load, the concurrent
+        collector's mutator-visible p99 sits below mark-sweep's."""
+        report = _fresh_report(ops=200)
+        p99 = {row["kind"]: row["p99_pause_words"] for row in report["rows"]}
+        assert p99["concurrent"] < p99["mark-sweep"]
+
+
+class TestRendering:
+    def test_deterministic_rows_strip_wall_clock_only(self):
+        report = _fresh_report(tenants=2, ops=40)
+        rows = deterministic_rows(report)
+        assert rows
+        for row in rows:
+            assert "elapsed_s" not in row
+            assert "throughput_rps" not in row
+            assert "p99_pause_words" in row
+
+    def test_render_mentions_every_cohort_and_totals(self):
+        report = _fresh_report(tenants=4, ops=40)
+        text = render_scale_report(report)
+        for row in report["rows"]:
+            assert row["kind"] in text
+        assert "total:" in text

@@ -1,0 +1,305 @@
+"""ShardExecutor: routing, mode byte-identity, fences, fault drills.
+
+The pool-mode drills here are the real thing — `_chaos-exit` kills an
+actual worker process with os._exit and the drill asserts the respawn
+path recomputed identical answers from committed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.metrics.registry import MetricRegistry
+from repro.service.loadgen import tenant_geometry
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.session import TenantSession
+from repro.service.shard import ShardExecutor, shard_of
+
+GEOMETRY = asdict(tenant_geometry())
+
+
+def _req(op: str, tenant: str, seq: int, **payload) -> dict:
+    request = {
+        "v": PROTOCOL_VERSION,
+        "id": f"{tenant}#{seq}",
+        "op": op,
+        "tenant": tenant,
+    }
+    request.update(payload)
+    return request
+
+
+def _tenant_stream(tenant: str, kind: str = "mark-sweep") -> list[dict]:
+    """open, a small linked working set, checkpoint, close."""
+    ops = [
+        _req("open", tenant, 0, kind=kind, geometry=GEOMETRY),
+        _req("alloc", tenant, 1, uid=0, size=3, fields=2),
+        _req("alloc", tenant, 2, uid=1, size=2, fields=1),
+        _req("write", tenant, 3, src=0, slot=0, dst=1),
+        _req("alloc", tenant, 4, uid=2, size=4, fields=0),
+        _req("drop", tenant, 5, uid=2),
+        _req("collect", tenant, 6),
+        _req("checkpoint", tenant, 7),
+        _req("read", tenant, 8, uid=0),
+        _req("close", tenant, 9),
+    ]
+    return ops
+
+
+def _run_streams(
+    executor: ShardExecutor, streams: dict[str, list[dict]]
+) -> dict[str, list[dict]]:
+    """One request per tenant per round (the closed-loop shape)."""
+    cursors = {tenant: 0 for tenant in streams}
+    responses: dict[str, list[dict]] = {tenant: [] for tenant in streams}
+    while True:
+        batches: dict[int, list[dict]] = {}
+        order: dict[int, list[str]] = {}
+        for tenant in sorted(streams):
+            cursor = cursors[tenant]
+            if cursor >= len(streams[tenant]):
+                continue
+            shard = executor.shard_of(tenant)
+            request = streams[tenant][cursor]
+            batches.setdefault(shard, []).append(request)
+            # Chaos pseudo-ops never produce a response slot.
+            if not str(request.get("op", "")).startswith("_chaos"):
+                order.setdefault(shard, []).append(tenant)
+            cursors[tenant] += 1
+        if not batches:
+            return responses
+        results = executor.execute(batches)
+        for shard, tenants in order.items():
+            for position, tenant in enumerate(tenants):
+                responses[tenant].append(results[shard][position])
+
+
+class TestRouting:
+    def test_shard_of_is_stable_and_in_range(self):
+        for shards in (1, 2, 3, 7):
+            for index in range(50):
+                tenant = f"t{index:05d}"
+                owner = shard_of(tenant, shards)
+                assert 0 <= owner < shards
+                assert owner == shard_of(tenant, shards)
+
+    def test_every_shard_gets_tenants(self):
+        owners = {shard_of(f"t{i:05d}", 4) for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_executor_requires_a_shard(self):
+        with pytest.raises(ValueError):
+            ShardExecutor(0)
+
+
+class TestModeEquivalence:
+    def test_inline_and_pool_are_byte_identical(self):
+        """Responses AND merged metric registries must match exactly
+        across jobs=0 (in-process) and jobs=2 (worker pool)."""
+        streams = {
+            f"t{i}": _tenant_stream(
+                f"t{i}", kind=["mark-sweep", "generational", "concurrent"][i % 3]
+            )
+            for i in range(6)
+        }
+        inline = ShardExecutor(2, jobs=0)
+        pool = ShardExecutor(2, jobs=2)
+        inline_responses = _run_streams(inline, streams)
+        pool_responses = _run_streams(pool, streams)
+        assert pool_responses == inline_responses
+        inline_metrics = {
+            r.label: r.canonical_json() for r in inline.merged_metrics()
+        }
+        pool_metrics = {
+            r.label: r.canonical_json() for r in pool.merged_metrics()
+        }
+        assert pool_metrics == inline_metrics
+
+    def test_single_shard_pool_batch_runs_out_of_process(self):
+        """A one-shard batch must still cross the process boundary
+        (resilient_map would otherwise degrade to in-process serial —
+        losing crash isolation for tenant heaps)."""
+        import os
+
+        executor = ShardExecutor(1, jobs=2, chaos=True, retries=2)
+        parent = os.getpid()
+        # If this ran in-process, _chaos-exit would kill the test run.
+        responses = executor.execute(
+            {
+                0: [
+                    _req("open", "t0", 0, kind="mark-sweep"),
+                    {"op": "_chaos-exit", "attempts": 1},
+                    _req("close", "t0", 1),
+                ]
+            }
+        )
+        assert os.getpid() == parent
+        assert [r["ok"] for r in responses[0]] == [True, True]
+
+
+class TestErrorScoping:
+    def test_unknown_tenant_and_tenant_exists(self):
+        executor = ShardExecutor(1, jobs=0)
+        shard = executor.shard_of("t0")
+        (responses,) = executor.execute(
+            {shard: [_req("checkpoint", "t0", 0)]}
+        ).values()
+        assert responses[0]["error"]["kind"] == "unknown-tenant"
+        executor.execute({shard: [_req("open", "t0", 1, kind="mark-sweep")]})
+        (responses,) = executor.execute(
+            {shard: [_req("open", "t0", 2, kind="mark-sweep")]}
+        ).values()
+        assert responses[0]["error"]["kind"] == "tenant-exists"
+
+    def test_internal_error_evicts_one_tenant_only(self, monkeypatch):
+        """The blast-radius fence: an op that raises unexpectedly
+        inside one session becomes a structured `internal` error, that
+        tenant is evicted, and its neighbours never notice."""
+        executor = ShardExecutor(1, jobs=0)
+        shard = executor.shard_of("victim")
+        assert shard == executor.shard_of("bystander")
+        executor.execute(
+            {
+                shard: [
+                    _req("open", "victim", 0, kind="mark-sweep"),
+                    _req("open", "bystander", 0, kind="mark-sweep"),
+                    _req("alloc", "bystander", 1, uid=0, size=2, fields=0),
+                ]
+            }
+        )
+
+        original = TenantSession.apply
+
+        def exploding_apply(self, request):
+            if self.tenant == "victim":
+                raise RuntimeError("heap metadata corrupted")
+            return original(self, request)
+
+        monkeypatch.setattr(TenantSession, "apply", exploding_apply)
+        (responses,) = executor.execute(
+            {
+                shard: [
+                    _req("alloc", "victim", 1, uid=0, size=2, fields=0),
+                    _req("read", "bystander", 2, uid=0),
+                ]
+            }
+        ).values()
+        assert responses[0]["error"]["kind"] == "internal"
+        assert "evicted" in responses[0]["error"]["detail"]
+        assert responses[1]["ok"] is True
+        monkeypatch.setattr(TenantSession, "apply", original)
+        # The victim is gone; the bystander still serves.
+        (responses,) = executor.execute(
+            {
+                shard: [
+                    _req("checkpoint", "victim", 2),
+                    _req("checkpoint", "bystander", 3),
+                ]
+            }
+        ).values()
+        assert responses[0]["error"]["kind"] == "unknown-tenant"
+        assert responses[1]["ok"] is True
+
+
+class TestPartialStateShipping:
+    def test_untouched_tenants_are_not_shipped_but_still_counted(self):
+        executor = ShardExecutor(1, jobs=2, tenant_cap=3)
+        shard = 0
+        executor.execute(
+            {
+                shard: [
+                    _req("open", "a", 0, kind="mark-sweep"),
+                    _req("open", "b", 0, kind="mark-sweep"),
+                    _req("open", "c", 0, kind="mark-sweep"),
+                ]
+            }
+        )
+        assert executor.open_tenants(shard) == 3
+        # A batch touching only "d" ships no blobs for a/b/c, yet the
+        # worker must still see occupancy 3 and refuse admission.
+        (responses,) = executor.execute(
+            {shard: [_req("open", "d", 0, kind="mark-sweep")]}
+        ).values()
+        error = responses[0]["error"]
+        assert error["kind"] == "backpressure"
+        assert error["open_tenants"] == 3
+        assert error["tenant_cap"] == 3
+        # Closing frees the slot for the next open.
+        executor.execute({shard: [_req("close", "a", 1)]})
+        assert executor.open_tenants(shard) == 2
+        (responses,) = executor.execute(
+            {shard: [_req("open", "d", 1, kind="mark-sweep")]}
+        ).values()
+        assert responses[0]["ok"] is True
+
+
+class TestFaultDrills:
+    def _streams(self):
+        return {
+            f"t{i}": _tenant_stream(f"t{i}", kind="generational")
+            for i in range(4)
+        }
+
+    def test_worker_exit_mid_load_loses_no_committed_state(self):
+        """Kill a worker between batches: every committed checkpoint
+        digest must match the chaos-free run exactly."""
+        reference = _run_streams(ShardExecutor(2, jobs=2), self._streams())
+
+        executor = ShardExecutor(2, jobs=2, chaos=True, retries=2)
+        streams = self._streams()
+        # Splice a worker-kill into the middle of one tenant's stream;
+        # chaos ops produce no response and never reach a session.
+        streams["t0"] = (
+            streams["t0"][:5]
+            + [{"op": "_chaos-exit", "attempts": 1, "tenant": "t0"}]
+            + streams["t0"][5:]
+        )
+        drilled = _run_streams(executor, streams)
+        assert drilled == reference
+
+    def test_drained_batch_fails_structurally_then_revives(self):
+        """Exhaust the retry budget: the batch drains to shard-failed,
+        committed state is intact, and the next batch serves again."""
+        executor = ShardExecutor(1, jobs=2, chaos=True, retries=1)
+        shard = 0
+        executor.execute(
+            {
+                shard: [
+                    _req("open", "t0", 0, kind="mark-sweep"),
+                    _req("alloc", "t0", 1, uid=0, size=3, fields=0),
+                ]
+            }
+        )
+        before = executor.shard_state(shard)["t0"]
+        (responses,) = executor.execute(
+            {
+                shard: [
+                    {"op": "_chaos-exit", "attempts": 99, "tenant": "t0"},
+                    _req("alloc", "t0", 2, uid=1, size=2, fields=0),
+                ]
+            }
+        ).values()
+        assert len(responses) == 1  # chaos pseudo-op gets no response
+        assert responses[0]["error"]["kind"] == "shard-failed"
+        assert executor.respawns[shard] == 1
+        assert executor.shard_state(shard)["t0"] == before
+        # Revival: the same request succeeds on the next batch.
+        (responses,) = executor.execute(
+            {shard: [_req("alloc", "t0", 3, uid=1, size=2, fields=0)]}
+        ).values()
+        assert responses[0]["ok"] is True
+        assert responses[0]["uid"] == 1
+
+    def test_stats_snapshot_shape(self):
+        executor = ShardExecutor(3, jobs=0, tenant_cap=10)
+        executor.execute(
+            {executor.shard_of("t0"): [_req("open", "t0", 0)]}
+        )
+        stats = executor.stats()
+        assert stats["shards"] == 3
+        assert stats["tenant_cap"] == 10
+        assert stats["batches"] == 1
+        assert sum(stats["open_tenants"]) == 1
+        assert stats["respawns"] == [0, 0, 0]

@@ -161,3 +161,81 @@ class TestVerifyCommand:
         err = capsys.readouterr().err
         assert "op count must be positive" in err
         assert "Traceback" not in err
+
+
+class TestServiceCommands:
+    def test_load_fingerprint_is_golden(self, capsys):
+        assert main(["load", "--tenants", "5", "--fingerprint"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == (
+            "5b6f41e7accb522f3ed1f38b162704d6f3bbdddd"
+            "539aa11bd78e8022b250a328"
+        )
+
+    def test_load_self_served_writes_valid_report(self, capsys, tmp_path):
+        report_path = tmp_path / "scale.json"
+        assert main(
+            [
+                "load", "--tenants", "7", "--ops", "60",
+                "--shards", "2", "--report", str(report_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        import json
+
+        from repro.service.report import validate_scale_report
+
+        report = json.loads(report_path.read_text())
+        assert validate_scale_report(report) == []
+
+    def test_load_check_gates_against_committed_report(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        report_path = tmp_path / "scale.json"
+        assert main(
+            [
+                "load", "--tenants", "7", "--ops", "60",
+                "--report", str(report_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # Same seed regenerates the same deterministic rows: gate passes.
+        assert main(
+            [
+                "load", "--tenants", "7", "--ops", "60",
+                "--check", str(report_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # Tighten the committed baseline to force a p99 regression.
+        report = json.loads(report_path.read_text())
+        for row in report["rows"]:
+            row["p99_pause_words"] = 0
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(report))
+        assert main(
+            [
+                "load", "--tenants", "7", "--ops", "60",
+                "--check", str(doctored),
+            ]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "p99" in (captured.out + captured.err)
+
+    def test_isolation_command_passes(self, capsys):
+        assert main(
+            [
+                "isolation", "--tenants", "3", "--ops", "60",
+                "--kinds", "mark-sweep,generational",
+            ]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_load_rejects_unknown_kind_and_profile(self):
+        with pytest.raises(SystemExit):
+            main(["load", "--kinds", "warp-speed", "--fingerprint"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--profile", "thermal"])
